@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark regenerates one table or figure of the paper, prints it with
+the paper's values alongside, saves it under ``benchmarks/out/``, and asserts
+the qualitative *shape* the paper reports (who wins, roughly by how much).
+Absolute cycle counts are not expected to match: the substrate is a pure-
+Python simulator with scaled problem sizes (see DESIGN.md / EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+def emit(name: str, text: str) -> None:
+    """Print a rendered table and persist it for EXPERIMENTS.md."""
+    print()
+    print(text)
+    os.makedirs(OUT_DIR, exist_ok=True)
+    with open(os.path.join(OUT_DIR, f"{name}.txt"), "w") as fh:
+        fh.write(text + "\n")
+
+
+def pct(x: float) -> str:
+    return f"{100.0 * x:.1f}%"
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,70 @@
+"""Figure 3.1 — suboperations of a local memory read (timeline).
+
+Reconstructs the pipeline timeline for a local clean read on both machines
+from the configuration, and checks it against the measured end-to-end
+latency (27 FLASH / 24 ideal cycles).
+"""
+
+from _util import emit, once
+
+from repro.common.params import MagicCacheConfig, flash_config, ideal_config
+from repro.machine import Machine
+from repro.harness.tables import render_table
+
+
+def _measured_local_read(config):
+    config = config.with_changes(magic_caches=MagicCacheConfig(enabled=False))
+    machine = Machine(config)
+    streams = [iter([("r", 0)])] + [
+        iter([("c", 1)]) for _ in range(config.n_procs - 1)
+    ]
+    machine.run(streams)
+    return machine.nodes[0].cpu.times.read_stall
+
+
+def test_fig_3_1(benchmark):
+    def regenerate():
+        flash = flash_config(2)
+        ideal = ideal_config(2)
+        lat = flash.latencies
+        t = 0
+        timeline = []
+        t += lat.miss_detect_to_bus
+        timeline.append(("Miss detect -> request on bus", 0, t))
+        timeline.append(("Bus transit", t, t + lat.bus_transit))
+        t += lat.bus_transit
+        timeline.append(("PI inbound", t, t + lat.pi_inbound))
+        t += lat.pi_inbound
+        timeline.append(("Inbox arbitration", t, t + lat.inbox_arbitration))
+        t += lat.inbox_arbitration
+        spec_start = t
+        timeline.append(("Speculative memory access", spec_start,
+                         spec_start + lat.memory_access))
+        timeline.append(("Jump table lookup", t, t + lat.jump_table_lookup))
+        t += lat.jump_table_lookup
+        handler = flash.handler_costs.read_from_memory
+        timeline.append(("PP handler (overlapped with memory)", t, t + handler))
+        data_ready = spec_start + lat.memory_access
+        timeline.append(("PI outbound", data_ready,
+                         data_ready + lat.pi_outbound))
+        done = data_ready + lat.pi_outbound + lat.pi_outbound_bus_transit
+        timeline.append(("Bus transit (first dword)", done - 1, done))
+        return timeline, done, _measured_local_read(flash), \
+            _measured_local_read(ideal)
+
+    timeline, predicted, measured_flash, measured_ideal = once(
+        benchmark, regenerate
+    )
+    assert predicted == measured_flash == 27
+    assert measured_ideal == 24
+    # The PP handler finishes before the speculative data returns: the
+    # protocol processing is fully hidden behind the memory access.
+    handler = next(row for row in timeline if "handler" in row[0])
+    data = next(row for row in timeline if "Speculative" in row[0])
+    assert handler[2] <= data[2]
+    rows = [(stage, start, end) for stage, start, end in timeline]
+    emit("fig_3_1", render_table(
+        f"Figure 3.1 - Local read timeline (FLASH end-to-end {measured_flash} "
+        f"cycles, paper 27; ideal {measured_ideal}, paper 24)",
+        ["Suboperation", "start", "end"], rows,
+    ))

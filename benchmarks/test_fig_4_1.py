@@ -1,0 +1,50 @@
+"""Figure 4.1 — execution time, FLASH vs ideal, large ("1 MB") caches.
+
+Regenerates the stacked-bar data: per application, the normalized execution
+time of both machines (FLASH = 100) broken into Busy / Cont / Read / Write /
+Sync, plus the headline FLASH-over-ideal slowdown.
+"""
+
+from _util import emit, once, pct
+
+from repro.harness import experiments as exp
+from repro.harness.tables import PAPER_FIG_4_1_SLOWDOWN, render_table
+
+
+def test_fig_4_1(benchmark):
+    def regenerate():
+        rows = []
+        slowdowns = {}
+        for app in exp.APP_ORDER:
+            flash, ideal = exp.run_flash_ideal(app, regime="large")
+            slow = exp.slowdown(flash, ideal)
+            slowdowns[app] = slow
+            scale = 100.0 / flash.execution_time
+            for result, kind in ((flash, "FLASH"), (ideal, "ideal")):
+                b = result.breakdown
+                total = result.execution_time * scale
+                rows.append((
+                    app, kind, round(total, 1),
+                    round(b["busy"] * scale, 1), round(b["cont"] * scale, 1),
+                    round(b["read"] * scale, 1), round(b["write"] * scale, 1),
+                    round(b["sync"] * scale, 1),
+                ))
+            rows.append((
+                app, "slowdown", pct(slow), "",
+                "", f"paper {pct(PAPER_FIG_4_1_SLOWDOWN[app])}", "", "",
+            ))
+        return rows, slowdowns
+
+    rows, slowdowns = once(benchmark, regenerate)
+    # Shape assertions (paper: 2-12% for optimized apps, ~25% for MP3D).
+    for app, slow in slowdowns.items():
+        assert slow > 0, f"{app}: FLASH must be slower than ideal"
+        assert slow < 0.60, f"{app}: slowdown {slow:.2%} out of band"
+    optimized = [slowdowns[a] for a in ("fft", "lu", "os")]
+    assert all(s < 0.25 for s in optimized)
+    assert slowdowns["mp3d"] == max(slowdowns.values())  # the stress test
+    emit("fig_4_1", render_table(
+        "Figure 4.1 - Execution time breakdown, large caches (FLASH=100)",
+        ["App", "Machine", "Total", "Busy", "Cont", "Read", "Write", "Sync"],
+        rows,
+    ))

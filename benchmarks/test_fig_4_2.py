@@ -1,0 +1,41 @@
+"""Figure 4.2 — execution times at the medium ("64 KB") caches."""
+
+from _util import emit, once, pct
+
+from repro.harness import experiments as exp
+from repro.harness.tables import render_table
+
+APPS = ["barnes", "fft", "mp3d", "ocean", "radix"]
+
+
+def test_fig_4_2(benchmark):
+    def regenerate():
+        rows = []
+        slowdowns = {}
+        for app in APPS:
+            flash, ideal = exp.run_flash_ideal(app, regime="medium")
+            slow = exp.slowdown(flash, ideal)
+            slowdowns[app] = slow
+            scale = 100.0 / flash.execution_time
+            for result, kind in ((flash, "FLASH"), (ideal, "ideal")):
+                b = result.breakdown
+                rows.append((
+                    app, kind, round(result.execution_time * scale, 1),
+                    round(b["busy"] * scale, 1), round(b["read"] * scale, 1),
+                    round(b["write"] * scale, 1), round(b["sync"] * scale, 1),
+                ))
+            rows.append((app, "slowdown", pct(slow), "", "", "", ""))
+        return rows, slowdowns
+
+    rows, slowdowns = once(benchmark, regenerate)
+    for app, slow in slowdowns.items():
+        assert 0 < slow < 0.7, (app, slow)
+    # Local-miss-dominated apps stay close to ideal even with the higher
+    # miss rates ("applications that require high local memory bandwidth
+    # perform only marginally worse on FLASH").
+    large_radix = exp.slowdown(*exp.run_flash_ideal("radix", regime="large"))
+    assert slowdowns["radix"] < large_radix + 0.05
+    emit("fig_4_2", render_table(
+        "Figure 4.2 - Execution time breakdown, medium caches (FLASH=100)",
+        ["App", "Machine", "Total", "Busy", "Read", "Write", "Sync"], rows,
+    ))

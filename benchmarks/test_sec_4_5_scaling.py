@@ -1,0 +1,52 @@
+"""Section 4.5 — scaling to 64 processors.
+
+With the same problem sizes, 64-processor runs raise the communication to
+computation ratio, widening the FLASH/ideal gap (paper: FFT 10% -> 17%,
+Ocean -> 12%, LU stays tiny at 0.7%).  Scaling the FFT data set back up
+shrinks the gap again (-> 12%).
+"""
+
+from _util import emit, once, pct
+
+from repro.harness import experiments as exp
+from repro.harness.tables import render_table
+
+
+def test_sec_4_5_scaling(benchmark):
+    def regenerate():
+        rows = []
+        slow = {}
+        for app, overrides in (
+            ("fft", {}),
+            ("lu", {}),
+            ("ocean", {}),
+        ):
+            f16, i16 = exp.run_flash_ideal(app, regime="large",
+                                           workload_overrides=overrides)
+            f64, i64 = exp.run_flash_ideal(app, regime="large", n_procs=64,
+                                           workload_overrides=overrides)
+            s16, s64 = exp.slowdown(f16, i16), exp.slowdown(f64, i64)
+            slow[app] = (s16, s64)
+            rows.append((app, pct(s16), pct(s64)))
+        # FFT with the data set scaled up for the 64-processor machine.
+        f64s, i64s = exp.run_flash_ideal(
+            "fft", regime="large", n_procs=64,
+            workload_overrides=dict(points=65536),
+        )
+        s_scaled = exp.slowdown(f64s, i64s)
+        rows.append(("fft (scaled data)", "-", pct(s_scaled)))
+        return rows, slow, s_scaled
+
+    rows, slow, s_scaled = once(benchmark, regenerate)
+    # Same problem at 64p: the communication-bound apps lose more ground.
+    assert slow["fft"][1] > slow["fft"][0]
+    assert slow["ocean"][1] > slow["ocean"][0]
+    # LU stays compute-dominated and nearly unaffected (paper: 0.7%).
+    assert slow["lu"][1] < 0.25
+    # Scaling the data set back up reduces the 64-processor gap.
+    assert s_scaled < slow["fft"][1]
+    emit("sec_4_5_scaling", render_table(
+        "Section 4.5 - FLASH slowdown vs machine size (paper: FFT 10->17%,"
+        " Ocean ->12%, LU 0.7%, scaled FFT 12%)",
+        ["App", "16 procs", "64 procs"], rows,
+    ))

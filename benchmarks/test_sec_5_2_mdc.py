@@ -1,0 +1,73 @@
+"""Section 5.2 — the MAGIC data cache.
+
+Paper findings under test:
+
+* For the parallel application suite the MDC misses too rarely to matter
+  (0.84% overall MDC miss rate).
+* A uniprocessor radix sort over a data set whose directory footprint
+  exceeds the MDC's reach, with a large radix (large-stride scattered
+  writes), thrashes the MDC (14.9% miss rate) and loses ~14% versus a
+  machine with no MDC miss penalty.
+* The OS workload stresses the MDC more than the parallel apps (4.1%).
+
+The uniprocessor stress run shrinks the MDC (8 KB -> 128 KB of mapped data)
+in proportion to our scaled-down key array, preserving the paper's
+"directory footprint >> MDC reach" relationship (see DESIGN.md).
+"""
+
+from _util import emit, once, pct
+
+from repro.common.params import MagicCacheConfig
+from repro.harness import experiments as exp
+from repro.harness.tables import render_table
+
+SMALL_MDC = MagicCacheConfig(mdc_size_bytes=8 * 1024)
+NO_MDC = MagicCacheConfig(enabled=False)
+STRESS = dict(keys=32768, radix=2048, key_bits=22)
+
+
+def test_sec_5_2_mdc(benchmark):
+    def regenerate():
+        rows = []
+        # 1. Parallel apps: MDC miss rates are small.
+        app_rates = {}
+        for app in ("fft", "lu", "ocean", "radix"):
+            result = exp.run_app(app, regime="large")
+            app_rates[app] = result.mdc_miss_rate
+            rows.append((f"{app} (16p, large)", pct(result.mdc_miss_rate),
+                         "paper suite avg 0.84%", ""))
+        # 2. Uniprocessor radix stress: big strides, big footprint.
+        stress = exp.run_app("radix", regime="large", n_procs=1,
+                             workload_overrides=STRESS,
+                             config_overrides=dict(magic_caches=SMALL_MDC))
+        baseline = exp.run_app("radix", regime="large", n_procs=1,
+                               workload_overrides=STRESS,
+                               config_overrides=dict(magic_caches=NO_MDC))
+        stress_slow = stress.execution_time / baseline.execution_time - 1.0
+        rows.append(("radix stress (1p, radix 2048)",
+                     pct(stress.mdc_miss_rate), "paper 14.9%", ""))
+        rows.append(("radix stress slowdown vs no-MDC-penalty",
+                     pct(stress_slow), "paper 14%", ""))
+        # 3. The OS workload stresses the MDC more than the parallel apps.
+        os_result = exp.run_app("os", regime="large")
+        rows.append(("os (8p)", pct(os_result.mdc_miss_rate), "paper 4.1%",
+                     f"{os_result.mdc_writebacks} victim writebacks"))
+        return rows, app_rates, stress, stress_slow, os_result
+
+    rows, app_rates, stress, stress_slow, os_result = once(benchmark, regenerate)
+    # Parallel apps: MDC miss rate is small (single digits of percent).
+    for app, rate in app_rates.items():
+        assert rate < 0.08, (app, rate)
+    # The stress run thrashes the MDC and costs real time.
+    assert stress.mdc_miss_rate > 3 * max(app_rates.values())
+    assert stress.mdc_miss_rate > 0.05
+    assert stress_slow > 0.05
+    # The OS workload sees meaningful MDC misses (the paper's 4.1% came from
+    # writebacks/hints of IRIX's 1 MB footprint conflicting in the MDC; our
+    # synthetic kernel's directory footprint is smaller, so the rate is
+    # lower but clearly non-zero).
+    assert os_result.mdc_miss_rate > 0.005
+    emit("sec_5_2_mdc", render_table(
+        "Section 5.2 - MAGIC data cache behaviour",
+        ["Experiment", "MDC miss rate", "paper", "notes"], rows,
+    ))

@@ -1,0 +1,49 @@
+"""Table 3.2 — sub-operation latencies (MAGIC vs ideal), in 10 ns cycles."""
+
+from _util import emit, once
+
+from repro.common.params import flash_config, ideal_config
+from repro.harness.tables import render_table
+
+#: (row label, attribute, paper MAGIC value, paper ideal value or None=N/A)
+ROWS = [
+    ("Miss detect to request on bus", "miss_detect_to_bus", 5, 5),
+    ("Bus transit", "bus_transit", 1, 1),
+    ("PI inbound processing", "pi_inbound", 1, 1),
+    ("PI outbound processing", "pi_outbound", 4, 2),
+    ("Retrieve state from proc cache", "cache_state_retrieve", 15, 15),
+    ("Retrieve first dword from cache", "cache_data_retrieve", 20, 20),
+    ("NI inbound processing", "ni_inbound", 8, 8),
+    ("NI outbound processing", "ni_outbound", 4, 4),
+    ("Inbox queue select/arbitration", "inbox_arbitration", 1, 1),
+    ("Jump table lookup", "jump_table_lookup", 2, None),
+    ("MDC miss penalty", "mdc_miss_penalty", 29, None),
+    ("Outbox outbound processing", "outbox", 1, None),
+    ("Network transit, average", "network_transit", 22, 22),
+    ("Memory access to first 8 bytes", "memory_access", 14, 14),
+]
+
+
+def test_table_3_2(benchmark):
+    def regenerate():
+        flash = flash_config(16).latencies
+        ideal = ideal_config(16).latencies
+        rows = []
+        for label, attr, paper_flash, paper_ideal in ROWS:
+            rows.append((
+                label,
+                getattr(flash, attr), paper_flash,
+                getattr(ideal, attr) if paper_ideal is not None else "N/A",
+                paper_ideal if paper_ideal is not None else "N/A",
+            ))
+        return rows
+
+    rows = once(benchmark, regenerate)
+    for label, got_f, paper_f, got_i, paper_i in rows:
+        assert got_f == paper_f, label
+        if paper_i != "N/A":
+            assert got_i == paper_i, label
+    emit("table_3_2", render_table(
+        "Table 3.2 - Suboperation latencies in 10ns cycles",
+        ["Suboperation", "MAGIC", "paper", "Ideal", "paper"], rows,
+    ))

@@ -1,0 +1,47 @@
+"""Table 3.3 — memory latencies and PP occupancies, no contention.
+
+Measured by staging each of the five read-miss classes on a 16-node machine
+and timing a single read (see repro.harness.micro).
+"""
+
+import pytest
+from _util import emit, once
+
+from repro.common.params import flash_config, ideal_config
+from repro.harness.micro import PAPER_TABLE_3_3, measure_latencies
+from repro.harness.tables import render_table
+from repro.protocol.coherence import MissClass
+
+LABELS = {
+    MissClass.LOCAL_CLEAN: "Local read, clean in memory",
+    MissClass.LOCAL_DIRTY_REMOTE: "Local read, dirty in remote cache",
+    MissClass.REMOTE_CLEAN: "Remote read, clean in home memory",
+    MissClass.REMOTE_DIRTY_HOME: "Remote read, dirty in home cache",
+    MissClass.REMOTE_DIRTY_REMOTE: "Remote read, dirty in 3rd node",
+}
+
+
+def test_table_3_3(benchmark):
+    def regenerate():
+        ideal = measure_latencies(ideal_config(16))
+        flash = measure_latencies(flash_config(16))
+        return ideal, flash
+
+    ideal, flash = once(benchmark, regenerate)
+    rows = []
+    for cls in MissClass.ALL:
+        paper_ideal, paper_flash, paper_occ = PAPER_TABLE_3_3[cls]
+        rows.append((
+            LABELS[cls],
+            ideal[cls].latency, paper_ideal,
+            flash[cls].latency, paper_flash,
+            flash[cls].pp_occupancy, paper_occ,
+        ))
+        assert ideal[cls].latency == pytest.approx(paper_ideal, abs=6)
+        assert flash[cls].latency == pytest.approx(paper_flash, abs=8)
+        assert flash[cls].latency > ideal[cls].latency
+    emit("table_3_3", render_table(
+        "Table 3.3 - Memory latencies/occupancies, no contention (10ns cycles)",
+        ["Operation", "Ideal", "paper", "FLASH", "paper", "PP occ", "paper"],
+        rows,
+    ))

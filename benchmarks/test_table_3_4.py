@@ -1,0 +1,60 @@
+"""Table 3.4 — PP occupancies for common operations.
+
+Two backends are compared against the paper: the table cost model (exact by
+construction) and the emulated handlers (independently hand-written PP
+assembly, so they track the paper within a small factor rather than exactly).
+"""
+
+from _util import emit, once
+
+from repro.common.params import flash_config
+from repro.harness.tables import render_table
+from repro.magic.costmodel import TableCostModel
+from repro.pp.costmodel import EmulatedCostModel
+from repro.protocol.coherence import Action, Handler
+from repro.protocol.messages import Message, MessageType as MT
+
+ROWS = [
+    ("Service read miss from memory", Handler.GET_HOME_CLEAN, {}, 11),
+    ("Service write miss from memory", Handler.GETX_HOME_CLEAN,
+     dict(n_invals=0), 14),
+    ("... each invalidation (x5)", Handler.GETX_HOME_CLEAN,
+     dict(n_invals=5), 14 + 5 * 13),
+    ("Forward request to home node", Handler.MISS_FORWARD, {}, 3),
+    ("Forward from home to dirty node", Handler.GET_HOME_FORWARD, {}, 18),
+    ("Retrieve data from proc cache", Handler.GET_OWNER, {}, 38),
+    ("Forward reply from net to proc", Handler.REPLY_TO_PROC, {}, 2),
+    ("Local writeback", Handler.WRITEBACK_LOCAL, {}, 10),
+    ("Local replacement hint", Handler.HINT_LOCAL, dict(list_position=1), 7),
+    ("Writeback from remote processor", Handler.WRITEBACK_REMOTE, {}, 8),
+    ("Remote hint, only sharer", Handler.HINT_REMOTE,
+     dict(list_position=1), 17),
+    ("Remote hint, 4th on list", Handler.HINT_REMOTE,
+     dict(list_position=4), 23 + 14 * 4),
+]
+
+
+def test_table_3_4(benchmark):
+    config = flash_config(16)
+
+    def regenerate():
+        table = TableCostModel(config)
+        emulated = EmulatedCostModel(config)
+        msg = Message(MT.GET, 0x40000, 2, 1, 2)
+        rows = []
+        for label, handler, params, paper in ROWS:
+            action = Action(handler, msg, **params)
+            rows.append((label, table.cost(action), emulated.cost(action),
+                         paper))
+        return rows
+
+    rows = once(benchmark, regenerate)
+    for label, table_cost, emu_cost, paper in rows:
+        assert table_cost == paper, label  # table model is Table 3.4
+        assert paper / 3 <= emu_cost <= paper * 3, (
+            f"{label}: emulated {emu_cost} vs paper {paper}"
+        )
+    emit("table_3_4", render_table(
+        "Table 3.4 - PP occupancies (10ns cycles)",
+        ["Operation", "table model", "emulated handlers", "paper"], rows,
+    ))

@@ -1,0 +1,60 @@
+"""Table 4.1 — read miss distributions and CRMT, large ("1 MB") caches."""
+
+from _util import emit, once
+
+from repro.common.params import flash_config, ideal_config
+from repro.harness import experiments as exp
+from repro.harness.micro import miss_latency_lookup
+from repro.harness.tables import DIST_ROWS, PAPER_TABLE_4_1, render_table
+from repro.protocol.coherence import MissClass
+
+
+def test_table_4_1(benchmark):
+    def regenerate():
+        flash_lat = miss_latency_lookup(flash_config(16))
+        ideal_lat = miss_latency_lookup(ideal_config(16))
+        rows = []
+        shapes = {}
+        for app in exp.APP_ORDER:
+            flash, _ideal = exp.run_flash_ideal(app, regime="large")
+            dist = flash.read_miss_distribution
+            p = PAPER_TABLE_4_1[app]
+            rows.append((
+                app,
+                f"{flash.miss_rate * 100:.2f} ({p[0]})",
+                *[f"{dist[cls] * 100:.1f} ({p[1 + i]})"
+                  for i, (cls, _label) in enumerate(DIST_ROWS)],
+                f"{flash.crmt(flash_lat):.0f} ({p[6]})",
+                f"{flash.crmt(ideal_lat):.0f} ({p[7]})",
+                f"{flash.avg_memory_occupancy * 100:.1f} ({p[8]})",
+                f"{flash.avg_pp_occupancy * 100:.1f} ({p[9]})",
+            ))
+            shapes[app] = (dist, flash.crmt(flash_lat), flash.crmt(ideal_lat))
+        return rows, shapes
+
+    rows, shapes = once(benchmark, regenerate)
+    # Shape assertions: the dominant miss class per app matches the paper.
+    dominant_expected = {
+        "fft": MissClass.REMOTE_DIRTY_HOME,
+        "mp3d": MissClass.REMOTE_DIRTY_REMOTE,
+        "radix": MissClass.LOCAL_DIRTY_REMOTE,
+        "lu": MissClass.REMOTE_CLEAN,
+        "barnes": None,  # remote-dominated; exact split differs (see notes)
+        "ocean": None,   # RDH vs LC split depends on capacity misses
+        "os": None,
+    }
+    for app, (dist, fcrmt, icrmt) in shapes.items():
+        expected = dominant_expected[app]
+        if expected is not None:
+            assert max(dist, key=dist.get) == expected, app
+        # FLASH CRMT always exceeds ideal CRMT (the latency cost of
+        # flexibility), by roughly the paper's ~35% average.
+        assert fcrmt > icrmt
+        assert 1.1 < fcrmt / icrmt < 1.7, app
+    emit("table_4_1", render_table(
+        "Table 4.1 - Read miss distributions and CRMT, large caches"
+        " (measured (paper))",
+        ["App", "Miss rate %", "LC %", "LDR %", "RC %", "RDH %", "RDR %",
+         "FLASH CRMT", "Ideal CRMT", "Mem occ %", "PP occ %"],
+        rows,
+    ))

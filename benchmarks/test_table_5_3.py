@@ -1,0 +1,69 @@
+"""Table 5.3 — DLX substitution cost of each PP special instruction.
+
+Lowers representative uses of each special instruction and reports the
+static size and dynamic latency of the substitution code, against the
+paper's figures (ffs: 6 instructions, 2 + 4/bit cycles; branch-on-bit:
+2-4; field immediates: 1-5; insert: two field immediates plus an or).
+"""
+
+from _util import emit, once
+
+from repro.harness.tables import render_table
+from repro.pp.assembler import assemble
+from repro.pp.emulator import PPEmulator
+from repro.pp.lowering import lower_text
+from repro.pp.schedule import schedule_pairs
+
+CASES = [
+    ("Find first set (bit 5)", "ffs r2, r1\ndone", {1: 0x20}, "6 instr, 2+4/bit"),
+    ("Branch on bit 0", "bbs r1, 0, t\nt:\ndone", {1: 1}, "2 or 4 instr"),
+    ("Branch on bit 9", "bbs r1, 9, t\nt:\ndone", {1: 512}, "2 or 4 instr"),
+    ("Field extract (8 @ 8)", "bfext r2, r1, 8, 8\ndone", {1: 0xABCD},
+     "1-5 instr"),
+    ("Field insert (8 @ 16)", "bfins r2, r1, 16, 8\ndone", {1: 0x55, 2: 0},
+     "2 field imm + or"),
+]
+
+
+def _measure(text, regs, lowered):
+    source = lower_text(text) if lowered else text
+    instructions = assemble(source)
+    body = [i for i in instructions if not i.is_terminal]
+    emu = PPEmulator()
+    stats = emu.run(
+        schedule_pairs(instructions, dual_issue=False), dict(regs)
+    )
+    return len(body), stats.cycles
+
+
+def test_table_5_3(benchmark):
+    def regenerate():
+        rows = []
+        for label, text, regs, paper in CASES:
+            size, cycles = _measure(text, regs, lowered=False)
+            lsize, lcycles = _measure(text, regs, lowered=True)
+            rows.append((label, size, cycles, lsize, lcycles, paper))
+        return rows
+
+    rows = once(benchmark, regenerate)
+    for label, size, cycles, lsize, lcycles, _paper in rows:
+        # Every substitution is bigger and at least as slow as the special
+        # instruction it replaces.
+        assert lsize > size, label
+        assert lcycles >= cycles, label
+    # Find-first-set: 6-instruction loop, latency grows with bit position.
+    ffs_row = rows[0]
+    assert ffs_row[3] >= 6
+    _, ffs_hi = _measure("ffs r2, r1\ndone", {1: 1 << 12}, lowered=True)
+    _, ffs_lo = _measure("ffs r2, r1\ndone", {1: 1 << 1}, lowered=True)
+    assert ffs_hi > ffs_lo  # "4 cycles per bit checked"
+    # Branch on bit 0 lowers to 2 instructions; higher bits cost more.
+    assert rows[1][3] == 2
+    assert rows[2][3] >= 3
+    emit("table_5_3", render_table(
+        "Table 5.3 - Special instructions vs DLX substitution"
+        " (sizes in instructions, latencies in single-issue cycles)",
+        ["Instruction", "special size", "cycles", "DLX size", "DLX cycles",
+         "paper"],
+        rows,
+    ))

@@ -1,0 +1,50 @@
+"""Hot-spot study: when does PP occupancy actually hurt?
+
+Section 4.3's insight: high protocol-processor occupancy degrades FLASH
+relative to the ideal machine *only* when the hot node's memory occupancy is
+simultaneously low.  This example sweeps page-placement policies for the FFT
+and OS workloads and prints slowdown against the occupancy pair.
+
+Run:  python examples/hotspot_study.py
+"""
+
+from repro import Machine, flash_config, ideal_config
+from repro.apps import FFTWorkload, OSWorkload
+
+
+def run_pair(workload, n_procs, cache):
+    out = {}
+    for make in (flash_config, ideal_config):
+        config = make(n_procs=n_procs, cache_size=cache)
+        machine = Machine(config)
+        out[config.kind] = machine.run(workload.build(config))
+    return out["flash"], out["ideal"]
+
+
+def main() -> None:
+    experiments = [
+        ("FFT, data spread across nodes",
+         FFTWorkload(points=4096), 16, 8 * 1024),
+        ("FFT, all data on node 0",
+         FFTWorkload(points=4096, placement="node0"), 16, 8 * 1024),
+        ("OS, kernel pages round-robin",
+         OSWorkload(tasks_per_proc=1), 8, 1024 * 1024),
+        ("OS, kernel pages fill node 0 (untuned IRIX)",
+         OSWorkload(tasks_per_proc=1, placement="node0"), 8, 1024 * 1024),
+    ]
+    print(f"{'experiment':44}{'slowdown':>10}{'maxPP':>8}{'maxMem':>8}")
+    for label, workload, n_procs, cache in experiments:
+        flash, ideal = run_pair(workload, n_procs, cache)
+        slowdown = flash.execution_time / ideal.execution_time - 1.0
+        print(f"{label:44}{slowdown:>9.1%}"
+              f"{max(flash.pp_occupancy):>8.1%}"
+              f"{max(flash.memory_occupancy):>8.1%}")
+    print()
+    print("the FFT hot spot keeps node 0's memory busy, so the PP latency")
+    print("hides behind the memory access; the untuned OS placement drives")
+    print("PP occupancy up while memory occupancy stays low -- that is the")
+    print("combination that punishes the flexible controller (paper: 29%).")
+
+
+if __name__ == "__main__":
+    main()

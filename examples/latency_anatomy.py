@@ -1,0 +1,55 @@
+"""Latency anatomy: where do the cycles of a cache miss go?
+
+Reproduces Table 3.3 (no-contention miss latencies for the five read-miss
+classes) and walks through the Figure 3.1 pipeline for a local read,
+showing how MAGIC hides the protocol processor behind the memory access.
+
+Run:  python examples/latency_anatomy.py
+"""
+
+from repro import flash_config, ideal_config
+from repro.harness.micro import PAPER_TABLE_3_3, measure_latencies
+from repro.protocol.coherence import MissClass
+
+
+def main() -> None:
+    print("measuring no-contention miss latencies on 16-node machines ...")
+    flash = measure_latencies(flash_config(16))
+    ideal = measure_latencies(ideal_config(16))
+
+    print()
+    print(f"{'miss class':26}{'ideal':>8}{'(paper)':>9}"
+          f"{'FLASH':>8}{'(paper)':>9}{'PP occ':>8}")
+    for cls in MissClass.ALL:
+        paper_ideal, paper_flash, paper_occ = PAPER_TABLE_3_3[cls]
+        print(f"{cls:26}{ideal[cls].latency:>8.0f}{paper_ideal:>9}"
+              f"{flash[cls].latency:>8.0f}{paper_flash:>9}"
+              f"{flash[cls].pp_occupancy:>8.0f}")
+
+    print()
+    print("anatomy of the FLASH local clean read (27 cycles):")
+    lat = flash_config(16).latencies
+    t = 0
+    for stage, cycles in (
+        ("miss detect -> bus request", lat.miss_detect_to_bus),
+        ("bus transit", lat.bus_transit),
+        ("PI inbound", lat.pi_inbound),
+        ("inbox arbitration (speculative read issues here)",
+         lat.inbox_arbitration),
+        ("jump table lookup", lat.jump_table_lookup),
+    ):
+        print(f"  t={t:>3} +{cycles:<3} {stage}")
+        t += cycles
+    spec_done = t - lat.jump_table_lookup + lat.memory_access
+    print(f"  t={t:>3}      PP handler runs (11 cycles, hidden behind memory)")
+    print(f"  t={spec_done:>3}      first 8 bytes arrive from memory")
+    print(f"  t={spec_done + lat.pi_outbound + lat.pi_outbound_bus_transit:>3}"
+          f"      data crosses the processor bus  (total 27)")
+    print()
+    print("because the handler (11 cycles) finishes before the memory access")
+    print("(14 cycles), flexibility adds only 3 cycles to a local read -- but")
+    print("remote misses pay the macropipeline at every MAGIC traversal.")
+
+
+if __name__ == "__main__":
+    main()

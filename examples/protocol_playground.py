@@ -1,0 +1,88 @@
+"""Protocol playground: drive the coherence engine message by message.
+
+Feeds a hand-built message sequence through one node's protocol engine and
+prints every handler invocation, directory transition and outgoing message —
+useful for understanding the dynamic-pointer-allocation protocol and for
+prototyping protocol changes (the "flexibility" FLASH exists to provide).
+
+Run:  python examples/protocol_playground.py
+"""
+
+from repro.caches.setassoc import CacheState
+from repro.protocol.coherence import NodeProtocolEngine
+from repro.protocol.directory import Directory
+from repro.protocol.messages import Message, MessageType as MT
+
+MEM = 4 * 1024 * 1024
+LINE = 0x1000
+
+
+class ToyCache:
+    def __init__(self):
+        self.lines = {}
+
+    def state_of(self, line):
+        return self.lines.get(line, CacheState.INVALID)
+
+    def invalidate(self, line):
+        return self.lines.pop(line, CacheState.INVALID)
+
+    def downgrade(self, line):
+        if self.lines.get(line) == CacheState.DIRTY:
+            self.lines[line] = CacheState.SHARED
+
+
+def show(engine, directory, actions):
+    for action in actions:
+        entry = directory.entry(LINE)
+        state = "DIRTY" if entry.dirty else (
+            "SHARED" if entry.head is not None else "UNCACHED"
+        )
+        pending = " (pending)" if entry.pending else ""
+        print(f"  handler={action.handler:22} "
+              f"dir={state}{pending:10} "
+              f"owner={entry.owner} sharers={directory.sharers(LINE)}")
+        for message in action.sends:
+            print(f"    -> send {message.mtype} to node {message.dst}")
+        if action.cpu_deliver:
+            print(f"    -> deliver {action.cpu_deliver.mtype} to local CPU")
+
+
+def main() -> None:
+    cache = ToyCache()
+    directory = Directory(node_id=0, memory_bytes=MEM, n_links=64)
+    engine = NodeProtocolEngine(
+        node_id=0, n_nodes=4, directory=directory,
+        memory_bytes_per_node=MEM,
+        cache_state_of=cache.state_of,
+        cache_invalidate=cache.invalidate,
+        cache_downgrade=cache.downgrade,
+    )
+
+    script = [
+        ("node 1 reads the line (remote clean miss)",
+         Message(MT.REMOTE_GET, LINE, 1, 0, 1)),
+        ("node 2 reads the same line",
+         Message(MT.REMOTE_GET, LINE, 2, 0, 2)),
+        ("node 3 writes: both sharers must be invalidated",
+         Message(MT.REMOTE_GETX, LINE, 3, 0, 3, is_write=True)),
+        ("node 1 reads again: home forwards to the dirty third node",
+         Message(MT.REMOTE_GET, LINE, 1, 0, 1)),
+        ("node 2 reads while the three-hop is in flight: deferred",
+         Message(MT.REMOTE_GET, LINE, 2, 0, 2)),
+        ("the owner's sharing writeback completes the transaction and\n"
+         "replays the deferred read",
+         Message(MT.SHARING_WRITEBACK, LINE, 3, 0, 1)),
+        ("node 3 evicts its (now shared) copy: replacement hint",
+         Message(MT.REMOTE_REPL_HINT, LINE, 3, 0, 3)),
+    ]
+    for description, message in script:
+        print(f"\n{description}:")
+        show(engine, directory, engine.process(message))
+
+    print("\nfinal sharer list:", directory.sharers(LINE))
+    print("messages processed:", engine.messages_processed)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""repro — a reproduction of "The Performance Impact of Flexibility in the
+Stanford FLASH Multiprocessor" (ASPLOS 1994).
+
+The package simulates two machines over the same directory cache-coherence
+protocol and workloads:
+
+* **FLASH** — every node transaction flows through a detailed model of the
+  MAGIC programmable node controller (inbox + jump table with speculative
+  memory reads, protocol processor, MAGIC data cache, bounded queues).
+* **The ideal machine** — an idealized hardwired controller that processes
+  every protocol operation in zero time with infinite queues.
+
+Quick start::
+
+    from repro import Machine, flash_config, ideal_config
+    from repro.apps import FFTWorkload
+
+    workload = FFTWorkload(points=1024)
+    flash = Machine(flash_config(n_procs=16))
+    result = flash.run(workload.build(flash.config))
+    print(result.execution_time, result.avg_pp_occupancy)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the mapping of
+paper tables/figures to benchmark modules.
+"""
+
+from .common.params import (
+    CacheConfig,
+    HandlerCosts,
+    MachineConfig,
+    MagicCacheConfig,
+    ResourceLimits,
+    SuboperationLatencies,
+    flash_config,
+    ideal_config,
+    mesh_transit_cycles,
+)
+from .machine import Machine, run_pair
+from .protocol.coherence import MissClass
+from .stats.report import RunResult, crmt
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CacheConfig",
+    "HandlerCosts",
+    "MachineConfig",
+    "MagicCacheConfig",
+    "ResourceLimits",
+    "SuboperationLatencies",
+    "flash_config",
+    "ideal_config",
+    "mesh_transit_cycles",
+    "Machine",
+    "run_pair",
+    "MissClass",
+    "RunResult",
+    "crmt",
+    "__version__",
+]

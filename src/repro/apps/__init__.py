@@ -1,0 +1,44 @@
+"""Workloads: the paper's six parallel applications and the OS workload.
+
+Each workload generates per-processor operation streams from the real
+algorithmic structure of the application (see DESIGN.md for the substitution
+argument versus the paper's Tango Lite / SimOS trace generation).
+"""
+
+from .barnes import BarnesWorkload
+from .base import OpBuilder, Workload, rng_stream
+from .fft import FFTWorkload
+from .lu import LUWorkload
+from .mp3d import MP3DWorkload
+from .ocean import OceanWorkload
+from .osload import OSWorkload
+from .placement import AddressSpace, Region
+from .radix import RadixWorkload
+
+#: The paper's application suite (Table 3.5), with default scaled problem
+#: sizes.  The OS workload runs on 8 processors in the paper's experiments.
+PAPER_APPS = {
+    "barnes": BarnesWorkload,
+    "fft": FFTWorkload,
+    "lu": LUWorkload,
+    "mp3d": MP3DWorkload,
+    "ocean": OceanWorkload,
+    "os": OSWorkload,
+    "radix": RadixWorkload,
+}
+
+__all__ = [
+    "AddressSpace",
+    "Region",
+    "Workload",
+    "OpBuilder",
+    "rng_stream",
+    "BarnesWorkload",
+    "FFTWorkload",
+    "LUWorkload",
+    "MP3DWorkload",
+    "OceanWorkload",
+    "OSWorkload",
+    "RadixWorkload",
+    "PAPER_APPS",
+]

@@ -1,0 +1,107 @@
+"""Workload framework.
+
+A workload produces one *operation stream* per processor (the tuples consumed
+by :class:`repro.processor.cpu.CPU`).  Streams are generated lazily from the
+real algorithmic structure of each application — reference addresses come
+from actual index computations (FFT transposes, LU block sweeps, radix
+permutations, grid stencils, tree walks), and compute time between references
+is charged per algorithm phase.  This plays the role of the paper's Tango
+Lite reference generator.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Tuple
+
+from ..common.params import MachineConfig
+from .placement import AddressSpace, Region
+
+__all__ = ["Workload", "OpBuilder", "rng_stream"]
+
+
+class Workload:
+    """Base class: subclasses implement :meth:`streams`."""
+
+    #: short name used by the harness and in tables
+    name = "workload"
+    #: paper problem size (documentation only; defaults are scaled down)
+    paper_problem = ""
+
+    def build(self, config: MachineConfig) -> List[Iterator[Tuple]]:
+        """Return one op stream per processor for this machine config."""
+        space = AddressSpace(config)
+        return [
+            self.streams(config, space, cpu) for cpu in range(config.n_procs)
+        ]
+
+    def streams(self, config: MachineConfig, space: AddressSpace,
+                cpu: int) -> Iterator[Tuple]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class OpBuilder:
+    """Helper accumulating compute cycles so generators emit few tuples.
+
+    Usage inside a stream generator::
+
+        ops = OpBuilder(work_per_ref=2.0)
+        yield from ops.read(addr)
+        yield from ops.compute(50)
+        yield from ops.flush()
+    """
+
+    __slots__ = ("work_per_ref", "_pending", "threshold", "refs_per_access")
+
+    def __init__(self, work_per_ref: float = 0.0, threshold: float = 16.0,
+                 refs_per_access: int = 1):
+        self.work_per_ref = work_per_ref
+        self._pending = 0.0
+        self.threshold = threshold
+        # How many spatially-local word references each emitted access stands
+        # for (real code walks several words of a line per element touched).
+        self.refs_per_access = refs_per_access
+
+    def read(self, addr: int, refs: int = 0):
+        k = refs or self.refs_per_access
+        self._pending += self.work_per_ref * k
+        if self._pending >= self.threshold:
+            yield ("c", self._pending)
+            self._pending = 0.0
+        yield ("r", addr, k) if k > 1 else ("r", addr)
+
+    def write(self, addr: int, refs: int = 0):
+        k = refs or self.refs_per_access
+        self._pending += self.work_per_ref * k
+        if self._pending >= self.threshold:
+            yield ("c", self._pending)
+            self._pending = 0.0
+        yield ("w", addr, k) if k > 1 else ("w", addr)
+
+    def compute(self, cycles: float):
+        self._pending += cycles
+        if self._pending >= self.threshold:
+            yield ("c", self._pending)
+            self._pending = 0.0
+
+    def flush(self):
+        if self._pending > 0:
+            yield ("c", self._pending)
+            self._pending = 0.0
+
+
+def rng_stream(seed: int):
+    """A tiny deterministic PRNG (xorshift) — keeps workloads reproducible
+    without pulling in module-level random state."""
+    state = (seed * 2654435761 + 1) & 0xFFFFFFFF
+
+    def next_u32() -> int:
+        nonlocal state
+        state ^= (state << 13) & 0xFFFFFFFF
+        state ^= state >> 17
+        state ^= (state << 5) & 0xFFFFFFFF
+        return state
+
+    return next_u32

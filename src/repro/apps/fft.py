@@ -1,0 +1,140 @@
+"""FFT — transform methods, high radix (Table 3.5).
+
+The radix-sqrt(N) six-step 1-D FFT of [RSG93]/[WSH94]: the N complex points
+are viewed as an n x n matrix (n = sqrt(N)); the algorithm alternates
+all-to-all transposes with independent row FFTs.  Each processor owns a
+contiguous band of rows, allocated in its local memory, so the transpose
+reads columns of data that were just *written* by their home processors —
+which is why the paper's FFT read misses are dominated by "remote dirty at
+home" (62.1% in Table 4.1).
+
+Paper problem size: 64K complex points.  Default here: 4K points (the
+simulator is pure Python); the working-set regimes are recreated by scaling
+the processor cache in the experiment configs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, Tuple
+
+from ..common.errors import ConfigError
+from ..common.params import MachineConfig
+from .base import OpBuilder, Workload
+from .placement import AddressSpace
+
+COMPLEX_BYTES = 16  # one double-precision complex point
+
+__all__ = ["FFTWorkload"]
+
+
+class FFTWorkload(Workload):
+    name = "fft"
+    paper_problem = "64K complex points, radix sqrt(N)"
+
+    def __init__(self, points: int = 16384, butterfly_work: float = 4.0,
+                 transpose_work: float = 2.0, placement: str = "block"):
+        n = int(round(math.sqrt(points)))
+        if n * n != points or n & (n - 1):
+            raise ConfigError("points must be an even power of two")
+        if placement not in ("block", "node0"):
+            raise ConfigError("placement must be 'block' or 'node0'")
+        self.points = points
+        self.n = n
+        self.butterfly_work = butterfly_work
+        self.transpose_work = transpose_work
+        # 'node0' allocates every array from node zero's memory — the
+        # Section 4.3 hot-spotting experiment.
+        self.placement = placement
+
+    def build(self, config: MachineConfig):
+        space = AddressSpace(config)
+        n = self.n
+        nbytes = self.points * COMPLEX_BYTES
+        if self.placement == "node0":
+            policy, node = "node", 0
+        else:
+            # Row-band allocation: processor p's rows live in its local memory.
+            policy, node = "block", None
+        src = space.alloc(nbytes, policy=policy, node=node, name="fft.src")
+        dst = space.alloc(nbytes, policy=policy, node=node, name="fft.dst")
+        roots = space.alloc(n * COMPLEX_BYTES,
+                            policy="node" if node is not None else "round_robin",
+                            node=node, name="fft.roots")
+        return [
+            self._stream(config, cpu, src, dst, roots)
+            for cpu in range(config.n_procs)
+        ]
+
+    def _stream(self, config: MachineConfig, cpu: int, src, dst, roots
+                ) -> Iterator[Tuple]:
+        n = self.n
+        P = config.n_procs
+        rows = range(cpu * n // P, (cpu + 1) * n // P)
+        # Each complex point is two doubles; a butterfly also touches
+        # temporaries, so every element access stands for two word references.
+        ops = OpBuilder(work_per_ref=0.5, refs_per_access=2)
+
+        def elem(region, row: int, col: int) -> int:
+            return region.addr((row * n + col) * COMPLEX_BYTES)
+
+        def row_fft(region, row: int):
+            """In-place iterative butterflies over one row: log2(n) passes."""
+            stages = int(math.log2(n))
+            for _stage in range(stages):
+                for k in range(n):
+                    yield from ops.read(elem(region, row, k))
+                    yield from ops.compute(self.butterfly_work)
+                    yield from ops.write(elem(region, row, k))
+
+        def transpose(src_region, dst_region):
+            """Read columns of src (other processors' rows), write own rows.
+
+            As in the SPLASH-2 FFT, processors stagger their starting row so
+            the all-to-all communication does not sweep every home node in
+            lock-step (which would create a rolling hot spot)."""
+            stagger = cpu * (n // P)
+            for i in rows:
+                for jj in range(n):
+                    j = (jj + stagger) % n
+                    yield from ops.read(elem(src_region, j, i))
+                    yield from ops.compute(self.transpose_work)
+                    yield from ops.write(elem(dst_region, i, j))
+
+        def twiddle(region):
+            for i in rows:
+                for j in range(n):
+                    yield from ops.read(roots.addr((j % n) * COMPLEX_BYTES))
+                    yield from ops.read(elem(region, i, j))
+                    yield from ops.write(elem(region, i, j))
+
+        # Phase 0: initialize own rows of src (cold, local).
+        for i in rows:
+            for j in range(n):
+                yield from ops.write(elem(src, i, j))
+        yield from ops.flush()
+        yield ("b", "fft.init")
+        # Step 1: transpose src -> dst.
+        yield from transpose(src, dst)
+        yield from ops.flush()
+        yield ("b", "fft.t1")
+        # Step 2: row FFTs on dst.
+        for i in rows:
+            yield from row_fft(dst, i)
+        # Step 3: twiddle multiply.
+        yield from twiddle(dst)
+        yield from ops.flush()
+        yield ("b", "fft.fft1")
+        # Step 4: transpose dst -> src.
+        yield from transpose(dst, src)
+        yield from ops.flush()
+        yield ("b", "fft.t2")
+        # Step 5: row FFTs on src.
+        for i in rows:
+            yield from row_fft(src, i)
+        yield from ops.flush()
+        yield ("b", "fft.fft2")
+        # Step 6: final transpose src -> dst.
+        yield from transpose(src, dst)
+        yield from ops.flush()
+        yield ("b", "fft.done")

@@ -1,0 +1,6 @@
+"""Set-associative caches and miss status holding registers."""
+
+from .mshr import MSHREntry, MSHRFile
+from .setassoc import CacheState, CacheStats, SetAssocCache
+
+__all__ = ["MSHREntry", "MSHRFile", "CacheState", "CacheStats", "SetAssocCache"]

@@ -1,0 +1,90 @@
+"""Miss Status Holding Registers for the compute processor.
+
+The paper's processor supports up to 4 outstanding cache misses, merges a
+write into an outstanding miss to the same line, and stalls a write whose
+line maps to the same cache index as — but has a different tag than — an
+outstanding miss (Section 3.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .setassoc import SetAssocCache
+
+__all__ = ["MSHREntry", "MSHRFile"]
+
+
+class MSHREntry:
+    """One outstanding miss."""
+
+    __slots__ = (
+        "line_addr", "is_write", "issue_time", "merged_writes", "waiters",
+        "invalidate_on_fill", "needs_upgrade",
+    )
+
+    def __init__(self, line_addr: int, is_write: bool, issue_time: float):
+        self.line_addr = line_addr
+        self.is_write = is_write
+        self.issue_time = issue_time
+        self.merged_writes = 0
+        self.waiters: List = []  # events to trigger on completion
+        # An invalidation raced past the reply: install then drop the line.
+        self.invalidate_on_fill = False
+        # A write merged into an outstanding read: upgrade after the fill.
+        self.needs_upgrade = False
+
+
+class MSHRFile:
+    """A small fully-associative file of outstanding misses."""
+
+    def __init__(self, capacity: int, cache: SetAssocCache):
+        self.capacity = capacity
+        self._cache = cache
+        self._entries: Dict[int, MSHREntry] = {}
+        self.peak_outstanding = 0
+        self.total_allocations = 0
+        self.total_merges = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def lookup(self, line_addr: int) -> Optional[MSHREntry]:
+        return self._entries.get(line_addr)
+
+    def index_conflict(self, line_addr: int) -> bool:
+        """True when an outstanding miss maps to the same cache index but a
+        different tag — the case that stalls even a non-blocking write."""
+        index = self._cache.set_index(line_addr)
+        for other in self._entries:
+            if other != line_addr and self._cache.set_index(other) == index:
+                return True
+        return False
+
+    def allocate(self, line_addr: int, is_write: bool, now: float) -> MSHREntry:
+        if line_addr in self._entries:
+            raise KeyError(f"duplicate MSHR for line {line_addr:#x}")
+        if self.is_full:
+            raise OverflowError("MSHR file full")
+        entry = MSHREntry(line_addr, is_write, now)
+        self._entries[line_addr] = entry
+        self.total_allocations += 1
+        self.peak_outstanding = max(self.peak_outstanding, len(self._entries))
+        return entry
+
+    def merge_write(self, line_addr: int) -> MSHREntry:
+        entry = self._entries[line_addr]
+        entry.merged_writes += 1
+        self.total_merges += 1
+        return entry
+
+    def complete(self, line_addr: int) -> MSHREntry:
+        """Retire the miss; caller fires ``entry.waiters``."""
+        return self._entries.pop(line_addr)
+
+    def outstanding_lines(self) -> List[int]:
+        return list(self._entries)

@@ -1,0 +1,191 @@
+"""Set-associative cache with LRU replacement.
+
+Used for the processor's secondary cache (coherence states INVALID / SHARED /
+DIRTY) and, with plain valid/dirty states, for the MAGIC data cache.  The
+cache tracks *presence and state* only — the simulator never needs data
+values, just like a timing-accurate trace-driven simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..common.errors import ConfigError
+from ..common.params import CacheConfig
+
+__all__ = ["CacheState", "SetAssocCache", "CacheStats"]
+
+
+class CacheState:
+    """Line states.  SHARED = clean, readable; DIRTY = modified, exclusive."""
+
+    INVALID = "I"
+    SHARED = "S"
+    DIRTY = "M"
+
+
+class CacheStats:
+    """Hit/miss counters for one cache."""
+
+    __slots__ = (
+        "read_hits", "read_misses", "write_hits", "write_misses",
+        "evictions_clean", "evictions_dirty", "invalidations_received",
+    )
+
+    def __init__(self) -> None:
+        self.read_hits = 0
+        self.read_misses = 0
+        self.write_hits = 0
+        self.write_misses = 0
+        self.evictions_clean = 0
+        self.evictions_dirty = 0
+        self.invalidations_received = 0
+
+    @property
+    def references(self) -> int:
+        return self.read_hits + self.read_misses + self.write_hits + self.write_misses
+
+    @property
+    def misses(self) -> int:
+        return self.read_misses + self.write_misses
+
+    @property
+    def miss_rate(self) -> float:
+        refs = self.references
+        return self.misses / refs if refs else 0.0
+
+    @property
+    def read_miss_rate(self) -> float:
+        reads = self.read_hits + self.read_misses
+        return self.read_misses / reads if reads else 0.0
+
+
+class SetAssocCache:
+    """LRU set-associative cache keyed by *line address* (byte address of the
+    first byte of the line)."""
+
+    def __init__(self, config: CacheConfig, name: str = "cache"):
+        if config.associativity < 1:
+            raise ConfigError("associativity must be >= 1")
+        self.config = config
+        self.name = name
+        self.line_bytes = config.line_bytes
+        self.n_sets = config.n_sets
+        self.associativity = config.associativity
+        # Each set: ordered dict-like list of (tag, state); index 0 = MRU.
+        self._sets: List[Dict[int, str]] = [dict() for _ in range(self.n_sets)]
+        self.stats = CacheStats()
+
+    # -- address helpers ------------------------------------------------------
+
+    def line_address(self, address: int) -> int:
+        return address - (address % self.line_bytes)
+
+    def set_index(self, line_addr: int) -> int:
+        return (line_addr // self.line_bytes) % self.n_sets
+
+    def tag_of(self, line_addr: int) -> int:
+        return line_addr // (self.line_bytes * self.n_sets)
+
+    # -- state queries ---------------------------------------------------------
+
+    def state_of(self, line_addr: int) -> str:
+        """Current state of the line; INVALID when absent."""
+        cache_set = self._sets[self.set_index(line_addr)]
+        return cache_set.get(self.tag_of(line_addr), CacheState.INVALID)
+
+    def contains(self, line_addr: int) -> bool:
+        return self.state_of(line_addr) != CacheState.INVALID
+
+    def lines_in_set(self, line_addr: int) -> List[int]:
+        """Line addresses resident in the set that ``line_addr`` maps to."""
+        index = self.set_index(line_addr)
+        base = self.line_bytes * self.n_sets
+        return [tag * base + index * self.line_bytes for tag in self._sets[index]]
+
+    def set_is_full(self, line_addr: int) -> bool:
+        return len(self._sets[self.set_index(line_addr)]) >= self.associativity
+
+    # -- mutation ----------------------------------------------------------------
+
+    def touch(self, line_addr: int) -> None:
+        """Mark the line MRU (it must be present)."""
+        index = self.set_index(line_addr)
+        tag = self.tag_of(line_addr)
+        cache_set = self._sets[index]
+        state = cache_set.pop(tag)
+        cache_set[tag] = state  # re-insert at MRU position (dicts are ordered)
+
+    def access(self, line_addr: int, is_write: bool) -> str:
+        """Look up a CPU reference: updates LRU and hit/miss statistics.
+
+        Returns the *pre-access* state.  A write to a SHARED line is counted
+        as a write miss (it needs an upgrade); the caller performs the
+        coherence action and then updates the state.
+        """
+        state = self.state_of(line_addr)
+        if state == CacheState.INVALID:
+            if is_write:
+                self.stats.write_misses += 1
+            else:
+                self.stats.read_misses += 1
+        elif is_write and state == CacheState.SHARED:
+            self.stats.write_misses += 1  # upgrade required
+            self.touch(line_addr)
+        else:
+            if is_write:
+                self.stats.write_hits += 1
+            else:
+                self.stats.read_hits += 1
+            self.touch(line_addr)
+        return state
+
+    def fill(self, line_addr: int, state: str) -> Optional[Tuple[int, str]]:
+        """Install a line; returns ``(victim_line_addr, victim_state)`` if a
+        resident line had to be evicted, else None."""
+        index = self.set_index(line_addr)
+        tag = self.tag_of(line_addr)
+        cache_set = self._sets[index]
+        victim: Optional[Tuple[int, str]] = None
+        if tag in cache_set:
+            cache_set.pop(tag)
+        elif len(cache_set) >= self.associativity:
+            victim_tag = next(iter(cache_set))  # LRU = oldest insertion
+            victim_state = cache_set.pop(victim_tag)
+            victim_addr = victim_tag * self.line_bytes * self.n_sets + index * self.line_bytes
+            if victim_state == CacheState.DIRTY:
+                self.stats.evictions_dirty += 1
+            else:
+                self.stats.evictions_clean += 1
+            victim = (victim_addr, victim_state)
+        cache_set[tag] = state
+        return victim
+
+    def set_state(self, line_addr: int, state: str) -> None:
+        """Change the state of a resident line (no LRU update)."""
+        index = self.set_index(line_addr)
+        tag = self.tag_of(line_addr)
+        cache_set = self._sets[index]
+        if tag not in cache_set:
+            raise KeyError(f"line {line_addr:#x} not resident in {self.name}")
+        cache_set[tag] = state
+
+    def invalidate(self, line_addr: int) -> str:
+        """Remove a line (external invalidation); returns its prior state."""
+        index = self.set_index(line_addr)
+        tag = self.tag_of(line_addr)
+        prior = self._sets[index].pop(tag, CacheState.INVALID)
+        if prior != CacheState.INVALID:
+            self.stats.invalidations_received += 1
+        return prior
+
+    # -- inspection -----------------------------------------------------------
+
+    def resident_lines(self) -> Iterator[Tuple[int, str]]:
+        base = self.line_bytes * self.n_sets
+        for index, cache_set in enumerate(self._sets):
+            for tag, state in cache_set.items():
+                yield tag * base + index * self.line_bytes, state
+
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._sets)

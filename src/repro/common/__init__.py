@@ -1,0 +1,7 @@
+"""Shared configuration, constants and errors."""
+
+from .errors import ConfigError, PPError, ProtocolError, ReproError, WorkloadError
+from .params import MachineConfig, flash_config, ideal_config
+
+__all__ = ["ConfigError", "PPError", "ProtocolError", "ReproError",
+           "WorkloadError", "MachineConfig", "flash_config", "ideal_config"]

@@ -1,0 +1,21 @@
+"""Exception hierarchy for the FLASH reproduction."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigError(ReproError):
+    """An invalid machine or workload configuration."""
+
+
+class ProtocolError(ReproError):
+    """The coherence protocol reached an inconsistent state."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator produced an invalid operation."""
+
+
+class PPError(ReproError):
+    """Protocol-processor toolchain or emulator failure."""

@@ -1,0 +1,29 @@
+"""Fundamental constants of the FLASH machine model.
+
+All times in the model are expressed in 10 ns *system cycles* (the 100 MHz
+MAGIC clock), exactly as in the paper.
+"""
+
+CACHE_LINE_BYTES = 128          # both machines use 128-byte lines
+WORDS_PER_LINE = 16             # 64-bit (8-byte) words per line
+MEMORY_BUS_BYTES = 8            # 64-bit path to the memory system
+PAGE_BYTES = 4096               # virtual page size used by the allocator
+DIRECTORY_HEADER_BYTES = 8      # one header per 128-byte memory line
+
+KB = 1024
+MB = 1024 * 1024
+
+CYCLE_NS = 10                   # one system cycle == 10 ns
+PROCESSOR_MIPS = 400            # the aggressive compute processor
+# The 400-MIPS processor can issue up to 4 memory requests per system cycle.
+PEAK_REFS_PER_CYCLE = 4
+
+
+def line_of(address: int) -> int:
+    """Cache-line number containing ``address``."""
+    return address // CACHE_LINE_BYTES
+
+
+def line_address(address: int) -> int:
+    """Address of the first byte of the line containing ``address``."""
+    return address - (address % CACHE_LINE_BYTES)

@@ -1,0 +1,5 @@
+"""Experiment harness: per-table experiments, microbenchmarks, rendering."""
+
+from . import experiments, micro, tables
+
+__all__ = ["experiments", "micro", "tables"]

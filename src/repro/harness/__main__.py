@@ -1,0 +1,112 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.harness list
+    python -m repro.harness latencies            # Table 3.3
+    python -m repro.harness run fft              # one app, FLASH vs ideal
+    python -m repro.harness run mp3d --regime small --procs 16
+    python -m repro.harness suite                # Figure 4.1 sweep
+
+The full per-table reproduction lives in ``benchmarks/`` (pytest-benchmark);
+this CLI is for interactive exploration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..common.params import flash_config, ideal_config
+from .experiments import APP_ORDER, REGIMES, run_flash_ideal, slowdown
+from .micro import PAPER_TABLE_3_3, measure_latencies
+from .tables import render_table
+from ..protocol.coherence import MissClass
+
+
+def cmd_list(_args) -> int:
+    print("applications:", ", ".join(APP_ORDER))
+    print("regimes:")
+    for regime, sizes in REGIMES.items():
+        cells = ", ".join(
+            f"{app}={size // 1024}KB" if size else f"{app}=N/A"
+            for app, size in sizes.items()
+        )
+        print(f"  {regime:7} {cells}")
+    return 0
+
+
+def cmd_latencies(_args) -> int:
+    flash = measure_latencies(flash_config(16))
+    ideal = measure_latencies(ideal_config(16))
+    rows = []
+    for cls in MissClass.ALL:
+        paper_ideal, paper_flash, paper_occ = PAPER_TABLE_3_3[cls]
+        rows.append((cls, ideal[cls].latency, paper_ideal,
+                     flash[cls].latency, paper_flash,
+                     flash[cls].pp_occupancy, paper_occ))
+    print(render_table(
+        "Table 3.3 - no-contention miss latencies (10ns cycles)",
+        ["class", "ideal", "paper", "FLASH", "paper", "PP occ", "paper"],
+        rows,
+    ))
+    return 0
+
+
+def cmd_run(args) -> int:
+    flash, ideal = run_flash_ideal(args.app, regime=args.regime,
+                                   n_procs=args.procs)
+    rows = []
+    for result in (flash, ideal):
+        b = result.breakdown
+        rows.append((
+            result.kind, f"{result.execution_time:.0f}",
+            f"{result.miss_rate:.2%}", f"{result.avg_pp_occupancy:.1%}",
+            f"{result.avg_memory_occupancy:.1%}",
+            f"{b['busy'] / max(1e-9, sum(b.values())):.1%}",
+        ))
+    print(render_table(
+        f"{args.app} @ {args.regime}",
+        ["machine", "exec time", "miss rate", "PP occ", "mem occ", "util"],
+        rows,
+    ))
+    print(f"\ncost of flexibility: {slowdown(flash, ideal):.1%}")
+    return 0
+
+
+def cmd_suite(args) -> int:
+    rows = []
+    for app in APP_ORDER:
+        flash, ideal = run_flash_ideal(app, regime=args.regime)
+        rows.append((app, f"{flash.execution_time:.0f}",
+                     f"{ideal.execution_time:.0f}",
+                     f"{slowdown(flash, ideal):.1%}"))
+        print(f"  {app}: {slowdown(flash, ideal):.1%}", file=sys.stderr)
+    print(render_table(
+        f"FLASH vs ideal, regime={args.regime} (paper: 2-12% optimized,"
+        " ~25% MP3D)",
+        ["app", "FLASH", "ideal", "slowdown"], rows,
+    ))
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.harness")
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list").set_defaults(fn=cmd_list)
+    sub.add_parser("latencies").set_defaults(fn=cmd_latencies)
+    run = sub.add_parser("run")
+    run.add_argument("app", choices=APP_ORDER)
+    run.add_argument("--regime", default="large",
+                     choices=["large", "medium", "small"])
+    run.add_argument("--procs", type=int, default=None)
+    run.set_defaults(fn=cmd_run)
+    suite = sub.add_parser("suite")
+    suite.add_argument("--regime", default="large")
+    suite.set_defaults(fn=cmd_suite)
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

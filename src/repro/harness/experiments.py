@@ -1,0 +1,150 @@
+"""Experiment definitions: one entry per paper table/figure.
+
+The paper's three cache regimes (1 MB / 64 KB / 4 KB, with 16 KB for Ocean at
+the small size) are mapped onto cache sizes scaled to our default problem
+sizes, preserving the working-set relationships: at ``large`` every working
+set fits (only cold/communication misses, as the paper observes at 1 MB); at
+``medium`` it mostly does not; at ``small`` capacity misses dominate.  Set
+``REPRO_SCALE=paper`` to run the paper's literal sizes (slow in pure Python).
+
+Results are memoized per configuration so benchmark modules can share runs.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional, Tuple
+
+from ..apps import (
+    BarnesWorkload, FFTWorkload, LUWorkload, MP3DWorkload, OceanWorkload,
+    OSWorkload, RadixWorkload,
+)
+from ..common.params import MachineConfig, flash_config, ideal_config
+from ..common.units import KB, MB
+from ..machine import Machine
+from ..pp.costmodel import EmulatedCostModel
+from ..stats.report import RunResult
+
+__all__ = [
+    "APP_ORDER", "REGIMES", "app_workload", "regime_cache_bytes",
+    "run_app", "run_flash_ideal", "clear_cache",
+]
+
+APP_ORDER = ["barnes", "fft", "lu", "mp3d", "ocean", "os", "radix"]
+
+#: regime -> per-app cache size in bytes.  The paper's N/A cells (Section
+#: 3.4: LU and OS not run at small sizes, Barnes not at 4 KB, Ocean at 16 KB
+#: instead of 4 KB) are preserved as None.
+REGIMES: Dict[str, Dict[str, Optional[int]]] = {
+    "large": {app: 1 * MB for app in APP_ORDER},
+    "medium": {
+        "barnes": 8 * KB, "fft": 4 * KB, "lu": None, "mp3d": 8 * KB,
+        "ocean": 8 * KB, "os": None, "radix": 8 * KB,
+    },
+    "small": {
+        # FFT's 2 KB row must not fit entirely (the paper's 4 KB cache did
+        # not hold a 64K-point row either), hence 1 KB here.
+        "barnes": None, "fft": 1 * KB, "lu": None, "mp3d": 2 * KB,
+        "ocean": 4 * KB,  # the paper's Ocean exception (16 KB vs 4 KB)
+        "os": None, "radix": 2 * KB,
+    },
+}
+
+#: regime label -> the paper's cache size, for table headers.
+PAPER_REGIME_LABEL = {"large": "1 MB", "medium": "64 KB", "small": "4 KB"}
+
+_PAPER_SCALE = os.environ.get("REPRO_SCALE", "quick") == "paper"
+
+
+def default_procs(app: str) -> int:
+    return 8 if app == "os" else 16
+
+
+def app_workload(app: str, paper_scale: Optional[bool] = None, **overrides):
+    """Construct a workload with default (or paper-literal) problem size."""
+    use_paper = _PAPER_SCALE if paper_scale is None else paper_scale
+    if use_paper:
+        paper_sizes = {
+            "barnes": dict(bodies=8192, iterations=2),
+            "fft": dict(points=65536),
+            "lu": dict(matrix=512, block=16),
+            "mp3d": dict(particles=50000, steps=4),
+            "ocean": dict(grid=258, n_grids=25, sweeps=2),
+            "os": dict(tasks_per_proc=8),
+            "radix": dict(keys=262144, radix=256, key_bits=16),
+        }
+        merged = dict(paper_sizes[app])
+        merged.update(overrides)
+        overrides = merged
+    factories = {
+        "barnes": BarnesWorkload, "fft": FFTWorkload, "lu": LUWorkload,
+        "mp3d": MP3DWorkload, "ocean": OceanWorkload, "os": OSWorkload,
+        "radix": RadixWorkload,
+    }
+    return factories[app](**overrides)
+
+
+def regime_cache_bytes(app: str, regime: str) -> Optional[int]:
+    return REGIMES[regime][app]
+
+
+# -- memoized runs -----------------------------------------------------------------------
+
+_cache: Dict[Tuple, RunResult] = {}
+
+
+def clear_cache() -> None:
+    _cache.clear()
+
+
+def run_app(
+    app: str,
+    kind: str = "flash",
+    regime: str = "large",
+    n_procs: Optional[int] = None,
+    workload_overrides: Optional[dict] = None,
+    config_overrides: Optional[dict] = None,
+    pp_backend: Optional[str] = None,
+) -> RunResult:
+    """Run one application on one machine; memoized."""
+    n_procs = n_procs if n_procs is not None else default_procs(app)
+    cache_bytes = regime_cache_bytes(app, regime)
+    if cache_bytes is None:
+        raise ValueError(f"{app} is not run at the {regime} regime (paper N/A)")
+    workload_overrides = dict(workload_overrides or {})
+    config_overrides = dict(config_overrides or {})
+    key = (
+        app, kind, regime, n_procs, pp_backend,
+        tuple(sorted(workload_overrides.items())),
+        tuple(sorted(config_overrides.items())),
+    )
+    if key in _cache:
+        return _cache[key]
+    make = flash_config if kind == "flash" else ideal_config
+    config = make(n_procs=n_procs, cache_size=cache_bytes)
+    if config_overrides:
+        config = config.with_changes(**config_overrides)
+    cost_model = None
+    if pp_backend == "emulator" and kind == "flash":
+        config = config.with_changes(pp_backend="emulator")
+        cost_model = EmulatedCostModel(config)
+    workload = app_workload(app, **workload_overrides)
+    machine = Machine(config, cost_model=cost_model)
+    result = machine.run(workload.build(config))
+    if cost_model is not None:
+        result.pp_dynamic = cost_model.dynamic_totals()
+    _cache[key] = result
+    return result
+
+
+def run_flash_ideal(app: str, regime: str = "large", **kwargs
+                    ) -> Tuple[RunResult, RunResult]:
+    """The core comparison: the same workload on FLASH and the ideal machine."""
+    flash = run_app(app, kind="flash", regime=regime, **kwargs)
+    ideal = run_app(app, kind="ideal", regime=regime, **kwargs)
+    return flash, ideal
+
+
+def slowdown(flash: RunResult, ideal: RunResult) -> float:
+    """FLASH execution-time increase over the ideal machine (fractional)."""
+    return flash.execution_time / ideal.execution_time - 1.0

@@ -1,0 +1,158 @@
+"""No-contention latency microbenchmarks (Table 3.3 / Figure 3.1).
+
+Each scenario stages the directory/cache state for one read-miss class, then
+has processor 0 issue a single read and measures its stall time — exactly the
+paper's definition: cycles from miss detection to the first 8 bytes on the
+processor bus.  The MAGIC data cache is disabled (Table 3.3 assumes warm
+protocol caches), and the per-class total PP occupancy is measured alongside.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..common.params import MachineConfig, MagicCacheConfig, flash_config, ideal_config
+from ..common.units import MB
+from ..machine import Machine
+from ..protocol.coherence import MissClass
+
+__all__ = ["LatencyMeasurement", "measure_latencies", "PAPER_TABLE_3_3"]
+
+#: Paper Table 3.3: (ideal latency, FLASH latency, FLASH PP occupancy).
+PAPER_TABLE_3_3 = {
+    MissClass.LOCAL_CLEAN: (24, 27, 11),
+    MissClass.LOCAL_DIRTY_REMOTE: (100, 143, 53),
+    MissClass.REMOTE_CLEAN: (92, 111, 16),
+    MissClass.REMOTE_DIRTY_HOME: (100, 145, 53),
+    MissClass.REMOTE_DIRTY_REMOTE: (136, 191, 61),
+}
+
+#: How each class is staged: (home node, writer node or None).  The reader is
+#: always processor 0; misses are classified at the home.
+_SCENARIOS = {
+    MissClass.LOCAL_CLEAN: (0, None),
+    MissClass.LOCAL_DIRTY_REMOTE: (0, 1),
+    MissClass.REMOTE_CLEAN: (1, None),
+    MissClass.REMOTE_DIRTY_HOME: (1, 1),
+    MissClass.REMOTE_DIRTY_REMOTE: (1, 2),
+}
+
+_SETTLE = 2000  # cycles for the staging write to fully retire
+
+
+@dataclass
+class LatencyMeasurement:
+    miss_class: str
+    latency: float
+    pp_occupancy: float
+
+
+def _scenario_workload(config: MachineConfig, home: int, writer, reader: int = 0):
+    """Build op streams staging one miss and measuring one read."""
+    addr = home * config.memory_bytes_per_node + 4096
+
+    def reader_ops():
+        yield ("b", "staged")
+        yield ("r", addr)
+
+    def writer_ops():
+        # Read first so the write is an upgrade-after-read; either way the
+        # line ends up DIRTY in the writer's cache.
+        yield ("r", addr)
+        yield ("w", addr)
+        yield ("c", _SETTLE)
+        yield ("b", "staged")
+
+    def idle_ops():
+        yield ("c", 1)
+        yield ("b", "staged")
+
+    streams = []
+    for cpu in range(config.n_procs):
+        if cpu == reader:
+            streams.append(reader_ops())
+        elif writer is not None and cpu == writer:
+            streams.append(writer_ops())
+        else:
+            streams.append(idle_ops())
+    return streams
+
+
+def _measure_one(config: MachineConfig, miss_class: str) -> LatencyMeasurement:
+    home, writer = _SCENARIOS[miss_class]
+    machine = Machine(config)
+    workload = _scenario_workload(config, home, writer)
+    # Snapshot handler cycles after staging by sampling at the barrier: we
+    # instead measure the delta over the whole run minus the staging cost,
+    # which is simpler — stage costs are excluded by reading the per-class
+    # totals only for the final read's handlers.  The reliable signal is the
+    # reader's read-stall time, which covers exactly one miss.
+    before = 0.0
+    result = machine.run(workload)
+    reader_times = machine.nodes[0].cpu.times
+    latency = reader_times.read_stall
+    pp_after = sum(node.stats.pp_handler_cycles for node in machine.nodes)
+    # Subtract handler cycles spent during staging by re-running the staging
+    # alone (writer path without the final read).
+    pp_occ = pp_after - _staging_pp_cycles(config, miss_class)
+    return LatencyMeasurement(miss_class, latency, pp_occ)
+
+
+def _staging_pp_cycles(config: MachineConfig, miss_class: str) -> float:
+    home, writer = _SCENARIOS[miss_class]
+    machine = Machine(config)
+    addr = home * config.memory_bytes_per_node + 4096
+
+    def writer_ops():
+        yield ("r", addr)
+        yield ("w", addr)
+        yield ("c", _SETTLE)
+
+    def idle_ops():
+        yield ("c", 1)
+
+    streams = []
+    for cpu in range(config.n_procs):
+        if writer is not None and cpu == writer:
+            streams.append(writer_ops())
+        else:
+            streams.append(idle_ops())
+    machine.run(streams)
+    return sum(node.stats.pp_handler_cycles for node in machine.nodes)
+
+
+def measure_latencies(config: MachineConfig) -> Dict[str, LatencyMeasurement]:
+    """Measure all five read-miss classes for one machine configuration.
+
+    The MDC is disabled for the measurement (no-contention conditions assume
+    warm protocol caches).  Results are memoized per configuration.
+    """
+    cached = _latency_cache.get(config)
+    if cached is not None:
+        return cached
+    cold = config.with_changes(
+        magic_caches=MagicCacheConfig(enabled=False)
+    )
+    result = {cls: _measure_one(cold, cls) for cls in MissClass.ALL}
+    _latency_cache[config] = result
+    return result
+
+
+_latency_cache: Dict[MachineConfig, Dict[str, LatencyMeasurement]] = {}
+
+
+def latency_table(n_procs: int = 16) -> List[Tuple[str, float, float, float]]:
+    """Rows of Table 3.3: (class, ideal latency, FLASH latency, FLASH PP occ)."""
+    ideal = measure_latencies(ideal_config(n_procs))
+    flash = measure_latencies(flash_config(n_procs))
+    rows = []
+    for cls in MissClass.ALL:
+        rows.append((cls, ideal[cls].latency, flash[cls].latency,
+                     flash[cls].pp_occupancy))
+    return rows
+
+
+def miss_latency_lookup(config: MachineConfig) -> Dict[str, float]:
+    """Per-class latencies for CRMT computation."""
+    return {cls: m.latency for cls, m in measure_latencies(config).items()}

@@ -1,0 +1,114 @@
+"""Table rendering and the paper's reference values.
+
+Every benchmark prints its table with the paper's numbers alongside the
+measured ones, so EXPERIMENTS.md can record paper-vs-measured directly from
+bench output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..protocol.coherence import MissClass
+
+__all__ = [
+    "render_table", "PAPER_TABLE_4_1", "PAPER_TABLE_4_2", "PAPER_TABLE_5_1",
+    "PAPER_FIG_4_1_SLOWDOWN", "PAPER_TABLE_5_2", "DIST_ROWS",
+]
+
+DIST_ROWS = [
+    (MissClass.LOCAL_CLEAN, "Local Clean"),
+    (MissClass.LOCAL_DIRTY_REMOTE, "Local Dirty Remote"),
+    (MissClass.REMOTE_CLEAN, "Remote Clean"),
+    (MissClass.REMOTE_DIRTY_HOME, "Remote Dirty at Home"),
+    (MissClass.REMOTE_DIRTY_REMOTE, "Remote Dirty Remote"),
+]
+
+#: Table 4.1 (1 MB caches): miss rate %, distribution %, CRMTs, occupancies %.
+PAPER_TABLE_4_1 = {
+    #            miss   LC    LDR   RC    RDH   RDR   fCRMT iCRMT mem   pp
+    "barnes": (0.06, 2.4, 3.7, 38.7, 3.6, 52.6, 153, 114, 4.2, 5.4),
+    "fft":    (0.64, 20.1, 0.0, 17.7, 62.1, 0.1, 115, 83, 8.2, 14.3),
+    "lu":     (0.05, 1.0, 0.0, 67.1, 31.9, 0.0, 121, 94, 0.8, 1.7),
+    "mp3d":   (6.00, 0.4, 5.9, 3.8, 5.9, 84.0, 182, 130, 7.0, 36.2),
+    "ocean":  (0.91, 51.7, 0.0, 10.5, 37.8, 0.0, 80, 60, 13.0, 17.7),
+    "os":     (0.09, 20.0, 2.7, 58.6, 2.6, 16.1, 109, 86, 9.9, 21.0),
+    "radix":  (0.78, 2.6, 76.0, 16.6, 2.2, 2.6, 136, 98, 8.7, 22.8),
+}
+
+#: Table 4.2 (smaller caches): app -> regime -> (miss rate %, LC, LDR, RC,
+#: RDH, RDR, FLASH CRMT, ideal CRMT, mem occ %, pp occ %).
+PAPER_TABLE_4_2 = {
+    "barnes": {"medium": (0.6, 7.0, 0.1, 91.1, 0.1, 1.7, 107, 88, 9.4, 23.0)},
+    "fft": {
+        "small": (8.7, 64.7, 0.0, 35.3, 0.0, 0.0, 57, 48, 32.6, 36.5),
+        "medium": (1.1, 42.7, 0.0, 45.1, 12.2, 0.0, 79, 64, 10.6, 15.2),
+    },
+    "mp3d": {
+        "small": (7.5, 3.8, 2.8, 50.2, 2.8, 40.4, 142, 108, 8.8, 32.0),
+        "medium": (7.1, 1.4, 4.7, 20.6, 4.7, 68.6, 168, 122, 7.6, 35.6),
+    },
+    "ocean": {
+        "small": (11.4, 95.6, 0.0, 4.0, 0.4, 0.0, 31, 27, 28.0, 29.8),
+        "medium": (2.5, 88.6, 0.0, 7.3, 4.1, 0.0, 38, 32, 20.7, 22.1),
+    },
+    "radix": {
+        "small": (10.0, 91.3, 0.0, 8.2, 0.1, 0.4, 35, 30, 33.5, 35.1),
+        "medium": (4.2, 80.1, 5.9, 11.9, 0.8, 1.3, 47, 39, 29.0, 30.6),
+    },
+}
+
+#: Figure 4.1: normalized execution times (FLASH = 100); the ideal machine's
+#: bar height, i.e. FLASH is 100/ideal - 1 slower.
+PAPER_FIG_4_1_SLOWDOWN = {
+    "barnes": 0.04, "fft": 0.10, "lu": 0.02, "mp3d": 0.25,
+    "ocean": 0.08, "os": 0.10, "radix": 0.07,
+}
+
+#: Table 5.1: app -> (useless %, slowdown-without-speculation %) at 1 MB, and
+#: at the small regime (None = N/A).
+PAPER_TABLE_5_1 = {
+    "barnes": ((54.0, 12.7), None),
+    "fft": ((43.5, 0.9), (5.9, 6.8)),
+    "lu": ((33.5, 0.2), None),
+    "mp3d": ((67.8, 11.8), (37.7, 11.4)),
+    "ocean": ((20.0, 2.2), (1.2, 21.0)),
+    "os": ((21.9, 2.9), None),
+    "radix": ((59.9, 4.8), (18.0, 17.9)),
+}
+
+#: Table 5.2 (1 MB column).
+PAPER_TABLE_5_2 = {
+    "static_kb": 14.8,
+    "dual_issue_efficiency": 1.53,
+    "special_fraction": 0.38,
+    "pairs_per_invocation": 13.5,
+    "handlers_per_miss": 3.69,
+}
+
+
+def render_table(title: str, headers: Sequence[str],
+                 rows: Sequence[Sequence], widths: Optional[List[int]] = None
+                 ) -> str:
+    """Plain-text table, suitable for bench output capture."""
+    columns = len(headers)
+    if widths is None:
+        widths = [
+            max(len(str(headers[c])),
+                max((len(_fmt(row[c])) for row in rows), default=0))
+            for c in range(columns)
+        ]
+    lines = [title]
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(
+            "  ".join(_fmt(cell).ljust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)

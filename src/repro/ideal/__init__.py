@@ -1,0 +1,5 @@
+"""The idealized hardwired node controller (Section 3.1)."""
+
+from .controller import IdealController
+
+__all__ = ["IdealController"]

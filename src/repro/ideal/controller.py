@@ -1,0 +1,172 @@
+"""The idealized hardwired node controller.
+
+Section 3.1: "we replace MAGIC's macropipeline with an idealized controller
+that can process all protocol operations in zero time.  The only delays that
+the ideal machine encounters are those due to contention for shared resources
+(such as the processor bus, memory system, and network) and data transfer
+delays.  We further assume an infinite depth for all network and memory
+system queues."
+
+The controller runs the same protocol engine as MAGIC, but a message is
+processed the instant it arrives, handlers take zero cycles, directory lookup
+is an instantaneous oracle, and nothing ever stalls on queue space.  Memory
+accesses, processor-cache interventions and interface/data-transfer
+latencies remain, as does contention for memory and the network.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..common.params import MachineConfig
+from ..memory.controller import MemoryController
+from ..network.mesh import NetworkPort
+from ..protocol.coherence import Action, NodeProtocolEngine
+from ..protocol.messages import Message, MessageType as MT, TRANSFER_TYPES
+from ..sim.engine import Environment, Event
+from ..sim.queues import BoundedQueue
+from ..stats.breakdown import NodeStats
+
+__all__ = ["IdealController"]
+
+
+class IdealController:
+    """Zero-occupancy oracle controller for one node of the ideal machine."""
+
+    def __init__(
+        self,
+        env: Environment,
+        node_id: int,
+        config: MachineConfig,
+        engine: NodeProtocolEngine,
+        memory: MemoryController,
+        net_port: NetworkPort,
+        stats: NodeStats,
+    ):
+        self.env = env
+        self.node_id = node_id
+        self.config = config
+        self.engine = engine
+        self.memory = memory
+        self.net_port = net_port
+        self.stats = stats
+        self.lat = config.latencies
+        self.pi_in_q = BoundedQueue(env, None, name=f"pi.in[{node_id}]")
+        self.pi_out_q = BoundedQueue(env, None, name=f"pi.out[{node_id}]")
+        self._cpu_deliver: Callable[[Message], None] = lambda msg: None
+        self._cache_busy: Callable[[float], None] = lambda cycles: None
+        self.transfers = None  # TransferDomain, attached by the Node
+        env.process(self._pi_loop(), name=f"ideal.pi[{node_id}]")
+        env.process(self._ni_loop(), name=f"ideal.ni[{node_id}]")
+        env.process(self._pi_out(), name=f"ideal.piout[{node_id}]")
+
+    # -- wiring (same interface as MagicChip) ------------------------------------
+
+    def set_cpu_deliver(self, fn: Callable[[Message], None]) -> None:
+        self._cpu_deliver = fn
+
+    def set_cache_busy(self, fn: Callable[[float], None]) -> None:
+        self._cache_busy = fn
+
+    def pi_submit(self, message: Message):
+        return self.pi_in_q.put(message)
+
+    # -- message intake -------------------------------------------------------------
+
+    def _pi_loop(self):
+        env = self.env
+        while True:
+            message = yield self.pi_in_q.get()
+            yield env.timeout(self.lat.pi_inbound)
+            self._process(message)
+
+    def _ni_loop(self):
+        while True:
+            message = yield self.net_port.in_queue.get()
+            self._process(message)
+
+    def _process(self, message: Message) -> None:
+        self.stats.messages_in += 1
+        if message.mtype in TRANSFER_TYPES:
+            self._execute_transfer(message)
+            return
+        for action in self.engine.process(message):
+            self._execute(action)
+
+    def _execute_transfer(self, message: Message) -> None:
+        """Zero-occupancy block transfer: memory and network costs remain,
+        controller processing takes no time."""
+        env = self.env
+        if message.mtype == MT.XFER_SEND:
+            n_lines = self.transfers.start(message)
+            receiver = message.requester
+
+            def sender():
+                for index in range(n_lines):
+                    line_addr = message.line_addr + index * 128
+                    request = self.memory.read(line_addr)
+                    yield self.memory.submit(request)
+                    out = Message(
+                        MT.XFER_DATA, line_addr, self.node_id, receiver,
+                        self.node_id, nbytes=message.nbytes, uid=message.uid,
+                    )
+                    yield self.net_port.send((out, request.data_event, None))
+
+            env.process(sender(), name=f"ideal.xfer[{self.node_id}]")
+        elif message.mtype == MT.XFER_DATA:
+            last = self.transfers.line_arrived(message)
+            wreq = self.memory.write(message.line_addr)
+            self.memory.submit(wreq)
+            if last:
+                self.transfers.complete(self.node_id, message.src)
+
+    # -- zero-time action execution ----------------------------------------------------
+
+    def _execute(self, action: Action) -> None:
+        env = self.env
+        self.stats.note_handler(action.handler, 0.0)
+        data_ready: Optional[Event] = None
+        if action.cache_retrieve:
+            data_ready = env.timeout(self.lat.intervention_data)
+            self._cache_busy(self.lat.cache_state_retrieve +
+                             self.lat.cache_data_retrieve)
+        elif action.cache_touched:
+            self._cache_busy(self.lat.cache_state_retrieve)
+        if action.needs_memory_data:
+            request = self.memory.read(action.message.line_addr)
+            self.memory.submit(request)  # unbounded queue: never blocks
+            data_ready = request.data_event
+        if action.writes_memory:
+            wreq = self.memory.write(action.message.line_addr)
+            if data_ready is None:
+                self.memory.submit(wreq)
+            else:
+                ready = data_ready
+
+                def writer(req=wreq, ev=ready):
+                    if not ev.triggered:
+                        yield ev
+                    yield self.memory.submit(req)
+
+                env.process(writer(), name=f"ideal.wb[{self.node_id}]")
+        for out in action.sends:
+            attached = data_ready if out.carries_data else None
+            self.net_port.send((out, attached, None))
+        if action.cpu_deliver is not None:
+            self.pi_out_q.put((action.cpu_deliver, data_ready, None))
+
+    # -- processor interface, outbound --------------------------------------------------
+
+    def _pi_out(self):
+        env = self.env
+        while True:
+            message, data_ready, done = yield self.pi_out_q.get()
+            if data_ready is not None and not data_ready.triggered:
+                yield data_ready
+            yield env.timeout(self.lat.pi_outbound)
+            yield env.timeout(self.lat.pi_outbound_bus_transit)
+            self._cpu_deliver(message)
+            if done is not None and not done.triggered:
+                done.succeed()
+            for action in self.engine.replay_stable(message.line_addr):
+                self._execute(action)

@@ -1,0 +1,99 @@
+"""The whole simulated machine: N nodes on a mesh.
+
+`Machine` builds either FLASH or the ideal machine from a
+:class:`~repro.common.params.MachineConfig` and runs a workload — a list of
+per-processor operation streams — to completion, returning a
+:class:`~repro.stats.report.RunResult`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from .common.errors import ConfigError
+from .common.params import MachineConfig, flash_config, ideal_config
+from .msgpass.transfer import TransferDomain
+from .network.mesh import Network
+from .node import Node
+from .processor.sync import SyncDomain
+from .sim.engine import Environment
+from .stats.report import RunResult
+
+__all__ = ["Machine", "run_pair"]
+
+
+class Machine:
+    """An N-node FLASH or ideal machine."""
+
+    def __init__(self, config: MachineConfig, cost_model=None):
+        self.config = config
+        self.env = Environment()
+        self.network = Network(self.env, config)
+        self.sync = SyncDomain(self.env, config.n_procs)
+        self.transfers = TransferDomain(self.env)
+        self.nodes: List[Node] = [
+            Node(self.env, node_id, config, self.network, self.sync,
+                 cost_model=cost_model, transfers=self.transfers)
+            for node_id in range(config.n_procs)
+        ]
+
+    @classmethod
+    def flash(cls, n_procs: int = 16, **kwargs) -> "Machine":
+        return cls(flash_config(n_procs, **kwargs))
+
+    @classmethod
+    def ideal(cls, n_procs: int = 16, **kwargs) -> "Machine":
+        return cls(ideal_config(n_procs, **kwargs))
+
+    def run(self, workload: Sequence[Iterable[Tuple]],
+            until: Optional[float] = None) -> RunResult:
+        """Run one operation stream per processor to completion."""
+        if len(workload) != self.config.n_procs:
+            raise ConfigError(
+                f"workload provides {len(workload)} streams for "
+                f"{self.config.n_procs} processors"
+            )
+        processes = [
+            node.cpu.run(ops) for node, ops in zip(self.nodes, workload)
+        ]
+        finished = self.env.all_of(processes)
+        self.env.run(until=until)
+        if not finished.triggered:
+            raise RuntimeError("simulation ended before all processors finished")
+        if not finished.ok:
+            raise finished.value
+        execution_time = max(node.cpu.times.finish_time for node in self.nodes)
+        return RunResult(self, execution_time)
+
+    def check_directory_invariants(self) -> None:
+        """Post-run sanity: every directory entry is internally consistent
+        and agrees with the processor caches."""
+        for node in self.nodes:
+            directory = node.directory
+            for line_addr in list(directory._entries):
+                directory.check_invariants(line_addr)
+                entry = directory.entry(line_addr)
+                if entry.dirty and entry.owner is not None:
+                    # In a quiesced machine the owner's cache holds the line
+                    # dirty (unless a writeback is still enqueued, which
+                    # cannot happen after run() drained all events).
+                    state = self.nodes[entry.owner].cpu.cache_state_of(line_addr)
+                    if state != "M":
+                        raise AssertionError(
+                            f"dir says node {entry.owner} owns {line_addr:#x} "
+                            f"dirty but its cache state is {state}"
+                        )
+
+
+def run_pair(workload_factory, flash_cfg: MachineConfig,
+             ideal_cfg: MachineConfig) -> Tuple[RunResult, RunResult]:
+    """Run the same workload on FLASH and the ideal machine.
+
+    ``workload_factory(config)`` must return a fresh list of op streams for
+    the given machine configuration (streams are consumed by a run).
+    """
+    flash_machine = Machine(flash_cfg)
+    flash_result = flash_machine.run(workload_factory(flash_cfg))
+    ideal_machine = Machine(ideal_cfg)
+    ideal_result = ideal_machine.run(workload_factory(ideal_cfg))
+    return flash_result, ideal_result

@@ -1,0 +1,8 @@
+"""The MAGIC node controller (Figure 2.2)."""
+
+from .chip import MagicChip, SPECULATIVE_TYPES
+from .costmodel import TableCostModel
+from .mdc import MagicDataCache, MagicInstructionCache
+
+__all__ = ["MagicChip", "SPECULATIVE_TYPES", "TableCostModel",
+           "MagicDataCache", "MagicInstructionCache"]

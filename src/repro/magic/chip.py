@@ -1,0 +1,320 @@
+"""The MAGIC node controller.
+
+Models the control macropipeline of Figure 2.2: messages from the processor
+interface (PI) and network interface (NI) are selected by the *inbox*
+(1-cycle arbitration), looked up in the *jump table* (2 cycles, optionally
+initiating a speculative memory read), and handed to the *protocol processor*
+(PP), which runs one handler at a time.  Handler semantics come from the
+shared :class:`~repro.protocol.coherence.NodeProtocolEngine`; handler
+occupancy comes from a pluggable cost backend (table-driven or PP-emulator-
+derived).  Outgoing messages pass through the outbox (1 cycle) into bounded
+interface queues; data-bearing messages wait for their data buffer to fill
+before the interface transmits them, which is how PP processing overlaps the
+memory access (Figure 3.1).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..common.params import MachineConfig
+from ..memory.controller import MemoryController, MemoryRequest
+from ..network.mesh import NetworkPort
+from ..msgpass.transfer import (
+    XFER_DONE_COST, XFER_PER_LINE_COST, XFER_RECEIVE_COST, XFER_SETUP_COST,
+)
+from ..protocol.coherence import Action, NodeProtocolEngine
+from ..protocol.messages import Message, MessageType as MT, TRANSFER_TYPES
+from ..sim.engine import Environment, Event
+from ..sim.queues import BoundedQueue, CountingResource
+from ..stats.breakdown import NodeStats
+from .mdc import MagicDataCache, MagicInstructionCache
+
+__all__ = ["MagicChip", "SPECULATIVE_TYPES"]
+
+#: Message types for which the jump table initiates a speculative memory read
+#: (requests that may be satisfied from local memory).
+SPECULATIVE_TYPES = frozenset({MT.GET, MT.GETX, MT.REMOTE_GET, MT.REMOTE_GETX})
+
+
+class MagicChip:
+    """One node's MAGIC controller (FLASH machine)."""
+
+    def __init__(
+        self,
+        env: Environment,
+        node_id: int,
+        config: MachineConfig,
+        engine: NodeProtocolEngine,
+        memory: MemoryController,
+        net_port: NetworkPort,
+        cost_model,
+        stats: NodeStats,
+    ):
+        self.env = env
+        self.node_id = node_id
+        self.config = config
+        self.engine = engine
+        self.memory = memory
+        self.net_port = net_port
+        self.cost_model = cost_model
+        self.stats = stats
+        lat = config.latencies
+        limits = config.limits
+        self.lat = lat
+        self.pi_in_q = BoundedQueue(env, limits.incoming_pi_queue,
+                                    name=f"pi.in[{node_id}]")
+        self.pi_out_q = BoundedQueue(env, limits.outgoing_pi_queue,
+                                     name=f"pi.out[{node_id}]")
+        self.pp_q = BoundedQueue(env, limits.inbox_to_pp_queue,
+                                 name=f"inbox.pp[{node_id}]")
+        self.data_buffers = CountingResource(env, limits.data_buffers,
+                                             name=f"bufs[{node_id}]")
+        self.mdc = MagicDataCache(config.magic_caches)
+        self.icache = MagicInstructionCache(config.magic_caches)
+        self._spec: Dict[int, MemoryRequest] = {}
+        self._cpu_deliver: Callable[[Message], None] = lambda msg: None
+        self._cache_busy: Callable[[float], None] = lambda cycles: None
+        self.transfers = None  # TransferDomain, attached by the Node
+        env.process(self._inbox(), name=f"inbox[{node_id}]")
+        env.process(self._pp(), name=f"pp[{node_id}]")
+        env.process(self._pi_out(), name=f"pi.out[{node_id}]")
+
+    # -- wiring ------------------------------------------------------------------
+
+    def set_cpu_deliver(self, fn: Callable[[Message], None]) -> None:
+        self._cpu_deliver = fn
+
+    def set_cache_busy(self, fn: Callable[[float], None]) -> None:
+        """Callback marking the processor cache busy for N cycles (MAGIC
+        interventions contend with the CPU: the "Cont" category)."""
+        self._cache_busy = fn
+
+    def pi_submit(self, message: Message):
+        """CPU-side entry: the returned event fires when the incoming PI
+        queue accepted the message (a full queue stalls the processor)."""
+        return self.pi_in_q.put(message)
+
+    # -- inbox --------------------------------------------------------------------
+
+    def _inbox(self):
+        env = self.env
+        ni_in = self.net_port.in_queue
+        get_pi = self.pi_in_q.get()
+        get_ni = ni_in.get()
+        while True:
+            if get_pi.triggered:
+                message, from_pi = get_pi.value, True
+                get_pi = self.pi_in_q.get()
+            elif get_ni.triggered:
+                message, from_pi = get_ni.value, False
+                get_ni = ni_in.get()
+            else:
+                yield env.any_of([get_pi, get_ni])
+                continue
+            self.stats.messages_in += 1
+            if from_pi:
+                yield env.timeout(self.lat.pi_inbound)
+            if message.carries_data:
+                yield self.data_buffers.acquire()
+            yield env.timeout(self.lat.inbox_arbitration)
+            # The jump table output may initiate a speculative memory read;
+            # it issues as the 2-cycle lookup proceeds.
+            if (
+                self.config.speculative_reads
+                and message.mtype in SPECULATIVE_TYPES
+                and self.engine.home_of(message.line_addr) == self.node_id
+            ):
+                request = self.memory.read(message.line_addr)
+                yield self.data_buffers.acquire()
+                yield self.memory.submit(request)  # full queue stalls the inbox
+                self._spec[message.uid] = request
+                self.stats.spec_issued += 1
+                self._release_buffer_after([request.done_event])
+            yield env.timeout(self.lat.jump_table_lookup)
+            yield self.pp_q.put(message)
+
+    # -- protocol processor ----------------------------------------------------------
+
+    def _pp(self):
+        while True:
+            message = yield self.pp_q.get()
+            spec = self._spec.pop(message.uid, None)
+            if message.mtype in TRANSFER_TYPES:
+                yield from self._execute_transfer(message)
+                continue
+            actions = self.engine.process(message)
+            incoming_buffer = message.carries_data
+            for action in actions:
+                yield from self._execute(action, spec, incoming_buffer)
+                spec = None
+                incoming_buffer = False
+
+    def _execute(self, action: Action, spec: Optional[MemoryRequest],
+                 incoming_buffer: bool):
+        env = self.env
+        start = env.now
+        self.icache.fetch(action.handler)
+        # Directory accesses go through the MDC; misses stall the PP and
+        # consume memory bandwidth.
+        mdc_misses, mdc_writebacks = self.mdc.access_sequence(action.dir_addrs)
+        for _ in range(mdc_writebacks):
+            victim = self.memory.write(action.message.line_addr)
+            yield self.memory.submit(victim)
+        mdc_stall_start = env.now
+        for _ in range(mdc_misses):
+            fill = self.memory.read(action.message.line_addr)
+            yield self.memory.submit(fill)
+            yield fill.data_event
+            extra = self.lat.mdc_miss_penalty - self.lat.memory_access
+            if extra > 0:
+                yield env.timeout(extra)
+        self.stats.pp_mdc_stall += env.now - mdc_stall_start
+        # Handler execution.
+        cost = self.cost_model.cost(action)
+        self.stats.note_handler(action.handler, cost)
+        yield env.timeout(cost)
+        # Resolve the data source for any outgoing data-bearing message.
+        data_ready: Optional[Event] = None
+        if action.cache_retrieve:
+            data_ready = env.timeout(
+                max(0, self.lat.intervention_data - (env.now - start))
+            )
+            self._cache_busy(self.lat.cache_state_retrieve +
+                             self.lat.cache_data_retrieve)
+        elif action.cache_touched:
+            self._cache_busy(self.lat.cache_state_retrieve)
+        if action.needs_memory_data:
+            if spec is not None and not action.memory_stale:
+                data_ready = spec.data_event
+                spec = None
+            else:
+                request = self.memory.read(action.message.line_addr)
+                yield self.data_buffers.acquire()
+                self._release_buffer_after([request.done_event])
+                yield self.memory.submit(request)
+                data_ready = request.data_event
+        if spec is not None:
+            # The speculative read was useless: the memory copy is stale, the
+            # message was deferred, or no data was needed after all.  The
+            # access still occupies the memory system.
+            spec.useless = True
+            self.stats.spec_useless += 1
+        if action.writes_memory:
+            wreq = self.memory.write(action.message.line_addr)
+            if data_ready is None and not incoming_buffer:
+                yield self.memory.submit(wreq)
+            elif data_ready is None:
+                yield self.memory.submit(wreq)
+                self._release_buffer_after([wreq.done_event])
+                incoming_buffer = False
+            else:
+                self._submit_after(wreq, data_ready)
+        # Outgoing messages leave through the outbox into interface queues.
+        for out in action.sends:
+            yield env.timeout(self.lat.outbox)
+            attached = data_ready if out.carries_data else None
+            done: Optional[Event] = None
+            if out.carries_data:
+                done = Event(env)
+                if incoming_buffer:
+                    # Forwarding the data that arrived with the message.
+                    self._release_buffer_after([done])
+                    incoming_buffer = False
+                elif action.cache_retrieve:
+                    yield self.data_buffers.acquire()
+                    self._release_buffer_after([done])
+            yield self.net_port.send((out, attached, done))
+        if action.cpu_deliver is not None:
+            yield env.timeout(self.lat.outbox)
+            done = Event(env)
+            if incoming_buffer:
+                self._release_buffer_after([done])
+                incoming_buffer = False
+            yield self.pi_out_q.put((action.cpu_deliver, data_ready, done))
+        if incoming_buffer:
+            # Data arrived but was fully consumed by the handler (e.g. a
+            # deferred writeback): free its buffer now.
+            self.data_buffers.release()
+        self.stats.pp_busy += env.now - start
+
+    # -- processor interface, outbound ------------------------------------------------
+
+    def _pi_out(self):
+        env = self.env
+        while True:
+            message, data_ready, done = yield self.pi_out_q.get()
+            if data_ready is not None and not data_ready.triggered:
+                yield data_ready
+            yield env.timeout(self.lat.pi_outbound)
+            yield env.timeout(self.lat.pi_outbound_bus_transit)
+            self._cpu_deliver(message)
+            if done is not None and not done.triggered:
+                done.succeed()
+            # Delivering a grant to the local processor may make a line's
+            # directory state consistent again; replay anything deferred on it.
+            actions = self.engine.replay_stable(message.line_addr)
+            if actions:
+                env.process(self._run_actions(actions),
+                            name=f"replay[{self.node_id}]")
+
+    def _run_actions(self, actions):
+        for action in actions:
+            yield from self._execute(action, None, False)
+
+    # -- block-transfer handlers (message passing, [HGD+94]) ------------------------
+
+    def _execute_transfer(self, message: Message):
+        """Run the transfer handlers on the PP: setup + one short handler
+        per payload line at the sender, a write handler per line at the
+        receiver.  The data itself moves through the hardwired datapath
+        (memory <-> data buffer <-> NI), overlapping the handlers."""
+        env = self.env
+        start = env.now
+        if message.mtype == MT.XFER_SEND:
+            n_lines = self.transfers.start(message)
+            yield env.timeout(XFER_SETUP_COST)
+            receiver = message.requester
+            for index in range(n_lines):
+                yield env.timeout(XFER_PER_LINE_COST)
+                line_addr = message.line_addr + index * 128
+                request = self.memory.read(line_addr)
+                yield self.data_buffers.acquire()
+                yield self.memory.submit(request)
+                out = Message(
+                    MT.XFER_DATA, line_addr, self.node_id, receiver,
+                    self.node_id, nbytes=message.nbytes, uid=message.uid,
+                )
+                done = Event(env)
+                self._release_buffer_after([done])
+                yield env.timeout(self.lat.outbox)
+                yield self.net_port.send((out, request.data_event, done))
+        elif message.mtype == MT.XFER_DATA:
+            last = self.transfers.line_arrived(message)
+            yield env.timeout(XFER_RECEIVE_COST)
+            wreq = self.memory.write(message.line_addr)
+            yield self.memory.submit(wreq)
+            # The inbox acquired a buffer for the payload; free it once the
+            # line is in memory.
+            self._release_buffer_after([wreq.done_event])
+            if last:
+                yield env.timeout(XFER_DONE_COST)
+                self.transfers.complete(self.node_id, message.src)
+        self.stats.pp_busy += env.now - start
+
+    # -- helpers ----------------------------------------------------------------------
+
+    def _release_buffer_after(self, events: List[Event]) -> None:
+        def waiter():
+            for event in events:
+                if not event.triggered:
+                    yield event
+            self.data_buffers.release()
+        self.env.process(waiter(), name=f"bufrel[{self.node_id}]")
+
+    def _submit_after(self, request: MemoryRequest, data_ready: Event) -> None:
+        def waiter():
+            if not data_ready.triggered:
+                yield data_ready
+            yield self.memory.submit(request)
+        self.env.process(waiter(), name=f"wb[{self.node_id}]")

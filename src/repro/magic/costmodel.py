@@ -1,0 +1,94 @@
+"""The table-driven PP cost model.
+
+Maps a protocol :class:`~repro.protocol.coherence.Action` to a handler
+occupancy in cycles, using the Table 3.4 numbers in
+:class:`~repro.common.params.HandlerCosts`.  The emulator backend
+(:mod:`repro.pp`) derives the same quantities by executing PP-assembly
+handlers; the two backends are cross-validated in tests.
+
+The Section 5.3 ablations (single-issue PP, no special instructions) are
+expressed as multiplicative slowdowns of every handler, with factors taken
+from the measured dual-issue efficiency (Table 5.2) and the DLX substitution
+costs (Table 5.3).
+"""
+
+from __future__ import annotations
+
+from ..common.params import HandlerCosts, MachineConfig
+from ..protocol.coherence import Action, Handler
+
+__all__ = ["TableCostModel", "DUAL_ISSUE_FACTOR", "SPECIAL_INSTR_FACTOR"]
+
+# Dynamic dual-issue efficiency is ~1.53 (Table 5.2): a single-issue PP
+# executes the same instruction stream in ~1.53x the cycles.
+DUAL_ISSUE_FACTOR = 1.53
+# 38% of ALU/branch instructions are bitfield/branch-on-bit (Table 5.2) and
+# each costs 2-5 DLX instructions to substitute (Table 5.3); the measured
+# handler-level inflation is ~1.35.
+SPECIAL_INSTR_FACTOR = 1.35
+
+
+class TableCostModel:
+    """Handler occupancy lookup for the fast simulation backend."""
+
+    def __init__(self, config: MachineConfig):
+        self.costs = config.handler_costs
+        scale = 1.0
+        if not config.pp_dual_issue:
+            scale *= DUAL_ISSUE_FACTOR
+        if not config.pp_special_instructions:
+            scale *= SPECIAL_INSTR_FACTOR
+        self.scale = scale
+
+    def cost(self, action: Action) -> int:
+        """PP occupancy in cycles for one handler invocation, excluding MDC
+        miss penalties (charged separately by the chip)."""
+        c = self.costs
+        handler = action.handler
+        if handler == Handler.MISS_FORWARD:
+            base = c.forward_to_home
+        elif handler == Handler.GET_HOME_CLEAN:
+            base = c.read_from_memory
+        elif handler in (Handler.GET_HOME_DIRTY_LOCAL, Handler.GETX_HOME_DIRTY_LOCAL):
+            # Retrieve from the local processor cache, reply, and update
+            # memory + directory.
+            base = c.retrieve_from_proc_cache + c.local_writeback
+        elif handler in (Handler.GET_LOCAL_FORWARD, Handler.GETX_LOCAL_FORWARD):
+            base = c.forward_to_home
+        elif handler in (Handler.GET_HOME_FORWARD, Handler.GETX_HOME_FORWARD):
+            base = c.forward_home_to_dirty
+        elif handler in (Handler.GET_OWNER, Handler.GETX_OWNER):
+            base = c.retrieve_from_proc_cache
+        elif handler in (Handler.GETX_HOME_CLEAN, Handler.UPGRADE_HOME):
+            base = c.write_from_memory + c.per_invalidation * action.n_invals
+        elif handler == Handler.SHARING_WB:
+            base = c.sharing_writeback
+        elif handler == Handler.OWNERSHIP_XFER:
+            base = c.remote_writeback
+        elif handler == Handler.REPLY_TO_PROC:
+            base = c.reply_net_to_proc
+        elif handler == Handler.INVAL_RECEIVE:
+            base = c.invalidation_receive
+        elif handler == Handler.ACK_RECEIVE:
+            base = c.ack_receive
+        elif handler == Handler.WRITEBACK_LOCAL:
+            base = c.local_writeback
+        elif handler == Handler.WRITEBACK_REMOTE:
+            base = c.remote_writeback
+        elif handler in (Handler.WRITEBACK_FORWARD, Handler.HINT_FORWARD):
+            base = c.forward_to_home
+        elif handler == Handler.HINT_LOCAL:
+            base = c.local_replacement_hint
+        elif handler == Handler.HINT_REMOTE:
+            position = action.list_position
+            if position is None or position <= 1:
+                base = c.remote_hint_only_sharer
+            else:
+                base = c.remote_hint_base + c.remote_hint_per_link * position
+        elif handler == Handler.NAK_HOME:
+            base = 4
+        elif handler == Handler.DEFERRED:
+            base = 3
+        else:
+            raise KeyError(f"no cost for handler {handler!r}")
+        return max(1, int(round(base * self.scale)))

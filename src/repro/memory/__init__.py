@@ -1,0 +1,5 @@
+"""Main-memory controller model."""
+
+from .controller import MemoryController, MemoryRequest
+
+__all__ = ["MemoryController", "MemoryRequest"]

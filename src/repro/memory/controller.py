@@ -1,0 +1,83 @@
+"""Main-memory controller model.
+
+One controller per node: a 14-cycle access to the first 8 bytes (Table 3.2)
+over a 64-bit path, with a one-deep request queue on FLASH ("PP or inbox
+stalls until queue entry is available", Table 3.1).  The controller is
+occupied for the full line transfer, which is how memory occupancy (Table
+4.1) arises.  The ideal machine uses the same controller with an unbounded
+queue.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..common.params import MachineConfig
+from ..sim.engine import Environment, Event
+from ..sim.queues import BoundedQueue
+
+__all__ = ["MemoryRequest", "MemoryController"]
+
+
+class MemoryRequest:
+    """One read or write of a full cache line."""
+
+    __slots__ = ("is_read", "line_addr", "data_event", "done_event", "useless")
+
+    def __init__(self, env: Environment, is_read: bool, line_addr: int):
+        self.is_read = is_read
+        self.line_addr = line_addr
+        self.data_event = Event(env)   # first 8 bytes available (reads)
+        self.done_event = Event(env)   # controller freed
+        self.useless = False           # marked when a speculative read was wasted
+
+
+class MemoryController:
+    """Serial memory controller with a bounded entry queue."""
+
+    def __init__(self, env: Environment, config: MachineConfig, name: str = "mem"):
+        self.env = env
+        self.config = config
+        self.access_cycles = config.latencies.memory_access
+        self.busy_cycles_per_access = config.memory_busy_cycles
+        self.queue = BoundedQueue(env, config.limits.memory_controller_queue,
+                                  name=f"{name}.q")
+        self.busy_cycles = 0.0
+        self.reads = 0
+        self.writes = 0
+        self.useless_reads = 0
+        env.process(self._serve(), name=f"{name}.serve")
+
+    def submit(self, request: MemoryRequest) -> Event:
+        """Enqueue a request.  The returned event fires when the controller
+        queue accepted it — yielding on it models the PP/inbox stall."""
+        return self.queue.put(request)
+
+    def read(self, line_addr: int) -> MemoryRequest:
+        request = MemoryRequest(self.env, True, line_addr)
+        self.reads += 1
+        return request
+
+    def write(self, line_addr: int) -> MemoryRequest:
+        request = MemoryRequest(self.env, False, line_addr)
+        self.writes += 1
+        return request
+
+    def occupancy(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` the controller was busy."""
+        return self.busy_cycles / elapsed if elapsed > 0 else 0.0
+
+    def _serve(self):
+        while True:
+            request = yield self.queue.get()
+            yield self.env.timeout(self.access_cycles)
+            if not request.data_event.triggered:
+                request.data_event.succeed(self.env.now)
+            remainder = self.busy_cycles_per_access - self.access_cycles
+            if remainder > 0:
+                yield self.env.timeout(remainder)
+            self.busy_cycles += self.busy_cycles_per_access
+            if request.useless:
+                self.useless_reads += 1
+            if not request.done_event.triggered:
+                request.done_event.succeed(self.env.now)

@@ -1,0 +1,5 @@
+"""Block-transfer message passing (the [HGD+94] mechanism)."""
+
+from .transfer import TransferDomain
+
+__all__ = ["TransferDomain"]

@@ -1,0 +1,5 @@
+"""Mesh interconnection network model."""
+
+from .mesh import Network, NetworkPort
+
+__all__ = ["Network", "NetworkPort"]

@@ -1,0 +1,109 @@
+"""Interconnection network model.
+
+As in the paper, every message entering the network is charged a fixed
+average transit latency derived from a two-dimensional mesh (22 cycles at 16
+nodes: one hop in, 2.6 hops across, one hop out, 40 ns per hop, plus 3 header
+cycles).  Each node has a serial outbound link (charging the NI outbound
+processing time per message) and a serial inbound path (charging the NI
+inbound time), with bounded queues on FLASH — a full incoming queue backs
+messages up into the network, a full outgoing queue stalls the PP.
+
+Point-to-point ordering is preserved: two messages from the same source to
+the same destination are delivered in send order, which the protocol's
+requester-side code relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..common.params import MachineConfig
+from ..protocol.messages import Message
+from ..sim.engine import Environment
+from ..sim.queues import BoundedQueue
+
+__all__ = ["Network", "NetworkPort"]
+
+
+class NetworkPort:
+    """One node's attachment to the network."""
+
+    def __init__(self, network: "Network", node_id: int):
+        self._network = network
+        self.node_id = node_id
+        env = network.env
+        limits = network.config.limits
+        lat = network.config.latencies
+        self.out_queue = BoundedQueue(env, limits.outgoing_network_queue,
+                                      name=f"net.out[{node_id}]")
+        self.in_queue = BoundedQueue(env, limits.incoming_network_queue,
+                                     name=f"net.in[{node_id}]")
+        # The "wire": unbounded staging between transit and the inbound NI.
+        self._wire = BoundedQueue(env, None, name=f"net.wire[{node_id}]")
+        self._ni_outbound = lat.ni_outbound
+        self._ni_inbound = lat.ni_inbound
+        env.process(self._outbound(), name=f"ni.out[{node_id}]")
+        env.process(self._inbound(), name=f"ni.in[{node_id}]")
+
+    def send(self, bundle):
+        """Enqueue ``(message, data_ready_event_or_None, done_event_or_None)``.
+
+        Returns the put event; yielding on it models the PP stalling when the
+        outgoing network queue is full.
+        """
+        message = bundle[0]
+        if message.dst == self.node_id:
+            raise ValueError(f"message to self via network: {message}")
+        return self.out_queue.put(bundle)
+
+    def _outbound(self):
+        env = self._network.env
+        while True:
+            bundle = yield self.out_queue.get()
+            message, data_ready, done = bundle
+            if data_ready is not None and not data_ready.triggered:
+                # Pipelined data transfer: the header leaves only once the
+                # line data has begun streaming into the data buffer.
+                yield data_ready
+            yield env.timeout(self._ni_outbound)
+            self._network._launch(message)
+            if done is not None and not done.triggered:
+                done.succeed()
+
+    def _inbound(self):
+        env = self._network.env
+        while True:
+            message = yield self._wire.get()
+            yield env.timeout(self._ni_inbound)
+            # A full incoming queue backs subsequent traffic up into the
+            # network (this put blocks the inbound path).
+            yield self.in_queue.put(message)
+
+
+class Network:
+    """The mesh: fixed-latency transit between ports."""
+
+    def __init__(self, env: Environment, config: MachineConfig):
+        self.env = env
+        self.config = config
+        self.transit_cycles = config.latencies.network_transit
+        self.ports: List[NetworkPort] = [
+            NetworkPort(self, node) for node in range(config.n_procs)
+        ]
+        self.messages_sent = 0
+        self.peak_in_flight = 0
+        self._in_flight = 0
+
+    def port(self, node_id: int) -> NetworkPort:
+        return self.ports[node_id]
+
+    def _launch(self, message: Message) -> None:
+        self.messages_sent += 1
+        self._in_flight += 1
+        self.peak_in_flight = max(self.peak_in_flight, self._in_flight)
+        self.env.process(self._transit(message), name="net.transit")
+
+    def _transit(self, message: Message):
+        yield self.env.timeout(self.transit_cycles)
+        self._in_flight -= 1
+        yield self.ports[message.dst]._wire.put(message)

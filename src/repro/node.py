@@ -1,0 +1,81 @@
+"""Assembly of one FLASH (or ideal) node.
+
+A node contains a compute processor with its secondary cache, a slice of the
+distributed main memory with its directory, and a node controller — MAGIC on
+the FLASH machine, the zero-occupancy oracle on the ideal machine (Figure
+2.1).
+"""
+
+from __future__ import annotations
+
+from .common.params import MachineConfig
+from .ideal.controller import IdealController
+from .magic.chip import MagicChip
+from .magic.costmodel import TableCostModel
+from .memory.controller import MemoryController
+from .network.mesh import Network
+from .processor.cpu import CPU
+from .processor.sync import SyncDomain
+from .protocol.coherence import NodeProtocolEngine
+from .protocol.directory import Directory
+from .protocol.migratory import MigratoryProtocolEngine
+from .sim.engine import Environment
+from .stats.breakdown import NodeStats
+
+__all__ = ["Node"]
+
+
+class Node:
+    """One node: CPU + cache, memory + directory, node controller."""
+
+    def __init__(
+        self,
+        env: Environment,
+        node_id: int,
+        config: MachineConfig,
+        network: Network,
+        sync: SyncDomain,
+        cost_model=None,
+        transfers=None,
+    ):
+        self.env = env
+        self.node_id = node_id
+        self.config = config
+        self.stats = NodeStats()
+        self.memory = MemoryController(env, config, name=f"mem[{node_id}]")
+        self.directory = Directory(
+            node_id, config.memory_bytes_per_node, config.directory_links_per_node
+        )
+        engine_class = (
+            MigratoryProtocolEngine if config.protocol == "migratory"
+            else NodeProtocolEngine
+        )
+        # The engine probes and mutates the processor cache through these
+        # callbacks; self.cpu is attached just below.
+        self.engine = engine_class(
+            node_id=node_id,
+            n_nodes=config.n_procs,
+            directory=self.directory,
+            memory_bytes_per_node=config.memory_bytes_per_node,
+            cache_state_of=lambda line: self.cpu.cache_state_of(line),
+            cache_invalidate=lambda line: self.cpu.external_invalidate(line),
+            cache_downgrade=lambda line: self.cpu.external_downgrade(line),
+        )
+        port = network.port(node_id)
+        if config.is_ideal:
+            self.controller = IdealController(
+                env, node_id, config, self.engine, self.memory, port, self.stats
+            )
+        else:
+            self.controller = MagicChip(
+                env, node_id, config, self.engine, self.memory, port,
+                cost_model if cost_model is not None else TableCostModel(config),
+                self.stats,
+            )
+        self.controller.transfers = transfers
+        self.cpu = CPU(env, node_id, config, self.controller, sync)
+
+    @property
+    def mdc(self):
+        """The MAGIC data cache (None on the ideal machine)."""
+        return getattr(self.controller, "mdc", None)

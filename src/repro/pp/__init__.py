@@ -1,0 +1,13 @@
+"""The protocol processor toolchain: ISA, assembler, dual-issue scheduler,
+emulator (PPsim), DLX lowering, and the coherence handlers."""
+
+from .assembler import assemble
+from .costmodel import CompiledHandlers, EmulatedCostModel
+from .emulator import PPEmulator, RunStats
+from .isa import Instruction, OPCODES
+from .lowering import lower_text
+from .schedule import Pair, Schedule, schedule_pairs
+
+__all__ = ["assemble", "CompiledHandlers", "EmulatedCostModel", "PPEmulator",
+           "RunStats", "Instruction", "OPCODES", "lower_text", "Pair",
+           "Schedule", "schedule_pairs"]

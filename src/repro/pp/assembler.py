@@ -1,0 +1,118 @@
+"""Assembler for PP handler code.
+
+Handlers are written as assembly text (one instruction per line, ``label:``
+lines, ``#`` comments).  The assembler produces a list of
+:class:`~repro.pp.isa.Instruction` with branch targets resolved to
+instruction indices.
+
+Syntax examples::
+
+    lw    r6, 0(r2)          # load the directory header
+    bbs   r6, 0, dirty       # dirty bit set?
+    bfext r7, r6, 8, 8       # extract the owner field
+    addi  r8, r0, 3
+    send  r8, r9
+    done
+  dirty:
+    ...
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+from ..common.errors import PPError
+from .isa import Instruction, OPCODES, reg
+
+__all__ = ["assemble"]
+
+_MEM_RE = re.compile(r"^(-?\d+)\((r\d+)\)$")
+
+
+def _parse_operand(token: str):
+    token = token.strip()
+    if token.startswith("r") and token[1:].isdigit():
+        return ("R", reg(token))
+    match = _MEM_RE.match(token)
+    if match:
+        return ("M", (int(match.group(1)), reg(match.group(2))))
+    try:
+        return ("I", int(token, 0))
+    except ValueError:
+        return ("L", token)
+
+
+def assemble(text: str, name: str = "handler") -> List[Instruction]:
+    """Assemble handler text into resolved instructions."""
+    instructions: List[Instruction] = []
+    labels: Dict[str, int] = {}
+    pending: List[Instruction] = []
+
+    for raw_line in text.splitlines():
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.endswith(":"):
+            label = line[:-1].strip()
+            if label in labels:
+                raise PPError(f"{name}: duplicate label {label!r}")
+            labels[label] = len(instructions)
+            continue
+        parts = line.replace(",", " ").split()
+        op = parts[0].lower()
+        if op not in OPCODES:
+            raise PPError(f"{name}: unknown opcode {op!r} in {line!r}")
+        operands = [_parse_operand(tok) for tok in parts[1:]]
+        instr = Instruction(op=op, source_line=line)
+        if op in ("lw", "sw"):
+            if len(operands) != 2 or operands[0][0] != "R" or operands[1][0] != "M":
+                raise PPError(f"{name}: bad memory operands in {line!r}")
+            instr.rd = operands[0][1]
+            instr.imm, instr.rs = operands[1][1]
+        elif op in ("bbs", "bbc"):
+            instr.rs = operands[0][1]
+            instr.imm = operands[1][1]
+            instr.label = operands[2][1]
+        elif op in ("beq", "bne"):
+            instr.rs = operands[0][1]
+            instr.rt = operands[1][1]
+            instr.label = operands[2][1]
+        elif op == "j":
+            instr.label = operands[0][1]
+        elif op in ("bfext", "bfins"):
+            instr.rd = operands[0][1]
+            instr.rs = operands[1][1]
+            instr.imm = operands[2][1]
+            instr.imm2 = operands[3][1]
+        elif op == "ffs":
+            instr.rd = operands[0][1]
+            instr.rs = operands[1][1]
+        elif op == "send":
+            instr.rs = operands[0][1]
+            instr.rt = operands[1][1]
+        elif op == "lui":
+            instr.rd = operands[0][1]
+            instr.imm = operands[1][1]
+        elif op in ("nop", "done"):
+            pass
+        else:
+            # Three-operand ALU forms: rd, rs, (rt | imm).
+            instr.rd = operands[0][1]
+            instr.rs = operands[1][1]
+            kind, value = operands[2]
+            if kind == "R":
+                instr.rt = value
+            else:
+                instr.imm = value
+        if instr.label is not None:
+            pending.append(instr)
+        instructions.append(instr)
+
+    for instr in pending:
+        if instr.label not in labels:
+            raise PPError(f"{name}: undefined label {instr.label!r}")
+        instr.target = labels[instr.label]
+    if not instructions or not any(i.is_terminal for i in instructions):
+        raise PPError(f"{name}: handler has no 'done'")
+    return instructions

@@ -1,0 +1,176 @@
+"""Emulator-backed PP cost model.
+
+For each handler invocation the MAGIC chip needs an occupancy in cycles.
+The table backend (:mod:`repro.magic.costmodel`) uses Table 3.4 constants;
+this backend *executes the actual PP-assembly handlers* on the emulator
+against a synthetic directory encoding matching the action's parameters
+(sharer-list length, hint position, ...), exactly as PPsim supplied dynamic
+cycle counts to FlashLite.  Results are cached per (handler, parameters)
+signature, and dynamic statistics are accumulated for Table 5.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..common.params import MachineConfig
+from ..protocol.coherence import Action, Handler
+from .assembler import assemble
+from .emulator import PPEmulator, RunStats
+from .handlers.library import HANDLER_SOURCE
+from .lowering import lower_text
+from .schedule import Schedule, schedule_pairs
+
+__all__ = ["CompiledHandlers", "EmulatedCostModel", "SyntheticState"]
+
+# Synthetic protocol-memory layout for cost evaluation.
+_HEADER_ADDR = 0x1000
+_LINK_BASE = 0x2000
+_STATS_BASE = 0x9000
+_LINE_ADDR = 0x40000
+_THIS_NODE = 1
+_REQUESTER = 2
+_SOURCE = 3
+
+
+class CompiledHandlers:
+    """All handlers assembled and scheduled for one PP configuration."""
+
+    def __init__(self, dual_issue: bool = True, special_instructions: bool = True):
+        self.dual_issue = dual_issue
+        self.special_instructions = special_instructions
+        self.schedules: Dict[str, Schedule] = {}
+        for name, source in HANDLER_SOURCE.items():
+            text = source if special_instructions else lower_text(source)
+            instructions = assemble(text, name)
+            self.schedules[name] = schedule_pairs(instructions,
+                                                  dual_issue=dual_issue)
+
+    @property
+    def static_bytes(self) -> int:
+        """Total static code size (one 64-bit pair per cycle slot)."""
+        return sum(s.static_bytes for s in self.schedules.values())
+
+
+class SyntheticState:
+    """Builds an encoded directory image for a handler signature."""
+
+    def __init__(self, n_sharers: int = 0, requester_on_list: bool = False,
+                 position: Optional[int] = None, dirty: bool = False,
+                 owner: int = _THIS_NODE, acks_left: int = 1):
+        self.n_sharers = n_sharers
+        self.requester_on_list = requester_on_list
+        self.position = position
+        self.dirty = dirty
+        self.owner = owner
+        self.acks_left = acks_left
+
+    def install(self, emu: PPEmulator) -> Dict[int, int]:
+        """Poke the image into the emulator; returns the register preload."""
+        nodes: List[int] = []
+        for i in range(self.n_sharers):
+            nodes.append(4 + i)  # arbitrary distinct sharer nodes
+        if self.requester_on_list:
+            nodes.append(_REQUESTER)
+        if self.position is not None:
+            # Hint removal: the source node sits at `position` (1-based).
+            nodes = [4 + i for i in range(self.position)]
+            nodes[self.position - 1] = _SOURCE
+        # Sharer links occupy indices 0..len-1; free links follow.
+        head = 0
+        for i, node in enumerate(nodes):
+            nxt = i + 2 if i + 1 < len(nodes) else 0
+            emu.poke(_LINK_BASE + 8 * i, node | (nxt << 8))
+        head = 1 if nodes else 0
+        free_start = len(nodes)
+        for i in range(free_start, free_start + 8):
+            nxt = i + 2 if i + 1 < free_start + 8 else 0
+            emu.poke(_LINK_BASE + 8 * i, 0 | (nxt << 8))
+        emu.poke(_LINK_BASE - 8, free_start + 1)
+        header = (1 if self.dirty else 0) | (self.owner << 8) | (head << 16)
+        emu.poke(_HEADER_ADDR, header)
+        emu.poke(_HEADER_ADDR + 256, self.acks_left)  # pending-write entry
+        return {
+            1: _LINE_ADDR,
+            2: _HEADER_ADDR,
+            3: _REQUESTER,
+            4: _SOURCE,
+            5: 0,
+            6: _LINK_BASE,
+            27: _STATS_BASE,
+            30: _THIS_NODE,
+        }
+
+
+def _state_for(action: Action) -> SyntheticState:
+    handler = action.handler
+    if handler in (Handler.GETX_HOME_CLEAN, Handler.UPGRADE_HOME):
+        return SyntheticState(n_sharers=action.n_invals)
+    if handler in (Handler.HINT_LOCAL, Handler.HINT_REMOTE):
+        return SyntheticState(position=action.list_position or 1)
+    if handler in (Handler.GET_HOME_DIRTY_LOCAL, Handler.GETX_HOME_DIRTY_LOCAL,
+                   Handler.GET_HOME_FORWARD, Handler.GETX_HOME_FORWARD,
+                   Handler.GET_LOCAL_FORWARD, Handler.GETX_LOCAL_FORWARD):
+        return SyntheticState(dirty=True, owner=_THIS_NODE)
+    if handler in (Handler.WRITEBACK_LOCAL, Handler.WRITEBACK_REMOTE,
+                   Handler.SHARING_WB, Handler.OWNERSHIP_XFER,
+                   Handler.NAK_HOME):
+        return SyntheticState(dirty=True, owner=_SOURCE)
+    if handler == Handler.ACK_RECEIVE:
+        return SyntheticState(acks_left=1)
+    return SyntheticState()
+
+
+@dataclass
+class _CachedCost:
+    cycles: int
+    stats: RunStats
+    hits: int = 0
+
+
+class EmulatedCostModel:
+    """Drop-in replacement for the table cost model (Section 3.3: "we took
+    ... the protocol code latencies from an instruction set emulator")."""
+
+    def __init__(self, config: MachineConfig):
+        self.handlers = CompiledHandlers(
+            dual_issue=config.pp_dual_issue,
+            special_instructions=config.pp_special_instructions,
+        )
+        self._cache: Dict[Tuple, _CachedCost] = {}
+
+    def _signature(self, action: Action) -> Tuple:
+        return (action.handler, action.n_invals, action.list_position)
+
+    def cost(self, action: Action) -> int:
+        signature = self._signature(action)
+        cached = self._cache.get(signature)
+        if cached is None:
+            emu = PPEmulator()
+            registers = _state_for(action).install(emu)
+            stats = emu.run(self.handlers.schedules[action.handler], registers)
+            cached = _CachedCost(cycles=stats.cycles, stats=stats)
+            self._cache[signature] = cached
+        cached.hits += 1
+        return cached.cycles
+
+    # -- Table 5.2 aggregates ------------------------------------------------------------
+
+    def dynamic_totals(self) -> Dict[str, float]:
+        pairs = instructions = special = alu_branch = invocations = 0
+        for cached in self._cache.values():
+            pairs += cached.stats.cycles * cached.hits
+            instructions += cached.stats.instructions * cached.hits
+            special += cached.stats.special * cached.hits
+            alu_branch += cached.stats.alu_or_branch * cached.hits
+            invocations += cached.hits
+        return {
+            "invocations": invocations,
+            "pairs": pairs,
+            "instructions": instructions,
+            "dual_issue_efficiency": instructions / pairs if pairs else 0.0,
+            "special_fraction": special / alu_branch if alu_branch else 0.0,
+            "pairs_per_invocation": pairs / invocations if invocations else 0.0,
+            "static_bytes": self.handlers.static_bytes,
+        }

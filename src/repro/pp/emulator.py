@@ -1,0 +1,191 @@
+"""PPsim — the protocol processor instruction-set emulator.
+
+Executes a scheduled handler (pairs of instructions) against a small word
+memory, reporting the dynamic statistics the paper's evaluation uses: cycle
+count (= pairs executed), non-NOP instruction count, special-instruction use,
+and the protocol-memory addresses touched (for MDC modeling).
+
+Registers are 64-bit; r0 reads as zero.  ``send`` records an outgoing
+message header; ``done`` ends the handler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..common.errors import PPError
+from .isa import ALU_OPCODES, BRANCH_OPCODES, Instruction
+from .schedule import Schedule
+
+__all__ = ["RunStats", "PPEmulator"]
+
+_MASK64 = (1 << 64) - 1
+_MAX_PAIRS = 100_000  # runaway-handler backstop
+
+
+@dataclass
+class RunStats:
+    """Dynamic statistics for one handler invocation."""
+
+    cycles: int = 0                 # dual-issue pairs executed
+    instructions: int = 0           # non-NOP instructions executed
+    special: int = 0                # bitfield / branch-on-bit / ffs
+    alu_or_branch: int = 0
+    loads: int = 0
+    stores: int = 0
+    sends: List[Tuple[int, int]] = field(default_factory=list)
+    touched: List[int] = field(default_factory=list)  # memory addresses
+
+    @property
+    def dual_issue_efficiency(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def special_fraction(self) -> float:
+        return self.special / self.alu_or_branch if self.alu_or_branch else 0.0
+
+
+class PPEmulator:
+    """Executes scheduled handlers."""
+
+    def __init__(
+        self,
+        load: Optional[Callable[[int], int]] = None,
+        store: Optional[Callable[[int, int], None]] = None,
+    ):
+        self._memory: Dict[int, int] = {}
+        self._load = load if load is not None else self._memory_load
+        self._store = store if store is not None else self._memory_store
+
+    # -- default dict-backed memory ------------------------------------------------
+
+    def _memory_load(self, addr: int) -> int:
+        return self._memory.get(addr, 0)
+
+    def _memory_store(self, addr: int, value: int) -> None:
+        self._memory[addr] = value
+
+    def poke(self, addr: int, value: int) -> None:
+        self._memory[addr] = value
+
+    def peek(self, addr: int) -> int:
+        return self._memory.get(addr, 0)
+
+    # -- execution ---------------------------------------------------------------------
+
+    def run(self, schedule: Schedule, registers: Dict[int, int]) -> RunStats:
+        """Run a handler to its ``done``; ``registers`` preloads the calling
+        convention (r1 = line address, etc.)."""
+        regs = [0] * 32
+        for index, value in registers.items():
+            regs[index] = value & _MASK64
+        stats = RunStats()
+        pc = 0
+        pairs = schedule.pairs
+        while True:
+            if pc >= len(pairs):
+                raise PPError("handler ran off the end without 'done'")
+            if stats.cycles >= _MAX_PAIRS:
+                raise PPError("handler exceeded the cycle backstop")
+            pair = pairs[pc]
+            stats.cycles += 1
+            next_pc = pc + 1
+            for instr in pair.instructions:
+                if instr.is_nop:
+                    continue
+                stats.instructions += 1
+                if instr.is_special:
+                    stats.special += 1
+                if instr.op in ALU_OPCODES or instr.op in BRANCH_OPCODES:
+                    stats.alu_or_branch += 1
+                outcome = self._execute(instr, regs, stats, schedule)
+                if outcome == "done":
+                    return stats
+                if outcome is not None:
+                    next_pc = outcome
+            pc = next_pc
+
+    def _execute(self, instr: Instruction, regs: List[int], stats: RunStats,
+                 schedule: Schedule):
+        op = instr.op
+        rd, rs, rt = instr.rd, instr.rs, instr.rt
+        imm, imm2 = instr.imm, instr.imm2
+
+        def read(index: Optional[int]) -> int:
+            return 0 if index in (None, 0) else regs[index]
+
+        def write(index: Optional[int], value: int) -> None:
+            if index not in (None, 0):
+                regs[index] = value & _MASK64
+
+        if op == "add":
+            write(rd, read(rs) + read(rt))
+        elif op == "addi":
+            write(rd, read(rs) + imm)
+        elif op == "sub":
+            write(rd, read(rs) - read(rt))
+        elif op == "and":
+            write(rd, read(rs) & read(rt))
+        elif op == "andi":
+            write(rd, read(rs) & (imm & _MASK64))
+        elif op == "or":
+            write(rd, read(rs) | read(rt))
+        elif op == "ori":
+            write(rd, read(rs) | (imm & _MASK64))
+        elif op == "xor":
+            write(rd, read(rs) ^ read(rt))
+        elif op == "xori":
+            write(rd, read(rs) ^ (imm & _MASK64))
+        elif op == "sll":
+            write(rd, read(rs) << (imm & 63))
+        elif op == "srl":
+            write(rd, read(rs) >> (imm & 63))
+        elif op == "slt":
+            write(rd, 1 if read(rs) < read(rt) else 0)
+        elif op == "slti":
+            write(rd, 1 if read(rs) < imm else 0)
+        elif op == "lui":
+            write(rd, (imm & 0xFFFF) << 16)
+        elif op == "lw":
+            addr = (read(rs) + imm) & _MASK64
+            stats.loads += 1
+            stats.touched.append(addr)
+            write(rd, self._load(addr))
+        elif op == "sw":
+            addr = (read(rs) + imm) & _MASK64
+            stats.stores += 1
+            stats.touched.append(addr)
+            self._store(addr, read(rd))
+        elif op == "beq":
+            if read(rs) == read(rt):
+                return schedule.pair_of[instr.target]
+        elif op == "bne":
+            if read(rs) != read(rt):
+                return schedule.pair_of[instr.target]
+        elif op == "j":
+            return schedule.pair_of[instr.target]
+        elif op == "bbs":
+            if (read(rs) >> imm) & 1:
+                return schedule.pair_of[instr.target]
+        elif op == "bbc":
+            if not (read(rs) >> imm) & 1:
+                return schedule.pair_of[instr.target]
+        elif op == "bfext":
+            write(rd, (read(rs) >> imm) & ((1 << imm2) - 1))
+        elif op == "bfins":
+            mask = ((1 << imm2) - 1) << imm
+            value = (read(rd) & ~mask) | ((read(rs) << imm) & mask)
+            write(rd, value)
+        elif op == "ffs":
+            value = read(rs)
+            write(rd, (value & -value).bit_length() - 1 if value else 64)
+        elif op == "send":
+            stats.sends.append((read(rs), read(rt)))
+        elif op == "done":
+            return "done"
+        elif op == "nop":
+            pass
+        else:  # pragma: no cover - assembler rejects unknown opcodes
+            raise PPError(f"unimplemented opcode {op!r}")
+        return None

@@ -1,0 +1,478 @@
+"""The cache-coherence protocol handlers, in PP assembly.
+
+These are the code sequences the protocol processor runs (the paper's
+handlers were written in C, compiled with a gcc port, scheduled by PPtwine
+and hand-tuned; ours are hand-written directly in the PP ISA).  The emulator
+executes them against an encoded directory state to obtain data-dependent
+dynamic cycle counts — the same methodology as PPsim + FlashLite.
+
+Protocol-memory encoding (the dynamic pointer allocation structures):
+
+    header word  @ r2:           bit0 dirty | bit1 pending |
+                                 bits 8-15 owner | bits 16-31 head link + 1
+    link word    @ r6 + 8*idx:   bits 0-7 node | bits 8-23 next link + 1
+    free-list head (index + 1)   @ r6 - 8
+    pending-write entry          @ r2 + 256 (requester-side ack counting)
+
+Handler calling convention (loaded by the inbox):
+
+    r1 = line address            r2 = directory header address
+    r3 = requesting node         r4 = message source node
+    r5 = auxiliary field         r6 = link store base
+    r27 = statistics area        r30 = this node's id
+
+Outgoing message header format (composed in a register, passed to ``send``):
+bits 0-7 destination node | bits 8-15 message type | bits 16-23 requester.
+Send units: 1 = PI, 2 = NI, 3 = memory, 4 = software queue.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = ["HANDLER_SOURCE"]
+
+# Shared snippets -----------------------------------------------------------------
+
+# Allocate a link from the free list, point it at the old list head, and make
+# it the new head: the core of "add requester to the sharer list".
+_LINK_ALLOC = """
+    lw    r8, -8(r6)          # free-list head (index+1)
+    addi  r9, r8, -1
+    sll   r9, r9, 3
+    add   r9, r9, r6          # address of the free link
+    lw    r10, 0(r9)          # free link word
+    bfext r11, r10, 8, 16     # next free (index+1)
+    sw    r11, -8(r6)         # pop the free list
+    bfext r12, r7, 16, 16     # old sharer-list head (index+1)
+    bfins r13, {node}, 0, 8   # new link: node field
+    bfins r13, r12, 8, 16     # new link: next field
+    sw    r13, 0(r9)
+    bfins r7, r8, 16, 16      # header head = new link (index+1)
+"""
+
+# Bump a performance-monitoring counter (FLASH handlers instrument
+# themselves; the counters live in the statistics area).
+_STAT = """
+    lw    r26, {off}(r27)
+    addi  r26, r26, 1
+    sw    r26, {off}(r27)
+"""
+
+
+def _compose_reply(mtype: int, unit_reg: str = "r17") -> str:
+    """Compose a reply header to the requester and pick PI vs NI."""
+    return f"""
+    addi  r15, r0, 0
+    bfins r15, r3, 0, 8       # destination = requester
+    addi  r16, r0, {mtype}
+    bfins r15, r16, 8, 8      # message type
+    bfins r15, r3, 16, 8      # requester field
+    addi  {unit_reg}, r0, 1   # PI if the requester is local...
+    beq   r3, r30, _local
+    addi  {unit_reg}, r0, 2   # ...NI otherwise
+_local:
+"""
+
+
+HANDLER_SOURCE: Dict[str, str] = {}
+
+# -- requester-side -------------------------------------------------------------------
+
+HANDLER_SOURCE["miss_forward"] = """
+    bfext r7, r1, 26, 6       # home node from the line address
+    addi  r9, r0, 0
+    bfins r9, r7, 0, 8        # destination = home
+    bfins r9, r3, 16, 8       # requester
+    addi  r8, r0, 2           # NI
+    send  r9, r8
+    done
+"""
+
+HANDLER_SOURCE["writeback_forward"] = HANDLER_SOURCE["miss_forward"]
+HANDLER_SOURCE["hint_forward"] = HANDLER_SOURCE["miss_forward"]
+
+HANDLER_SOURCE["reply_to_proc"] = """
+    addi  r7, r0, 0
+    bfins r7, r3, 0, 8        # destination = local processor
+    addi  r8, r0, 1           # PI
+    send  r7, r8
+    done
+"""
+
+HANDLER_SOURCE["ack_receive"] = """
+    lw    r7, 256(r2)         # pending-write entry for the line
+    addi  r7, r7, -1          # one fewer ack outstanding
+    sw    r7, 256(r2)
+    bne   r7, r0, _wait
+    addi  r8, r0, 0
+    bfins r8, r30, 0, 8       # all acks in: release the processor
+    addi  r9, r0, 1
+    send  r8, r9
+_wait:
+    done
+"""
+
+# -- home-side reads --------------------------------------------------------------------
+
+HANDLER_SOURCE["get_home_clean"] = """
+    lw    r7, 0(r2)           # directory header
+    bbs   r7, 1, _pending
+""" + _LINK_ALLOC.format(node="r3") + """
+    sw    r7, 0(r2)           # write back the header
+""" + _compose_reply(mtype=5) + """
+    send  r15, r17            # PUT (data follows from memory)
+    done
+_pending:
+    done
+"""
+
+HANDLER_SOURCE["get_home_dirty_local"] = """
+    lw    r7, 0(r2)
+    bfext r14, r7, 8, 8       # current owner (this node)
+    addi  r18, r0, 0
+    bfins r18, r14, 0, 8      # intervention: retrieve from processor cache
+    addi  r19, r0, 9          # type: cache retrieve
+    bfins r18, r19, 8, 8
+    addi  r20, r0, 1
+    send  r18, r20            # issue intervention through the PI
+""" + _STAT.format(off=0) + """
+    andi  r7, r7, -2          # clear dirty (bit 0)
+    bfins r7, r0, 8, 8        # clear owner
+""" + _LINK_ALLOC.format(node="r30") + _LINK_ALLOC.format(node="r3") + """
+    sw    r7, 0(r2)
+    addi  r21, r0, 0
+    bfins r21, r1, 0, 26      # memory write of the retrieved line
+    addi  r22, r0, 3
+    send  r21, r22
+""" + _compose_reply(mtype=5) + """
+    send  r15, r17
+""" + _STAT.format(off=8) + _STAT.format(off=16) + """
+    done
+"""
+
+HANDLER_SOURCE["get_home_forward"] = """
+    lw    r7, 0(r2)
+    bfext r14, r7, 8, 8       # owner node
+    ori   r7, r7, 2           # set pending
+    sw    r7, 0(r2)
+    addi  r18, r0, 0
+    bfins r18, r14, 0, 8      # forward to the owner
+    addi  r19, r0, 10         # type: forwarded GET
+    bfins r18, r19, 8, 8
+    bfins r18, r3, 16, 8      # original requester rides along
+    addi  r20, r0, 2
+    send  r18, r20
+""" + _STAT.format(off=0) + _STAT.format(off=8) + """
+    done
+"""
+
+HANDLER_SOURCE["get_local_forward"] = """
+    lw    r7, 0(r2)
+    bfext r14, r7, 8, 8
+    ori   r7, r7, 2           # set pending
+    sw    r7, 0(r2)
+    addi  r18, r0, 0
+    bfins r18, r14, 0, 8
+    bfins r18, r3, 16, 8
+    addi  r20, r0, 2
+    send  r18, r20
+    done
+"""
+
+HANDLER_SOURCE["get_owner"] = """
+    addi  r18, r0, 0
+    bfins r18, r30, 0, 8      # intervention to our own processor cache
+    addi  r19, r0, 9
+    bfins r18, r19, 8, 8
+    addi  r20, r0, 1
+    send  r18, r20
+""" + _STAT.format(off=0) + """
+    bfext r21, r1, 26, 6      # home node of the line
+    addi  r22, r0, 0
+    bfins r22, r21, 0, 8      # sharing writeback to the home
+    addi  r23, r0, 11
+    bfins r22, r23, 8, 8
+    bfins r22, r3, 16, 8
+    addi  r20, r0, 2
+    send  r22, r20
+""" + _compose_reply(mtype=5) + """
+    send  r15, r17            # data reply straight to the requester
+""" + _STAT.format(off=8) + _STAT.format(off=16) + _STAT.format(off=24) + """
+    done
+"""
+
+# -- home-side writes --------------------------------------------------------------------
+
+_INVAL_LOOP = """
+    bfext r14, r7, 16, 16     # list head (index+1)
+    addi  r25, r0, 0          # invalidation count
+_loop:
+    beq   r14, r0, _done_invals
+    addi  r9, r14, -1
+    sll   r9, r9, 3
+    add   r9, r9, r6
+    lw    r10, 0(r9)          # link word
+    bfext r11, r10, 0, 8      # sharer node
+    beq   r11, r3, _skip      # never invalidate the requester
+    addi  r18, r0, 0
+    bfins r18, r11, 0, 8      # inval to the sharer
+    addi  r19, r0, 12
+    bfins r18, r19, 8, 8
+    bfins r18, r3, 16, 8      # acks go to the requester
+    addi  r20, r0, 2
+    send  r18, r20
+    addi  r25, r25, 1
+_skip:
+    lw    r23, -8(r6)         # push the link back on the free list
+    bfins r10, r23, 8, 16
+    sw    r10, 0(r9)
+    addi  r24, r14, 0
+    sw    r24, -8(r6)
+    bfext r14, r10, 8, 16     # stale next is fine: saved before overwrite
+    done
+_done_invals:
+"""
+# NOTE: the loop above deliberately reads the next pointer after pushing the
+# link on the free list; bfins only touched bits 8-23, which previously held
+# the next pointer, so the traversal must re-extract before the overwrite.
+# The real handler keeps it in a register; do the same here:
+_INVAL_LOOP = """
+    bfext r14, r7, 16, 16     # list head (index+1)
+    addi  r25, r0, 0          # invalidation count
+_loop:
+    beq   r14, r0, _done_invals
+    addi  r9, r14, -1
+    sll   r9, r9, 3
+    add   r9, r9, r6
+    lw    r10, 0(r9)          # link word
+    bfext r11, r10, 0, 8      # sharer node
+    bfext r21, r10, 8, 16     # next link (index+1), saved
+    beq   r11, r3, _skip      # never invalidate the requester
+    addi  r18, r0, 0
+    bfins r18, r11, 0, 8      # inval to the sharer
+    addi  r19, r0, 12
+    bfins r18, r19, 8, 8
+    bfins r18, r3, 16, 8      # acks go to the requester
+    addi  r20, r0, 2
+    send  r18, r20
+    addi  r25, r25, 1
+_skip:
+    lw    r23, -8(r6)         # push this link back on the free list
+    bfins r10, r23, 8, 16
+    sw    r10, 0(r9)
+    sw    r14, -8(r6)
+    addi  r14, r21, 0
+    j     _loop
+_done_invals:
+    bfins r7, r0, 16, 16      # sharer list is now empty
+"""
+
+HANDLER_SOURCE["getx_home_clean"] = """
+    lw    r7, 0(r2)
+    bbs   r7, 1, _pending
+""" + _INVAL_LOOP + """
+    ori   r7, r7, 1           # set dirty
+    bfins r7, r3, 8, 8        # owner = requester
+    sw    r7, 0(r2)
+""" + _compose_reply(mtype=6) + """
+    bfins r15, r25, 24, 8     # ack count rides in the reply
+    send  r15, r17            # PUTX
+    done
+_pending:
+    done
+"""
+
+HANDLER_SOURCE["upgrade_home"] = """
+    lw    r7, 0(r2)
+    bbs   r7, 1, _pending
+""" + _INVAL_LOOP + """
+    ori   r7, r7, 1
+    bfins r7, r3, 8, 8
+    sw    r7, 0(r2)
+""" + _compose_reply(mtype=7) + """
+    bfins r15, r25, 24, 8
+    send  r15, r17            # UPGRADE_ACK (no data)
+    done
+_pending:
+    done
+"""
+
+HANDLER_SOURCE["getx_home_dirty_local"] = HANDLER_SOURCE["get_home_dirty_local"]
+
+HANDLER_SOURCE["getx_home_forward"] = HANDLER_SOURCE["get_home_forward"]
+HANDLER_SOURCE["getx_local_forward"] = HANDLER_SOURCE["get_local_forward"]
+HANDLER_SOURCE["getx_owner"] = HANDLER_SOURCE["get_owner"]
+
+# -- three-hop completions ------------------------------------------------------------------
+
+HANDLER_SOURCE["sharing_wb"] = """
+    lw    r7, 0(r2)
+    andi  r7, r7, -4          # clear dirty and pending
+    bfins r7, r0, 8, 8        # clear owner
+""" + _LINK_ALLOC.format(node="r4") + """
+    sw    r7, 0(r2)
+    addi  r21, r0, 0
+    bfins r21, r1, 0, 26      # memory write of the line
+    addi  r22, r0, 3
+    send  r21, r22
+    done
+"""
+
+HANDLER_SOURCE["ownership_xfer"] = """
+    lw    r7, 0(r2)
+    andi  r7, r7, -3          # clear pending (keep dirty)
+    bfins r7, r3, 8, 8        # owner = new requester
+    sw    r7, 0(r2)
+""" + _STAT.format(off=0) + """
+    done
+"""
+
+HANDLER_SOURCE["nak_home"] = """
+    lw    r7, 0(r2)
+    andi  r7, r7, -3          # clear pending; the request will be retried
+    sw    r7, 0(r2)
+    done
+"""
+
+HANDLER_SOURCE["deferred"] = """
+    addi  r8, r0, 0
+    bfins r8, r1, 0, 26       # park the message on the software queue
+    addi  r9, r0, 4
+    send  r8, r9
+    done
+"""
+
+# -- invalidations at the sharer --------------------------------------------------------------
+
+HANDLER_SOURCE["inval_receive"] = """
+    addi  r18, r0, 0
+    bfins r18, r30, 0, 8      # invalidate our processor's cached copy
+    addi  r19, r0, 13
+    bfins r18, r19, 8, 8
+    addi  r20, r0, 1
+    send  r18, r20
+    addi  r15, r0, 0
+    bfins r15, r3, 0, 8       # ack to the requester
+    addi  r16, r0, 14
+    bfins r15, r16, 8, 8
+    addi  r17, r0, 2
+    send  r15, r17
+    done
+"""
+
+# -- writebacks and replacement hints ------------------------------------------------------------
+
+HANDLER_SOURCE["writeback_local"] = """
+    lw    r7, 0(r2)
+    andi  r7, r7, -2          # clear dirty
+    bfins r7, r0, 8, 8        # clear owner
+    sw    r7, 0(r2)
+    addi  r21, r0, 0
+    bfins r21, r1, 0, 26
+    addi  r22, r0, 3
+    send  r21, r22            # write the line to memory
+""" + _STAT.format(off=0) + """
+    done
+"""
+
+HANDLER_SOURCE["writeback_remote"] = """
+    lw    r7, 0(r2)
+    andi  r7, r7, -2
+    bfins r7, r0, 8, 8
+    sw    r7, 0(r2)
+    addi  r21, r0, 0
+    bfins r21, r1, 0, 26
+    addi  r22, r0, 3
+    send  r21, r22
+    done
+"""
+
+_HINT_UNLINK = """
+    lw    r7, 0(r2)
+    bfext r14, r7, 16, 16     # head (index+1)
+    addi  r13, r0, 0          # previous link address (0 = header)
+_scan:
+    beq   r14, r0, _gone      # src was not on the list
+    addi  r9, r14, -1
+    sll   r9, r9, 3
+    add   r9, r9, r6
+    lw    r10, 0(r9)
+    bfext r11, r10, 0, 8      # node in this link
+    bfext r21, r10, 8, 16     # next (index+1)
+    beq   r11, r4, _unlink
+    addi  r13, r9, 0
+    addi  r14, r21, 0
+    j     _scan
+_unlink:
+    beq   r13, r0, _head
+    lw    r12, 0(r13)         # previous link: splice around
+    bfins r12, r21, 8, 16
+    sw    r12, 0(r13)
+    j     _free
+_head:
+    bfins r7, r21, 16, 16     # unlink at the header
+_free:
+    lw    r23, -8(r6)         # push the link on the free list
+    bfins r10, r23, 8, 16
+    sw    r10, 0(r9)
+    sw    r14, -8(r6)
+    sw    r7, 0(r2)
+_gone:
+"""
+
+HANDLER_SOURCE["hint_local"] = _HINT_UNLINK + """
+    done
+"""
+
+HANDLER_SOURCE["hint_remote"] = _HINT_UNLINK + _STAT.format(off=0) + """
+    done
+"""
+
+# -- block-transfer message passing ([HGD+94]) ---------------------------------------
+
+HANDLER_SOURCE["xfer_setup"] = """
+    bfext r7, r5, 0, 16       # transfer length in lines (descriptor aux)
+    bfext r8, r5, 16, 8       # receiver node
+    addi  r9, r0, 0
+    bfins r9, r8, 0, 8        # first-line header: destination
+    addi  r10, r0, 20         # type: XFER_DATA
+    bfins r9, r10, 8, 8
+    bfins r9, r7, 16, 16      # remaining-lines field
+    sw    r9, 0(r27)          # stash the running header in the stats area
+""" + _STAT.format(off=8) + """
+    done
+"""
+
+HANDLER_SOURCE["xfer_line"] = """
+    lw    r9, 0(r27)          # running transfer header
+    addi  r21, r0, 0
+    bfins r21, r1, 0, 26      # program the datapath: memory read of the line
+    addi  r22, r0, 3
+    send  r21, r22
+    addi  r20, r0, 2
+    send  r9, r20             # inject the line into the network
+    bfext r7, r9, 16, 16
+    addi  r7, r7, -1          # one fewer line to go
+    bfins r9, r7, 16, 16
+    sw    r9, 0(r27)
+    done
+"""
+
+HANDLER_SOURCE["xfer_receive"] = """
+    addi  r21, r0, 0
+    bfins r21, r1, 0, 26      # write the payload line to memory
+    addi  r22, r0, 3
+    send  r21, r22
+    bfext r7, r5, 0, 16       # lines remaining in this transfer
+    bne   r7, r0, _more
+""" + _STAT.format(off=16) + """
+    addi  r15, r0, 0
+    bfins r15, r30, 0, 8      # completion notification to the local CPU
+    addi  r16, r0, 21         # type: XFER_DONE
+    bfins r15, r16, 8, 8
+    addi  r17, r0, 1
+    send  r15, r17
+_more:
+    done
+"""

@@ -1,0 +1,159 @@
+"""The protocol processor instruction set.
+
+Section 2 / 5.3: the PP is a 64-bit dual-issue core with a DLX-based ISA
+extended for protocol processing with bitfield insert/extract, branch on bit
+set/clear, and find-first-set instructions.  All instruction pairs are
+statically scheduled (no interlocks).
+
+We model the integer subset the coherence handlers need.  Registers are
+r0..r31 with r0 hardwired to zero.  By handler-calling convention, the inbox
+preloads:
+
+    r1  = message line address
+    r2  = directory header address for the line
+    r3  = requesting node
+    r4  = source node of the message
+    r5  = message auxiliary field (ack count, etc.)
+    r30 = node id of this MAGIC chip
+
+and the handler communicates outgoing messages through ``send`` (a
+write-port to the outbox) and terminates with ``done``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..common.errors import PPError
+
+__all__ = [
+    "Instruction", "OPCODES", "SPECIAL_OPCODES", "MEMORY_OPCODES",
+    "BRANCH_OPCODES", "ALU_OPCODES", "reg",
+]
+
+#: opcode -> (operand kinds, description)
+#: operand kinds: R = register, I = immediate, L = label
+OPCODES = {
+    # DLX integer ALU.
+    "add":   ("RRR", "rd = rs + rt"),
+    "addi":  ("RRI", "rd = rs + imm"),
+    "sub":   ("RRR", "rd = rs - rt"),
+    "and":   ("RRR", "rd = rs & rt"),
+    "andi":  ("RRI", "rd = rs & imm"),
+    "or":    ("RRR", "rd = rs | rt"),
+    "ori":   ("RRI", "rd = rs | imm"),
+    "xor":   ("RRR", "rd = rs ^ rt"),
+    "xori":  ("RRI", "rd = rs ^ imm"),
+    "sll":   ("RRI", "rd = rs << imm"),
+    "srl":   ("RRI", "rd = rs >> imm (logical)"),
+    "slt":   ("RRR", "rd = 1 if rs < rt else 0"),
+    "slti":  ("RRI", "rd = 1 if rs < imm else 0"),
+    "lui":   ("RI",  "rd = imm << 16"),
+    # Memory (through the MAGIC data cache).
+    "lw":    ("RIR", "rd = mem[rs + off]"),
+    "sw":    ("RIR", "mem[rs + off] = rd"),
+    # Control.
+    "beq":   ("RRL", "branch if rs == rt"),
+    "bne":   ("RRL", "branch if rs != rt"),
+    "j":     ("L",   "jump"),
+    "nop":   ("",    "no operation"),
+    "done":  ("",    "handler complete"),
+    "send":  ("RR",  "dispatch outgoing message (header rs, dest-unit rt)"),
+    # Protocol-processing extensions (Section 5.3 / Table 5.3).
+    "bfext": ("RRII", "rd = (rs >> pos) & mask(len)"),
+    "bfins": ("RRII", "rd[pos +: len] = rs[0 +: len]"),
+    "bbs":   ("RIL", "branch if bit(rs, pos) == 1"),
+    "bbc":   ("RIL", "branch if bit(rs, pos) == 0"),
+    "ffs":   ("RR",  "rd = index of lowest set bit of rs (or 64)"),
+}
+
+SPECIAL_OPCODES = frozenset({"bfext", "bfins", "bbs", "bbc", "ffs"})
+MEMORY_OPCODES = frozenset({"lw", "sw"})
+BRANCH_OPCODES = frozenset({"beq", "bne", "j", "bbs", "bbc"})
+ALU_OPCODES = frozenset(OPCODES) - MEMORY_OPCODES - BRANCH_OPCODES - {
+    "nop", "done", "send",
+}
+
+
+def reg(name: str) -> int:
+    """Parse a register name ('r7' -> 7)."""
+    if not name.startswith("r"):
+        raise PPError(f"bad register {name!r}")
+    index = int(name[1:])
+    if not 0 <= index < 32:
+        raise PPError(f"register out of range: {name}")
+    return index
+
+
+@dataclass
+class Instruction:
+    """One decoded PP instruction."""
+
+    op: str
+    rd: Optional[int] = None          # destination register
+    rs: Optional[int] = None          # first source
+    rt: Optional[int] = None          # second source
+    imm: Optional[int] = None         # immediate / offset / bit position
+    imm2: Optional[int] = None        # second immediate (bitfield length)
+    label: Optional[str] = None       # branch target
+    target: Optional[int] = None      # resolved instruction index
+    source_line: str = ""
+
+    @property
+    def is_nop(self) -> bool:
+        return self.op == "nop"
+
+    @property
+    def is_special(self) -> bool:
+        return self.op in SPECIAL_OPCODES
+
+    @property
+    def is_memory(self) -> bool:
+        return self.op in MEMORY_OPCODES
+
+    @property
+    def is_branch(self) -> bool:
+        return self.op in BRANCH_OPCODES
+
+    @property
+    def is_terminal(self) -> bool:
+        return self.op == "done"
+
+    def reads(self) -> Tuple[int, ...]:
+        """Registers this instruction reads."""
+        regs: List[int] = []
+        if self.op == "sw":
+            # sw rd, off(rs): stores rd, reads the base rs.
+            if self.rd is not None:
+                regs.append(self.rd)
+            if self.rs is not None:
+                regs.append(self.rs)
+        elif self.op == "send":
+            if self.rs is not None:
+                regs.append(self.rs)
+            if self.rt is not None:
+                regs.append(self.rt)
+        elif self.op == "bfins":
+            # Read-modify-write of the destination.
+            if self.rd is not None:
+                regs.append(self.rd)
+            if self.rs is not None:
+                regs.append(self.rs)
+        else:
+            if self.rs is not None:
+                regs.append(self.rs)
+            if self.rt is not None:
+                regs.append(self.rt)
+        return tuple(r for r in regs if r != 0)
+
+    def writes(self) -> Tuple[int, ...]:
+        if self.op in ("sw", "send", "nop", "done", "j", "beq", "bne",
+                       "bbs", "bbc"):
+            return ()
+        if self.rd is None or self.rd == 0:
+            return ()
+        return (self.rd,)
+
+    def __str__(self) -> str:
+        return self.source_line or self.op

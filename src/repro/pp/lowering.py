@@ -1,0 +1,104 @@
+"""Lowering of PP special instructions to base-DLX sequences (Table 5.3).
+
+For the Section 5.3 ablation ("we modified our compiler so that it generated
+code that did not use any of the special instructions"), each bitfield /
+branch-on-bit / find-first-set instruction is replaced by its DLX
+substitution sequence:
+
+    find first set bit   -> 6 instructions (2 cycles + 4 per bit checked)
+    branch on bit        -> 2 or 4 instructions (bit position 0 vs higher)
+    ALU field immediate  -> 1-5 instructions
+    insert field         -> two field immediates followed by an "or"
+
+Registers r28/r29 are reserved as lowering temporaries; handlers never use
+them.
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+from typing import List
+
+from ..common.errors import PPError
+
+__all__ = ["lower_text"]
+
+_counter = itertools.count()
+
+
+def _lower_line(line: str) -> List[str]:
+    stripped = line.split("#", 1)[0].strip()
+    if not stripped or stripped.endswith(":"):
+        return [line]
+    parts = stripped.replace(",", " ").split()
+    op = parts[0].lower()
+    if op == "bbs" or op == "bbc":
+        rs, pos, label = parts[1], int(parts[2], 0), parts[3]
+        branch = "bne" if op == "bbs" else "beq"
+        if pos == 0:
+            return [f"andi r28, {rs}, 1", f"{branch} r28, r0, {label}"]
+        return [
+            f"srl r28, {rs}, {pos}",
+            "andi r28, r28, 1",
+            f"{branch} r28, r0, {label}",
+        ]
+    if op == "bfext":
+        rd, rs, pos, length = parts[1], parts[2], int(parts[3], 0), int(parts[4], 0)
+        mask = (1 << length) - 1
+        out = []
+        if pos:
+            out.append(f"srl {rd}, {rs}, {pos}")
+            src = rd
+        else:
+            src = rs
+        if mask <= 0x7FFF:
+            out.append(f"andi {rd}, {src}, {mask}")
+        else:
+            out += [
+                f"lui r29, {mask >> 16}",
+                f"ori r29, r29, {mask & 0xFFFF}",
+                f"and {rd}, {src}, r29",
+            ]
+        return out
+    if op == "bfins":
+        rd, rs, pos, length = parts[1], parts[2], int(parts[3], 0), int(parts[4], 0)
+        mask = ((1 << length) - 1) << pos
+        out = [f"sll r28, {rs}, {pos}" if pos else f"addi r28, {rs}, 0",
+               f"xor r29, {rd}, r28"]
+        if mask <= 0x7FFF:
+            out.append(f"andi r29, r29, {mask}")
+        else:
+            out += [
+                f"lui r28, {mask >> 16}",
+                f"ori r28, r28, {mask & 0xFFFF}",
+                "and r29, r29, r28",
+            ]
+        out.append(f"xor {rd}, {rd}, r29")
+        return out
+    if op == "ffs":
+        rd, rs = parts[1], parts[2]
+        n = next(_counter)
+        loop, found = f"_ffs_loop_{n}", f"_ffs_done_{n}"
+        return [
+            f"addi r28, {rs}, 0",
+            f"addi {rd}, r0, 0",
+            f"{loop}:",
+            "andi r29, r28, 1",
+            f"bne r29, r0, {found}",
+            "srl r28, r28, 1",
+            f"addi {rd}, {rd}, 1",
+            f"j {loop}",
+            f"{found}:",
+        ]
+    return [line]
+
+
+def lower_text(text: str) -> str:
+    """Rewrite handler assembly without any special instructions."""
+    if re.search(r"\br2[89]\b", text):
+        raise PPError("handler uses lowering temporaries r28/r29")
+    out: List[str] = []
+    for line in text.splitlines():
+        out.extend(_lower_line(line))
+    return "\n".join(out)

@@ -1,0 +1,143 @@
+"""Static dual-issue scheduler (the PPtwine stand-in).
+
+The PP executes one *instruction pair* per cycle with no interlocks, so all
+pairs must be statically scheduled to avoid dependencies (Section 2).  This
+list scheduler packs instructions into pairs within basic blocks:
+
+* no intra-pair register dependency (RAW/WAW/WAR),
+* at most one memory operation and one branch per pair,
+* instructions only move earlier past independent instructions,
+* branch targets always start a new pair.
+
+Unfillable slots get NOPs, which is what makes the dynamic dual-issue
+efficiency of Table 5.2 less than 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .isa import Instruction
+
+__all__ = ["Pair", "Schedule", "schedule_pairs"]
+
+_WINDOW = 6  # lookahead distance when hunting for a pairable instruction
+
+
+@dataclass
+class Pair:
+    """One issue cycle: two slots."""
+
+    first: Instruction
+    second: Optional[Instruction]  # None renders as a NOP slot
+
+    @property
+    def instructions(self) -> Tuple[Instruction, ...]:
+        if self.second is None:
+            return (self.first,)
+        return (self.first, self.second)
+
+    @property
+    def non_nop_count(self) -> int:
+        return sum(1 for i in self.instructions if not i.is_nop)
+
+
+class Schedule:
+    """The packed handler: pairs plus the original-index -> pair-index map."""
+
+    def __init__(self, pairs: List[Pair], pair_of: Dict[int, int]):
+        self.pairs = pairs
+        self.pair_of = pair_of
+
+    @property
+    def static_pairs(self) -> int:
+        return len(self.pairs)
+
+    @property
+    def static_bytes(self) -> int:
+        return len(self.pairs) * 8  # one 64-bit pair per cycle
+
+    @property
+    def static_nops(self) -> int:
+        return sum(2 - p.non_nop_count for p in self.pairs)
+
+
+def _conflict(a: Instruction, b: Instruction) -> bool:
+    """True when b cannot issue in the same pair as (or move past) a."""
+    a_writes, b_writes = set(a.writes()), set(b.writes())
+    a_reads, b_reads = set(a.reads()), set(b.reads())
+    if a_writes & (b_reads | b_writes):
+        return True
+    if b_writes & a_reads:
+        return True
+    if a.is_memory and b.is_memory:
+        return True
+    if a.op == "send" and b.op == "send":
+        return True
+    return False
+
+
+def _pairable(a: Instruction, b: Instruction) -> bool:
+    if b.is_branch or b.is_terminal:
+        return False  # control flow stays in slot one of its own pair
+    if a.is_memory and b.is_memory:
+        return False
+    if a.op == "send" and b.op == "send":
+        return False
+    return not _conflict(a, b)
+
+
+def _leaders(instructions: List[Instruction]) -> List[int]:
+    leaders = {0}
+    for index, instr in enumerate(instructions):
+        if instr.target is not None:
+            leaders.add(instr.target)
+        if (instr.is_branch or instr.is_terminal) and index + 1 < len(instructions):
+            leaders.add(index + 1)
+    return sorted(leaders)
+
+
+def schedule_pairs(instructions: List[Instruction],
+                   dual_issue: bool = True) -> Schedule:
+    """Pack instructions into issue pairs; ``dual_issue=False`` produces the
+    single-issue schedule used in the Section 5.3 ablation."""
+    pairs: List[Pair] = []
+    pair_of: Dict[int, int] = {}
+    leaders = _leaders(instructions)
+    block_bounds = list(zip(leaders, leaders[1:] + [len(instructions)]))
+
+    for start, end in block_bounds:
+        used = [False] * (end - start)
+        for offset in range(end - start):
+            if used[offset]:
+                continue
+            index = start + offset
+            first = instructions[index]
+            used[offset] = True
+            second: Optional[Instruction] = None
+            second_index: Optional[int] = None
+            if dual_issue and not (first.is_branch or first.is_terminal):
+                # Hunt for an independent partner within the window.
+                blockers: List[Instruction] = []
+                for ahead in range(offset + 1, min(offset + 1 + _WINDOW,
+                                                   end - start)):
+                    if used[ahead]:
+                        continue
+                    candidate = instructions[start + ahead]
+                    if _pairable(first, candidate) and not any(
+                        _conflict(mid, candidate) for mid in blockers
+                    ):
+                        second = candidate
+                        second_index = start + ahead
+                        used[ahead] = True
+                        break
+                    blockers.append(candidate)
+                    if candidate.is_branch or candidate.is_terminal:
+                        break  # nothing moves above control flow
+            pair_index = len(pairs)
+            pairs.append(Pair(first, second))
+            pair_of[index] = pair_index
+            if second_index is not None:
+                pair_of[second_index] = pair_index
+    return Schedule(pairs, pair_of)

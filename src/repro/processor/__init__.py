@@ -1,0 +1,6 @@
+"""The compute processor model and synchronization primitives."""
+
+from .cpu import CPU, CYCLES_PER_REFERENCE
+from .sync import SyncDomain
+
+__all__ = ["CPU", "CYCLES_PER_REFERENCE", "SyncDomain"]

@@ -1,0 +1,353 @@
+"""The compute processor model.
+
+Section 3.2: an aggressive 400-MIPS processor (up to 4 instructions, hence up
+to 4 memory references, per 10 ns system cycle) with blocking reads and
+non-blocking writes, up to 4 outstanding misses, write-merging into an
+outstanding miss to the same line, and a stall when a write maps to the same
+cache index as — but a different tag than — an outstanding miss.
+
+The processor consumes an *operation stream* from a workload generator:
+
+    ('r', addr)        read one word
+    ('r', addr, k)     k spatially-local reads within the word's line
+    ('w', addr)        write one word
+    ('w', addr, k)     k spatially-local writes within the word's line
+    ('c', cycles)      compute for N cycles without touching memory
+    ('b', barrier_id)  global barrier
+    ('l', lock_id)     acquire lock
+    ('u', lock_id)     release lock
+    ('s', dst, addr, nbytes)  post a block-transfer send (non-blocking)
+    ('v', src)         wait for a block transfer from node src to arrive
+
+The k-reference forms model code that walks every word of a line (16 8-byte
+words per 128-byte line): one cache access decides hit/miss, the remaining
+k-1 references are same-line hits charged only issue time.
+
+Cache hits and compute are batched locally and yielded to the simulator in
+bounded quanta; misses, interventions and synchronization are fully
+event-accurate.  Time is charged to the Figure 4.1 categories (Busy, Cont,
+Read, Write, Sync).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Tuple
+
+from ..caches.mshr import MSHRFile
+from ..caches.setassoc import CacheState, SetAssocCache
+from ..common.errors import WorkloadError
+from ..common.params import MachineConfig
+from ..common.units import line_address
+from ..protocol.messages import Message, MessageType as MT
+from ..sim.engine import Environment, Event
+from ..stats.breakdown import CpuTimes
+from .sync import SyncDomain
+
+__all__ = ["CPU", "CYCLES_PER_REFERENCE"]
+
+#: Each reference is one instruction slot of the 4-issue 400-MIPS processor.
+CYCLES_PER_REFERENCE = 0.25
+
+
+class CPU:
+    """One compute processor plus its secondary cache and MSHRs."""
+
+    def __init__(
+        self,
+        env: Environment,
+        node_id: int,
+        config: MachineConfig,
+        controller,  # MagicChip or IdealController
+        sync: SyncDomain,
+        times: Optional[CpuTimes] = None,
+    ):
+        self.env = env
+        self.node_id = node_id
+        self.config = config
+        self.controller = controller
+        self.sync = sync
+        self.times = times if times is not None else CpuTimes()
+        self.cache = SetAssocCache(config.proc_cache, name=f"L2[{node_id}]")
+        self.mshrs = MSHRFile(config.proc_cache.mshrs, self.cache)
+        self.cache_busy_until = 0.0
+        self.quantum = config.cpu_hit_quantum
+        self.lat = config.latencies
+        # Reference counters (cache.stats counts only primary misses).
+        self.total_reads = 0
+        self.total_writes = 0
+        self.read_merges = 0
+        controller.set_cpu_deliver(self.deliver)
+        controller.set_cache_busy(self.note_cache_busy)
+        self.transfers = getattr(controller, "transfers", None)
+        self._done = Event(env)
+
+    # -- controller-facing callbacks --------------------------------------------
+
+    def note_cache_busy(self, cycles: float) -> None:
+        """MAGIC (or the ideal controller) is using the processor cache."""
+        self.cache_busy_until = max(self.cache_busy_until, self.env.now + cycles)
+
+    def external_invalidate(self, line_addr: int) -> str:
+        """Protocol invalidation of a line in this processor's cache."""
+        prior = self.cache.invalidate(line_addr)
+        if prior == CacheState.INVALID:
+            entry = self.mshrs.lookup(line_addr)
+            if entry is not None and not entry.is_write:
+                entry.invalidate_on_fill = True
+        return prior
+
+    def external_downgrade(self, line_addr: int) -> None:
+        """Protocol intervention: DIRTY -> SHARED."""
+        if self.cache.state_of(line_addr) == CacheState.DIRTY:
+            self.cache.set_state(line_addr, CacheState.SHARED)
+
+    def cache_state_of(self, line_addr: int) -> str:
+        return self.cache.state_of(line_addr)
+
+    def deliver(self, message: Message) -> None:
+        """A reply crossed the processor bus: fill the cache, retire the
+        MSHR, and wake any stalled references."""
+        line = message.line_addr
+        entry = self.mshrs.complete(line)
+        state = CacheState.SHARED if message.mtype == MT.PUT else CacheState.DIRTY
+        victim = self.cache.fill(line, state)
+        if entry.invalidate_on_fill:
+            # The data is still consumed by the waiting reference(s); the
+            # line just does not stay resident.
+            self.cache.invalidate(line)
+        if victim is not None:
+            self._post_eviction(victim)
+        for waiter in entry.waiters:
+            waiter.succeed()
+        if (
+            entry.needs_upgrade
+            and state == CacheState.SHARED
+        ):
+            # A write merged into this read miss: it still needs ownership.
+            self.env.process(self._issue_write_async(line),
+                             name=f"cpu.upg[{self.node_id}]")
+
+    # -- the execution loop ---------------------------------------------------------
+
+    def run(self, ops: Iterable[Tuple]) -> Event:
+        """Spawn the processor executing ``ops``; returns its completion
+        process (an event)."""
+        process = self.env.process(self._run(iter(ops)),
+                                   name=f"cpu[{self.node_id}]")
+        return process
+
+    def _run(self, ops: Iterator[Tuple]):
+        batched = 0.0
+        for op in ops:
+            kind = op[0]
+            if kind == "c":
+                batched += op[1]
+                if batched >= self.quantum:
+                    batched = yield from self._flush(batched)
+            elif kind == "r":
+                k = op[2] if len(op) > 2 else 1
+                self.total_reads += k
+                batched += CYCLES_PER_REFERENCE * k
+                line = line_address(op[1])
+                entry = self.mshrs.lookup(line)
+                if entry is not None:
+                    # Secondary reference to an in-flight line.
+                    self.read_merges += 1
+                    if k > 1:
+                        self.cache.stats.read_hits += k - 1
+                    batched = yield from self._flush(batched)
+                    # The flush yielded: the miss may have completed already.
+                    if self.mshrs.lookup(line) is entry:
+                        yield from self._wait_for_entry(entry, is_read=True)
+                    continue
+                state = self.cache.access(line, is_write=False)
+                if k > 1:
+                    self.cache.stats.read_hits += k - 1
+                if state == CacheState.INVALID:
+                    batched = yield from self._flush(batched)
+                    yield from self._read_miss(line)
+                elif batched >= self.quantum:
+                    batched = yield from self._flush(batched)
+            elif kind == "w":
+                k = op[2] if len(op) > 2 else 1
+                self.total_writes += k
+                batched += CYCLES_PER_REFERENCE * k
+                line = line_address(op[1])
+                entry = self.mshrs.lookup(line)
+                if entry is not None:
+                    # Write-merge into the outstanding miss: no stall.
+                    self.mshrs.merge_write(line)
+                    if k > 1:
+                        self.cache.stats.write_hits += k - 1
+                    if not entry.is_write:
+                        entry.needs_upgrade = True
+                    continue
+                state = self.cache.access(line, is_write=True)
+                if k > 1:
+                    self.cache.stats.write_hits += k - 1
+                if state in (CacheState.INVALID, CacheState.SHARED):
+                    batched = yield from self._flush(batched)
+                    yield from self._write_miss(line, state)
+                elif batched >= self.quantum:
+                    batched = yield from self._flush(batched)
+            elif kind == "b":
+                batched = yield from self._flush(batched)
+                start = self.env.now
+                # Release semantics: outstanding misses drain before the
+                # barrier (otherwise a non-blocking write could race past it).
+                yield from self._fence()
+                yield self.sync.barrier(op[1])
+                self.times.sync += self.env.now - start
+            elif kind == "l":
+                batched = yield from self._flush(batched)
+                start = self.env.now
+                yield self.sync.acquire(op[1])
+                self.times.sync += self.env.now - start
+            elif kind == "u":
+                batched = yield from self._flush(batched)
+                start = self.env.now
+                yield from self._fence()
+                self.times.sync += self.env.now - start
+                self.sync.release(op[1])
+            elif kind == "s":
+                batched = yield from self._flush(batched)
+                _k, dst, addr, nbytes = op
+                descriptor = Message(
+                    MT.XFER_SEND, line_address(addr), self.node_id,
+                    self.node_id, dst, nbytes=nbytes,
+                )
+                start = self.env.now
+                yield self.controller.pi_submit(descriptor)
+                self.times.write_stall += self.env.now - start
+            elif kind == "v":
+                batched = yield from self._flush(batched)
+                start = self.env.now
+                yield self.transfers.receive(self.node_id, op[1])
+                self.times.sync += self.env.now - start
+            else:
+                raise WorkloadError(f"unknown operation {op!r}")
+        yield from self._flush(batched)
+        self.times.finish_time = self.env.now
+        self._done.succeed()
+
+    @property
+    def done(self) -> Event:
+        return self._done
+
+    # -- time accounting helpers ------------------------------------------------------
+
+    def _flush(self, batched: float):
+        """Convert batched hit/compute cycles into simulated time."""
+        if batched > 0:
+            self.times.busy += batched
+            yield self.env.timeout(batched)
+        if self.env.now < self.cache_busy_until:
+            # The controller is using the cache: the processor waits (Cont).
+            wait = self.cache_busy_until - self.env.now
+            self.times.cont += wait
+            yield self.env.timeout(wait)
+        return 0.0
+
+    def _fence(self):
+        """Wait for every outstanding miss to complete."""
+        while len(self.mshrs):
+            yield self._any_completion()
+
+    def _wait_for_entry(self, entry, is_read: bool):
+        start = self.env.now
+        waiter = Event(self.env)
+        entry.waiters.append(waiter)
+        yield waiter
+        elapsed = self.env.now - start
+        if is_read:
+            self.times.read_stall += elapsed
+        else:
+            self.times.write_stall += elapsed
+
+    # -- miss handling ------------------------------------------------------------------
+
+    def _read_miss(self, line: int):
+        start = self.env.now
+        while self.mshrs.is_full:
+            yield self._any_completion()
+        entry = self.mshrs.allocate(line, False, self.env.now)
+        waiter = Event(self.env)
+        entry.waiters.append(waiter)
+        yield self.env.timeout(self.lat.miss_detect_to_bus + self.lat.bus_transit)
+        message = Message(MT.GET, line, self.node_id, self.node_id,
+                          self.node_id, is_write=False)
+        yield self.controller.pi_submit(message)
+        yield waiter  # blocking read
+        self.times.read_stall += self.env.now - start
+
+    def _write_miss(self, line: int, state: str):
+        start = self.env.now
+        # A write to a line that maps to the same index as, but a different
+        # tag than, an outstanding miss stalls the processor.
+        while self.mshrs.index_conflict(line):
+            yield self._any_completion()
+        while self.mshrs.is_full:
+            yield self._any_completion()
+        entry = self.mshrs.allocate(line, True, self.env.now)
+        yield self.env.timeout(self.lat.miss_detect_to_bus + self.lat.bus_transit)
+        mtype = MT.UPGRADE if state == CacheState.SHARED else MT.GETX
+        message = Message(mtype, line, self.node_id, self.node_id,
+                          self.node_id, is_write=True)
+        yield self.controller.pi_submit(message)
+        # Non-blocking write: the processor continues; only the time spent
+        # waiting for MSHR space / conflicts / queue space is write stall.
+        self.times.write_stall += self.env.now - start
+
+    def _issue_write_async(self, line: int):
+        """Upgrade issued on behalf of a write that merged into a read."""
+        if self.cache.state_of(line) == CacheState.DIRTY:
+            return
+        while self.mshrs.lookup(line) is not None or self.mshrs.is_full:
+            yield self._any_completion()
+        state = self.cache.state_of(line)
+        if state == CacheState.DIRTY:
+            return
+        self.mshrs.allocate(line, True, self.env.now)
+        mtype = MT.UPGRADE if state == CacheState.SHARED else MT.GETX
+        message = Message(mtype, line, self.node_id, self.node_id,
+                          self.node_id, is_write=True)
+        yield self.controller.pi_submit(message)
+
+    def _any_completion(self) -> Event:
+        """An event firing when any outstanding miss completes."""
+        waiter = Event(self.env)
+        for line in self.mshrs.outstanding_lines():
+            entry = self.mshrs.lookup(line)
+            if entry is not None:
+                entry.waiters.append(
+                    _OneShotRelay(waiter)
+                )
+        if not self.mshrs.outstanding_lines():
+            waiter.succeed()
+        return waiter
+
+    # -- evictions -------------------------------------------------------------------------
+
+    def _post_eviction(self, victim: Tuple[int, str]) -> None:
+        line, state = victim
+        mtype = MT.WRITEBACK if state == CacheState.DIRTY else MT.REPL_HINT
+
+        def poster():
+            message = Message(mtype, line, self.node_id, self.node_id,
+                              self.node_id)
+            yield self.controller.pi_submit(message)
+
+        self.env.process(poster(), name=f"cpu.evict[{self.node_id}]")
+
+
+class _OneShotRelay:
+    """Succeeds a target event the first time any of its sources fires."""
+
+    __slots__ = ("target",)
+
+    def __init__(self, target: Event):
+        self.target = target
+
+    def succeed(self, value=None) -> None:
+        if not self.target.triggered:
+            self.target.succeed(value)

@@ -1,0 +1,82 @@
+"""Synchronization primitives for the workload runtime.
+
+Barriers and locks are modeled as idealized primitives: they cost no memory
+traffic, but waiting time is fully simulated and accounted to the Sync
+category of the execution-time breakdown (Figure 4.1).  This matches the
+paper's accounting, where Sync captures load imbalance and serialization
+rather than the traffic of the synchronization algorithm itself.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List
+
+from ..sim.engine import Environment, Event
+
+__all__ = ["SyncDomain"]
+
+
+class _Barrier:
+    __slots__ = ("arrived", "event")
+
+    def __init__(self, env: Environment):
+        self.arrived = 0
+        self.event = Event(env)
+
+
+class _Lock:
+    __slots__ = ("held", "waiters")
+
+    def __init__(self) -> None:
+        self.held = False
+        self.waiters: Deque[Event] = deque()
+
+
+class SyncDomain:
+    """Barriers and locks shared by all processors of one machine."""
+
+    def __init__(self, env: Environment, n_procs: int):
+        self.env = env
+        self.n_procs = n_procs
+        self._barriers: Dict[object, _Barrier] = {}
+        self._locks: Dict[object, _Lock] = {}
+        self.barrier_episodes = 0
+        self.lock_acquisitions = 0
+
+    def barrier(self, barrier_id: object, participants: int = 0) -> Event:
+        """Arrive at a barrier; the returned event fires when the last of
+        ``participants`` (default: all processors) has arrived."""
+        needed = participants or self.n_procs
+        barrier = self._barriers.get(barrier_id)
+        if barrier is None:
+            barrier = _Barrier(self.env)
+            self._barriers[barrier_id] = barrier
+        barrier.arrived += 1
+        event = Event(self.env)
+        barrier.event.add_callback(lambda _ev, out=event: out.succeed())
+        if barrier.arrived >= needed:
+            del self._barriers[barrier_id]  # sense reversal: next use is fresh
+            self.barrier_episodes += 1
+            barrier.event.succeed()
+        return event
+
+    def acquire(self, lock_id: object) -> Event:
+        """FIFO mutex acquire."""
+        lock = self._locks.setdefault(lock_id, _Lock())
+        event = Event(self.env)
+        if not lock.held:
+            lock.held = True
+            self.lock_acquisitions += 1
+            event.succeed()
+        else:
+            lock.waiters.append(event)
+        return event
+
+    def release(self, lock_id: object) -> None:
+        lock = self._locks[lock_id]
+        if lock.waiters:
+            self.lock_acquisitions += 1
+            lock.waiters.popleft().succeed()
+        else:
+            lock.held = False

@@ -1,0 +1,11 @@
+"""The dynamic-pointer-allocation coherence protocol and its variants."""
+
+from .coherence import Action, Handler, MissClass, NodeProtocolEngine
+from .directory import Directory, DirectoryEntry, LinkStore
+from .messages import DATA_BEARING, Message, MessageType, TRANSFER_TYPES
+from .migratory import MigratoryProtocolEngine
+
+__all__ = ["Action", "Handler", "MissClass", "NodeProtocolEngine",
+           "Directory", "DirectoryEntry", "LinkStore", "DATA_BEARING",
+           "Message", "MessageType", "TRANSFER_TYPES",
+           "MigratoryProtocolEngine"]

@@ -1,0 +1,122 @@
+"""Message types of the cache-coherence protocol.
+
+Following the paper, a *message* is any inter- or intra-node communication:
+processor requests arriving at MAGIC through the PI, network messages through
+the NI, and replies back to the processor.  Every message carries the line
+address it concerns, its source and destination node, and the identity of the
+original requester (needed for three-hop transactions).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["MessageType", "Message", "DATA_BEARING"]
+
+
+class MessageType:
+    """Protocol message opcodes."""
+
+    # Processor -> MAGIC (through the PI).
+    GET = "GET"                      # read miss
+    GETX = "GETX"                    # write miss (needs data + ownership)
+    UPGRADE = "UPGRADE"              # write hit on a SHARED line (ownership only)
+    WRITEBACK = "WRITEBACK"          # dirty eviction
+    REPL_HINT = "REPL_HINT"          # clean eviction notice
+
+    # Network requests (requester -> home).
+    REMOTE_GET = "REMOTE_GET"
+    REMOTE_GETX = "REMOTE_GETX"
+    REMOTE_UPGRADE = "REMOTE_UPGRADE"
+    REMOTE_WRITEBACK = "REMOTE_WRITEBACK"
+    REMOTE_REPL_HINT = "REMOTE_REPL_HINT"
+
+    # Home -> owner forwards (three-hop transactions).
+    FORWARD_GET = "FORWARD_GET"
+    FORWARD_GETX = "FORWARD_GETX"
+
+    # Replies.
+    PUT = "PUT"                      # data reply, shared
+    PUTX = "PUTX"                    # data reply, exclusive (carries n_invals)
+    UPGRADE_ACK = "UPGRADE_ACK"      # ownership grant without data
+    NAK = "NAK"                      # forward missed (owner no longer dirty)
+
+    # Invalidation traffic.
+    INVAL = "INVAL"                  # home -> sharer
+    INVAL_ACK = "INVAL_ACK"          # sharer -> requester
+
+    # Owner -> home completion of three-hop transactions.
+    SHARING_WRITEBACK = "SHARING_WB"     # after a forwarded GET
+    OWNERSHIP_TRANSFER = "OWNERSHIP_XFER"  # after a forwarded GETX
+
+    # Block-transfer message passing (the [HGD+94] mechanism; handled by the
+    # node controller's transfer handlers, not the coherence engine).
+    XFER_SEND = "XFER_SEND"          # CPU -> local MAGIC: send descriptor
+    XFER_DATA = "XFER_DATA"          # one line of payload on the network
+    XFER_DONE = "XFER_DONE"          # completion notification to receiver CPU
+
+
+#: Message types whose payload includes a full cache line (these need a MAGIC
+#: data buffer and a memory or cache data source).
+DATA_BEARING = frozenset({
+    MessageType.PUT,
+    MessageType.PUTX,
+    MessageType.WRITEBACK,
+    MessageType.REMOTE_WRITEBACK,
+    MessageType.SHARING_WRITEBACK,
+    MessageType.XFER_DATA,
+})
+
+#: Message types handled by the controller's block-transfer path rather than
+#: the coherence engine.
+TRANSFER_TYPES = frozenset({
+    MessageType.XFER_SEND,
+    MessageType.XFER_DATA,
+    MessageType.XFER_DONE,
+})
+
+_sequence = itertools.count()
+
+
+@dataclass
+class Message:
+    """One protocol message."""
+
+    mtype: str
+    line_addr: int
+    src: int                          # node sending this message
+    dst: int                          # node that must process it
+    requester: int                    # node whose processor started the transaction
+    is_write: bool = False            # transaction kind for miss classification
+    n_invals: int = 0                 # acks the requester must collect (PUTX/UPGRADE_ACK)
+    data_stale: bool = False          # memory copy is stale (speculation is useless)
+    nbytes: int = 0                   # block-transfer payload size (XFER_*)
+    uid: int = field(default_factory=lambda: next(_sequence))
+
+    def __post_init__(self) -> None:
+        if self.line_addr < 0:
+            raise ValueError(f"negative line address {self.line_addr}")
+
+    @property
+    def carries_data(self) -> bool:
+        return self.mtype in DATA_BEARING
+
+    def reply(self, mtype: str, dst: Optional[int] = None, **kwargs) -> "Message":
+        """Construct a follow-on message for the same transaction."""
+        return Message(
+            mtype=mtype,
+            line_addr=self.line_addr,
+            src=self.dst,
+            dst=self.requester if dst is None else dst,
+            requester=self.requester,
+            is_write=kwargs.pop("is_write", self.is_write),
+            **kwargs,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Message({self.mtype}, line={self.line_addr:#x}, "
+            f"{self.src}->{self.dst}, req={self.requester})"
+        )

@@ -1,0 +1,7 @@
+"""Discrete-event simulation kernel."""
+
+from .engine import AllOf, AnyOf, Environment, Event, Process, SimulationError, Timeout
+from .queues import BoundedQueue, CountingResource
+
+__all__ = ["AllOf", "AnyOf", "Environment", "Event", "Process",
+           "SimulationError", "Timeout", "BoundedQueue", "CountingResource"]

@@ -1,0 +1,309 @@
+"""Discrete-event simulation kernel.
+
+A small, dependency-free event engine in the style of SimPy: simulation
+*processes* are Python generators that ``yield`` events (timeouts, one-shot
+events, other processes, or composites) and are resumed when those events
+fire.  The engine provides deterministic execution: events scheduled for the
+same simulation time fire in scheduling order.
+
+This kernel is the substrate for every timed component in the FLASH
+reproduction (processors, MAGIC units, memory controllers, the network).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "SimulationError",
+]
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation kernel."""
+
+
+PENDING = object()
+
+
+class Event:
+    """A one-shot event that processes can wait on.
+
+    An event starts *pending*; calling :meth:`succeed` (or :meth:`fail`)
+    triggers it, scheduling all registered callbacks at the current
+    simulation time.  Waiting on an already-triggered event resumes the
+    waiter immediately (at the current time).
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok = True
+
+    @property
+    def triggered(self) -> bool:
+        return self._value is not PENDING
+
+    @property
+    def ok(self) -> bool:
+        if not self.triggered:
+            raise SimulationError("event has not been triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is PENDING:
+            raise SimulationError("event has not been triggered")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self._value = value
+        self._ok = True
+        self.env._queue_event(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._value = exception
+        self._ok = False
+        self.env._queue_event(self)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        if self.callbacks is None:
+            # Already fired and dispatched: run at current time.
+            self.env._queue_callback(lambda: callback(self))
+        else:
+            self.callbacks.append(callback)
+
+    def _dispatch(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        for callback in callbacks or ():
+            callback(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "pending" if not self.triggered else ("ok" if self._ok else "failed")
+        return f"<{type(self).__name__} {state} at t={self.env.now}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` cycles in the future."""
+
+    __slots__ = ("delay", "_pending_value")
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._pending_value = value
+        env._schedule_at(env.now + delay, self)
+
+    def _dispatch(self) -> None:
+        if self._value is PENDING:
+            self._value = self._pending_value
+            self._ok = True
+        super()._dispatch()
+
+
+class Process(Event):
+    """Wraps a generator; fires (with the generator's return value) when the
+    generator finishes.  The process is itself an event other processes can
+    wait on."""
+
+    __slots__ = ("_generator", "name", "_waiting_on")
+
+    def __init__(self, env: "Environment", generator: Generator, name: str = ""):
+        super().__init__(env)
+        if not hasattr(generator, "send"):
+            raise SimulationError(f"process target must be a generator, got {generator!r}")
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on: Optional[Event] = None
+        # Kick off at the current time.
+        env._queue_callback(self._resume_initial)
+
+    def _resume_initial(self) -> None:
+        self._step(None, None)
+
+    def _on_event(self, event: Event) -> None:
+        self._waiting_on = None
+        if event.ok:
+            self._step(event.value, None)
+        else:
+            self._step(None, event.value)
+
+    def _step(self, value: Any, exc: Optional[BaseException]) -> None:
+        try:
+            if exc is not None:
+                target = self._generator.throw(exc)
+            else:
+                target = self._generator.send(value)
+        except StopIteration as stop:
+            if not self.triggered:
+                self.succeed(stop.value)
+            return
+        except BaseException as error:
+            if isinstance(error, (KeyboardInterrupt, SystemExit)):
+                raise
+            if not self.triggered:
+                self.fail(error)
+                return
+            raise
+        if not isinstance(target, Event):
+            self._generator.throw(
+                SimulationError(f"process {self.name!r} yielded non-event {target!r}")
+            )
+            return
+        self._waiting_on = target
+        target.add_callback(self._on_event)
+
+
+class AllOf(Event):
+    """Fires when every child event has fired; value is the list of values."""
+
+    __slots__ = ("_pending_count", "_events")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self._events = list(events)
+        self._pending_count = len(self._events)
+        if self._pending_count == 0:
+            self.succeed([])
+        else:
+            for event in self._events:
+                event.add_callback(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self._pending_count -= 1
+        if self._pending_count == 0:
+            self.succeed([e.value for e in self._events])
+
+
+class AnyOf(Event):
+    """Fires as soon as one child event fires; value is (index, value)."""
+
+    __slots__ = ("_events",)
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self._events = list(events)
+        if not self._events:
+            raise SimulationError("AnyOf requires at least one event")
+        for index, event in enumerate(self._events):
+            event.add_callback(self._make_callback(index))
+
+    def _make_callback(self, index: int) -> Callable[[Event], None]:
+        def on_child(event: Event) -> None:
+            if self.triggered:
+                return
+            if not event.ok:
+                self.fail(event.value)
+            else:
+                self.succeed((index, event.value))
+
+        return on_child
+
+
+class Environment:
+    """The simulation environment: clock plus scheduler."""
+
+    def __init__(self) -> None:
+        self._now: float = 0
+        self._heap: List = []
+        self._sequence = 0
+        self._ready: List = []  # FIFO of work at the current time
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    # -- scheduling internals ------------------------------------------------
+
+    def _schedule_at(self, when: float, event: Event) -> None:
+        self._sequence += 1
+        heapq.heappush(self._heap, (when, self._sequence, event, None))
+
+    def _queue_event(self, event: Event) -> None:
+        """Schedule a just-triggered event's dispatch at the current time."""
+        self._sequence += 1
+        heapq.heappush(self._heap, (self._now, self._sequence, event, None))
+
+    def _queue_callback(self, callback: Callable[[], None]) -> None:
+        self._sequence += 1
+        heapq.heappush(self._heap, (self._now, self._sequence, None, callback))
+
+    # -- public API ----------------------------------------------------------
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the event heap drains or the clock reaches ``until``.
+
+        Returns the final simulation time.
+        """
+        heap = self._heap
+        while heap:
+            when, _seq, event, callback = heap[0]
+            if until is not None and when > until:
+                self._now = until
+                return self._now
+            heapq.heappop(heap)
+            self._now = when
+            if callback is not None:
+                callback()
+            elif event is not None:
+                if (
+                    isinstance(event, Process)
+                    and event.triggered
+                    and not event._ok
+                    and not event.callbacks
+                ):
+                    # A process died with nobody waiting on it: surface the
+                    # error instead of silently swallowing it.
+                    raise event._value
+                event._dispatch()
+        return self._now
+
+    def run_process(self, generator: Generator, until: Optional[float] = None) -> Any:
+        """Convenience: spawn ``generator`` and run; returns its value."""
+        proc = self.process(generator)
+        self.run(until=until)
+        if not proc.triggered:
+            raise SimulationError("process did not finish before the run ended")
+        if not proc.ok:
+            raise proc.value
+        return proc.value

@@ -1,0 +1,140 @@
+"""Blocking queues and counting resources for the simulation kernel.
+
+These model MAGIC's bounded queues (Table 3.1 of the paper): a full queue
+stalls the producer, an empty queue stalls the consumer.  ``capacity=None``
+gives an unbounded queue, which is how the ideal machine's "infinite depth
+for all network and memory system queues" is expressed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from .engine import Environment, Event, SimulationError
+
+__all__ = ["BoundedQueue", "CountingResource"]
+
+
+class BoundedQueue:
+    """FIFO queue with blocking ``put``/``get`` expressed as events.
+
+    ``put(item)`` returns an event that fires once the item has been accepted
+    (immediately if there is space).  ``get()`` returns an event whose value
+    is the item, firing once one is available.  Waiters are served in FIFO
+    order, so the queue is fair and deterministic.
+    """
+
+    def __init__(self, env: Environment, capacity: Optional[int] = None, name: str = ""):
+        if capacity is not None and capacity < 1:
+            raise SimulationError(f"queue capacity must be >= 1 or None, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque = deque()  # (event, item)
+        # Statistics.
+        self.total_puts = 0
+        self.full_stalls = 0  # puts that had to wait for space
+        self.peak_depth = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def is_full(self) -> bool:
+        return self.capacity is not None and len(self._items) >= self.capacity
+
+    def put(self, item: Any) -> Event:
+        event = Event(self.env)
+        self.total_puts += 1
+        if self._getters and not self._items:
+            # Hand the item straight to the oldest waiting consumer.
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            event.succeed(None)
+        elif not self.is_full:
+            self._items.append(item)
+            self.peak_depth = max(self.peak_depth, len(self._items))
+            event.succeed(None)
+        else:
+            self.full_stalls += 1
+            self._putters.append((event, item))
+        return event
+
+    def try_put(self, item: Any) -> bool:
+        """Non-blocking put; returns False (and drops nothing) when full."""
+        if self.is_full and not (self._getters and not self._items):
+            return False
+        self.put(item)
+        return True
+
+    def get(self) -> Event:
+        event = Event(self.env)
+        if self._items:
+            item = self._items.popleft()
+            self._admit_waiting_putter()
+            event.succeed(item)
+        else:
+            self._getters.append(event)
+        return event
+
+    def _admit_waiting_putter(self) -> None:
+        if self._putters and not self.is_full:
+            putter, item = self._putters.popleft()
+            self._items.append(item)
+            self.peak_depth = max(self.peak_depth, len(self._items))
+            putter.succeed(None)
+
+
+class CountingResource:
+    """A pool of ``count`` identical units (e.g. MAGIC's 16 data buffers).
+
+    ``acquire()`` yields an event that fires when a unit is available;
+    ``release()`` returns a unit to the pool.  FIFO granting order.
+    """
+
+    def __init__(self, env: Environment, count: Optional[int], name: str = ""):
+        if count is not None and count < 1:
+            raise SimulationError(f"resource count must be >= 1 or None, got {count}")
+        self.env = env
+        self.count = count
+        self.name = name
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+        self.total_acquires = 0
+        self.acquire_stalls = 0
+        self.peak_in_use = 0
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def available(self) -> Optional[int]:
+        if self.count is None:
+            return None
+        return self.count - self._in_use
+
+    def acquire(self) -> Event:
+        event = Event(self.env)
+        self.total_acquires += 1
+        if self.count is None or self._in_use < self.count:
+            self._in_use += 1
+            self.peak_in_use = max(self.peak_in_use, self._in_use)
+            event.succeed(None)
+        else:
+            self.acquire_stalls += 1
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        if self._in_use <= 0:
+            raise SimulationError(f"release of idle resource {self.name!r}")
+        if self._waiters:
+            # Hand the unit straight to the oldest waiter; _in_use unchanged.
+            waiter = self._waiters.popleft()
+            waiter.succeed(None)
+        else:
+            self._in_use -= 1

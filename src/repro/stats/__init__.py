@@ -1,0 +1,10 @@
+"""Statistics: execution-time breakdowns, run results, monitoring, charts."""
+
+from .breakdown import CpuTimes, NodeStats, merge_cpu_times
+from .charts import figure_4_1_chart, stacked_bar
+from .monitor import ProtocolMonitor, SharingPattern
+from .report import RunResult, crmt
+
+__all__ = ["CpuTimes", "NodeStats", "merge_cpu_times", "figure_4_1_chart",
+           "stacked_bar", "ProtocolMonitor", "SharingPattern", "RunResult",
+           "crmt"]

@@ -1,0 +1,57 @@
+"""Plain-text charts for the paper's figures.
+
+Renders Figure 4.1-style stacked execution-time bars (Busy / Cont / Read /
+Write / Sync, FLASH normalized to 100) as monospace text, so examples and
+benchmark output can show the figure shape without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["stacked_bar", "figure_4_1_chart"]
+
+#: category -> glyph, in the paper's stacking order
+_GLYPHS = [
+    ("busy", "#"),
+    ("cont", "%"),
+    ("read", "="),
+    ("write", "+"),
+    ("sync", "."),
+]
+
+
+def stacked_bar(breakdown: Dict[str, float], scale: float,
+                width: int = 60) -> Tuple[str, float]:
+    """One bar: returns (bar text, total height in normalized units)."""
+    total = sum(breakdown.get(key, 0.0) for key, _g in _GLYPHS)
+    normalized = total * scale
+    chars: List[str] = []
+    for key, glyph in _GLYPHS:
+        span = int(round(breakdown.get(key, 0.0) * scale * width / 100.0))
+        chars.append(glyph * span)
+    bar = "".join(chars)[:width * 2]
+    return bar, normalized
+
+
+def figure_4_1_chart(results: Sequence[Tuple[str, str, Dict[str, float], float]],
+                     width: int = 50) -> str:
+    """Render Figure 4.1 bars.
+
+    ``results`` rows are (app, machine label, breakdown dict, execution
+    time); within each app, bars are normalized so the FLASH bar is 100.
+    """
+    lines = [
+        "Execution time (FLASH = 100):  "
+        "# busy  % cache-contention  = read  + write  . sync",
+        "",
+    ]
+    flash_time: Dict[str, float] = {}
+    for app, machine, _breakdown, exec_time in results:
+        if machine.lower().startswith("flash"):
+            flash_time[app] = exec_time
+    for app, machine, breakdown, exec_time in results:
+        scale = 100.0 / flash_time.get(app, exec_time)
+        bar, height = stacked_bar(breakdown, scale, width=width)
+        lines.append(f"{app:8} {machine:6} |{bar:<{width}}| {height:6.1f}")
+    return "\n".join(lines)

@@ -1,0 +1,148 @@
+"""Protocol-level performance monitoring.
+
+Flexibility "allows extensive and accurate performance monitoring" (Section
+1) and "can be used to dynamically detect hot-spotting situations and
+provide support for techniques such as automatic page remapping or
+migration" (Section 4.4).  This module is that monitoring layer: a
+per-node observer the protocol engine feeds with every classified miss,
+accumulating exactly the information a remapping policy would need:
+
+* per-page miss counts, split local/remote — the hot-page ranking;
+* per-requester traffic to this home — who is hammering this node;
+* a sharing-pattern classifier per line (private / read-shared /
+  migratory / producer-consumer), driven by the observed access sequence.
+
+The monitor is pure bookkeeping: in FLASH these counters live in protocol
+memory and cost a few PP cycles per handler (already included in the
+handler occupancies, which the paper notes were measured with monitoring
+compiled in).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Tuple
+
+from ..common.units import PAGE_BYTES
+from ..protocol.coherence import MissClass
+
+__all__ = ["ProtocolMonitor", "SharingPattern"]
+
+
+class SharingPattern:
+    """Line-level sharing classifications."""
+
+    PRIVATE = "private"                  # one node only
+    READ_SHARED = "read_shared"          # many readers, no second writer
+    MIGRATORY = "migratory"              # read-then-write hand-offs
+    PRODUCER_CONSUMER = "producer_consumer"  # one writer, other readers
+
+
+class _LineObservation:
+    __slots__ = ("readers", "writers", "handoffs", "last_toucher")
+
+    def __init__(self) -> None:
+        self.readers: set = set()
+        self.writers: set = set()
+        self.handoffs = 0
+        self.last_toucher: Optional[int] = None
+
+
+class ProtocolMonitor:
+    """Observer for one node's home traffic."""
+
+    def __init__(self, node_id: int):
+        self.node_id = node_id
+        self.page_local: Counter = Counter()
+        self.page_remote: Counter = Counter()
+        self.requester_traffic: Counter = Counter()
+        self.class_counts: Counter = Counter()
+        self._lines: Dict[int, _LineObservation] = {}
+
+    # -- feed ------------------------------------------------------------------
+
+    def note_miss(self, miss_class: str, line_addr: int, requester: int,
+                  is_write: bool = False) -> None:
+        page = line_addr // PAGE_BYTES
+        self.class_counts[miss_class] += 1
+        self.requester_traffic[requester] += 1
+        if miss_class.startswith("local"):
+            self.page_local[page] += 1
+        else:
+            self.page_remote[page] += 1
+        obs = self._lines.get(line_addr)
+        if obs is None:
+            obs = _LineObservation()
+            self._lines[line_addr] = obs
+        if is_write:
+            obs.writers.add(requester)
+        else:
+            obs.readers.add(requester)
+        if obs.last_toucher is not None and obs.last_toucher != requester:
+            obs.handoffs += 1
+        obs.last_toucher = requester
+
+    def note_write(self, line_addr: int, requester: int) -> None:
+        self.note_miss(MissClass.LOCAL_CLEAN if requester == self.node_id
+                       else MissClass.REMOTE_CLEAN,
+                       line_addr, requester, is_write=True)
+
+    # -- analysis ---------------------------------------------------------------
+
+    def hot_pages(self, top: int = 10) -> List[Tuple[int, int, int]]:
+        """(page, remote misses, local misses), hottest remote first — the
+        candidates an automatic-migration policy would move."""
+        pages = set(self.page_remote) | set(self.page_local)
+        ranked = sorted(
+            pages, key=lambda p: self.page_remote.get(p, 0), reverse=True
+        )
+        return [
+            (page, self.page_remote.get(page, 0), self.page_local.get(page, 0))
+            for page in ranked[:top]
+        ]
+
+    def remote_fraction(self) -> float:
+        remote = sum(self.page_remote.values())
+        total = remote + sum(self.page_local.values())
+        return remote / total if total else 0.0
+
+    def dominant_requesters(self, top: int = 4) -> List[Tuple[int, int]]:
+        return self.requester_traffic.most_common(top)
+
+    def classify_line(self, line_addr: int) -> str:
+        obs = self._lines.get(line_addr)
+        if obs is None or len(obs.readers | obs.writers) <= 1:
+            return SharingPattern.PRIVATE
+        if not obs.writers:
+            return SharingPattern.READ_SHARED
+        if len(obs.writers) == 1:
+            return SharingPattern.PRODUCER_CONSUMER
+        return SharingPattern.MIGRATORY
+
+    def pattern_histogram(self) -> Counter:
+        histogram: Counter = Counter()
+        for line_addr in self._lines:
+            histogram[self.classify_line(line_addr)] += 1
+        return histogram
+
+    def migration_advice(self, threshold: int = 8) -> List[Tuple[int, int]]:
+        """(page, suggested new home): pages whose remote traffic exceeds
+        ``threshold`` and is dominated by a single remote node."""
+        advice = []
+        per_page_requesters: Dict[int, Counter] = {}
+        for line_addr, obs in self._lines.items():
+            page = line_addr // PAGE_BYTES
+            counts = per_page_requesters.setdefault(page, Counter())
+            for node in obs.readers | obs.writers:
+                if node != self.node_id:
+                    counts[node] += 1
+        for page, remote, _local in self.hot_pages(top=64):
+            if remote < threshold:
+                continue
+            counts = per_page_requesters.get(page)
+            if not counts:
+                continue
+            node, hits = counts.most_common(1)[0]
+            if hits >= sum(counts.values()) * 0.6:
+                advice.append((page, node))
+        return advice

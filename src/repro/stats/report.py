@@ -1,0 +1,136 @@
+"""Run results and derived metrics.
+
+Collects the quantities the paper's tables report: execution-time breakdown
+(Figure 4.1), miss rates and read-miss distributions, contentionless read
+miss time (CRMT), average memory and PP occupancy (Tables 4.1/4.2), and the
+speculation and MDC statistics of Section 5.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..protocol.coherence import MissClass
+from .breakdown import CpuTimes, merge_cpu_times
+
+__all__ = ["RunResult", "crmt"]
+
+
+def crmt(distribution: Dict[str, float], latencies: Dict[str, float]) -> float:
+    """Contentionless read miss time: the distribution-weighted average of
+    the no-contention read miss latencies (Section 4.1)."""
+    total = sum(distribution.values())
+    if total == 0:
+        return 0.0
+    return sum(
+        distribution[cls] / total * latencies[cls]
+        for cls in distribution
+        if cls in latencies
+    )
+
+
+class RunResult:
+    """Everything measured from one simulation run."""
+
+    def __init__(self, machine, execution_time: float):
+        config = machine.config
+        self.kind = config.kind
+        self.n_procs = config.n_procs
+        self.cache_size = config.proc_cache.size_bytes
+        self.execution_time = execution_time
+        self.cpu_times: List[CpuTimes] = [node.cpu.times for node in machine.nodes]
+        self.breakdown = merge_cpu_times(self.cpu_times)
+        # References and miss rates.
+        self.total_reads = sum(n.cpu.total_reads for n in machine.nodes)
+        self.total_writes = sum(n.cpu.total_writes for n in machine.nodes)
+        self.read_misses = sum(n.cpu.cache.stats.read_misses for n in machine.nodes)
+        self.write_misses = sum(n.cpu.cache.stats.write_misses for n in machine.nodes)
+        # Read-miss classification (summed over homes).
+        self.miss_classes: Dict[str, int] = {cls: 0 for cls in MissClass.ALL}
+        for node in machine.nodes:
+            for cls, count in node.engine.miss_classes.items():
+                self.miss_classes[cls] += count
+        # Occupancies.
+        self.memory_occupancy = [
+            node.memory.occupancy(execution_time) for node in machine.nodes
+        ]
+        self.pp_occupancy = [
+            node.stats.pp_occupancy(execution_time) for node in machine.nodes
+        ]
+        # Speculation (Table 5.1).
+        self.spec_issued = sum(n.stats.spec_issued for n in machine.nodes)
+        self.spec_useless = sum(n.stats.spec_useless for n in machine.nodes)
+        # MDC (Section 5.2).
+        mdcs = [n.mdc for n in machine.nodes if n.mdc is not None]
+        self.mdc_accesses = sum(m.accesses for m in mdcs)
+        self.mdc_misses = sum(m.read_misses for m in mdcs)
+        self.mdc_writebacks = sum(m.writeback_victims for m in mdcs)
+        self.mdc_miss_rates = [m.miss_rate for m in mdcs]
+        # Handler statistics (Table 5.2 inputs).
+        self.handler_invocations = sum(
+            n.stats.handler_invocations for n in machine.nodes
+        )
+        self.pp_handler_cycles = sum(
+            n.stats.pp_handler_cycles for n in machine.nodes
+        )
+        self.network_messages = machine.network.messages_sent
+
+    # -- derived metrics ----------------------------------------------------------
+
+    @property
+    def references(self) -> int:
+        return self.total_reads + self.total_writes
+
+    @property
+    def miss_rate(self) -> float:
+        refs = self.references
+        return (self.read_misses + self.write_misses) / refs if refs else 0.0
+
+    @property
+    def read_miss_distribution(self) -> Dict[str, float]:
+        """Fraction of read misses per class (Table 4.1 rows)."""
+        total = sum(self.miss_classes.values())
+        if total == 0:
+            return {cls: 0.0 for cls in MissClass.ALL}
+        return {cls: n / total for cls, n in self.miss_classes.items()}
+
+    @property
+    def avg_memory_occupancy(self) -> float:
+        return sum(self.memory_occupancy) / len(self.memory_occupancy)
+
+    @property
+    def max_memory_occupancy(self) -> float:
+        return max(self.memory_occupancy)
+
+    @property
+    def avg_pp_occupancy(self) -> float:
+        return sum(self.pp_occupancy) / len(self.pp_occupancy)
+
+    @property
+    def max_pp_occupancy(self) -> float:
+        return max(self.pp_occupancy)
+
+    @property
+    def useless_spec_fraction(self) -> float:
+        return self.spec_useless / self.spec_issued if self.spec_issued else 0.0
+
+    @property
+    def mdc_miss_rate(self) -> float:
+        return self.mdc_misses / self.mdc_accesses if self.mdc_accesses else 0.0
+
+    @property
+    def handlers_per_miss(self) -> float:
+        misses = self.read_misses + self.write_misses
+        return self.handler_invocations / misses if misses else 0.0
+
+    def crmt(self, latencies: Dict[str, float]) -> float:
+        return crmt(dict(self.miss_classes), latencies)
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "kind": self.kind,
+            "execution_time": self.execution_time,
+            "miss_rate": self.miss_rate,
+            "avg_pp_occupancy": self.avg_pp_occupancy,
+            "avg_memory_occupancy": self.avg_memory_occupancy,
+        }

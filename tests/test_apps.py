@@ -1,0 +1,215 @@
+"""Tests for the workload generators."""
+
+import pytest
+
+from repro.apps import (
+    PAPER_APPS, BarnesWorkload, FFTWorkload, LUWorkload, MP3DWorkload,
+    OceanWorkload, OSWorkload, RadixWorkload,
+)
+from repro.common.errors import ConfigError
+from repro.common.params import flash_config
+from repro.common.units import line_address
+
+SMALL = {
+    "barnes": dict(bodies=128, iterations=1),
+    "fft": dict(points=1024),
+    "lu": dict(matrix=64, block=16),
+    "mp3d": dict(particles=512, steps=1),
+    "ocean": dict(grid=34, n_grids=2, sweeps=1),
+    "os": dict(tasks_per_proc=1, syscalls_per_task=5),
+    "radix": dict(keys=2048, radix=32, key_bits=10),
+}
+
+VALID_OPS = {"r", "w", "c", "b", "l", "u"}
+
+
+def build_streams(name, n_procs=None):
+    cls = PAPER_APPS[name]
+    n_procs = n_procs or (8 if name == "os" else 16)
+    config = flash_config(n_procs=n_procs)
+    return config, cls(**SMALL[name]).build(config)
+
+
+@pytest.mark.parametrize("name", sorted(PAPER_APPS))
+class TestAllApps:
+    def test_one_stream_per_processor(self, name):
+        config, streams = build_streams(name)
+        assert len(streams) == config.n_procs
+
+    def test_ops_well_formed(self, name):
+        config, streams = build_streams(name)
+        memory_limit = config.n_procs * config.memory_bytes_per_node
+        lock_depth = 0
+        for ops in streams:
+            for op in ops:
+                assert op[0] in VALID_OPS
+                if op[0] in ("r", "w"):
+                    assert 0 <= op[1] < memory_limit * 2  # data + protocol area
+                elif op[0] == "c":
+                    assert op[1] > 0
+                elif op[0] == "l":
+                    lock_depth += 1
+                elif op[0] == "u":
+                    lock_depth -= 1
+        assert lock_depth == 0
+
+    def test_barrier_participation_balanced(self, name):
+        """Every barrier id is reached exactly once by every processor."""
+        _, streams = build_streams(name)
+        from collections import Counter
+        counts = Counter()
+        for ops in streams:
+            for op in ops:
+                if op[0] == "b":
+                    counts[op[1]] += 1
+        n = len(streams)
+        assert counts and all(v == n for v in counts.values())
+
+    def test_deterministic_builds(self, name):
+        _, streams_a = build_streams(name)
+        _, streams_b = build_streams(name)
+        for a, b in zip(streams_a, streams_b):
+            assert list(a) == list(b)
+
+
+class TestFFT:
+    def test_rejects_non_square(self):
+        with pytest.raises(ConfigError):
+            FFTWorkload(points=1000)
+
+    def test_transpose_reads_are_remote(self):
+        config = flash_config(n_procs=4)
+        wl = FFTWorkload(points=1024)
+        streams = wl.build(config)
+        mem = config.memory_bytes_per_node
+        # CPU 0's stream must read lines homed at every other node.
+        homes = {
+            op[1] // mem for op in streams[0] if op[0] == "r"
+        }
+        assert homes == {0, 1, 2, 3}
+
+    def test_node0_placement(self):
+        config = flash_config(n_procs=4)
+        wl = FFTWorkload(points=1024, placement="node0")
+        streams = wl.build(config)
+        mem = config.memory_bytes_per_node
+        homes = {
+            op[1] // mem for ops in streams for op in ops if op[0] in "rw"
+        }
+        assert homes == {0}
+
+
+class TestLU:
+    def test_block_ownership_2d_scatter(self):
+        wl = LUWorkload(matrix=64, block=16)
+        owners = {wl.owner(i, j, 16) for i in range(4) for j in range(4)}
+        assert len(owners) == 16  # a 4x4 grid of blocks covers all 16 procs
+
+    def test_rejects_bad_blocking(self):
+        with pytest.raises(ConfigError):
+            LUWorkload(matrix=100, block=16)
+
+
+class TestRadix:
+    def test_plan_is_a_permutation(self):
+        wl = RadixWorkload(**SMALL["radix"])
+        plan = wl._plan(4)
+        for per_pass in plan:
+            dests = [d for proc in per_pass for (_s, d) in proc]
+            assert sorted(dests) == list(range(wl.n_keys))
+
+    def test_plan_actually_sorts(self):
+        wl = RadixWorkload(keys=512, radix=16, key_bits=8, seed=3)
+        from repro.apps.base import rng_stream
+        rng = rng_stream(3)
+        keys = [rng() & 0xFF for _ in range(512)]
+        order = list(range(512))
+        for per_pass in wl._plan(4):
+            moves = {s: d for proc in per_pass for (s, d) in proc}
+            new_order = [0] * 512
+            for s, d in moves.items():
+                new_order[d] = order[s]
+            order = new_order
+        values = [keys[kid] for kid in order]
+        assert values == sorted(values)
+
+    def test_rejects_non_power_of_two_radix(self):
+        with pytest.raises(ConfigError):
+            RadixWorkload(radix=100)
+
+
+class TestBarnes:
+    def test_tree_covers_all_bodies(self):
+        wl = BarnesWorkload(bodies=128, iterations=1)
+        frames = wl._positions()
+        build, zone_of, force_reads = wl._iteration_trace(frames[0], 4)
+        leaf_bodies = {c.body for c in build.cells if c.body is not None}
+        assert leaf_bodies == set(range(128))
+
+    def test_zones_balanced(self):
+        wl = BarnesWorkload(bodies=128, iterations=1)
+        frames = wl._positions()
+        _, zone_of, _ = wl._iteration_trace(frames[0], 4)
+        from collections import Counter
+        counts = Counter(zone_of.values())
+        assert all(abs(v - 32) <= 1 for v in counts.values())
+
+    def test_walk_obeys_theta(self):
+        """A larger theta opens fewer cells (shorter walks)."""
+        tight = BarnesWorkload(bodies=128, iterations=1, theta=0.5)
+        loose = BarnesWorkload(bodies=128, iterations=1, theta=2.0)
+        f_tight = tight._iteration_trace(tight._positions()[0], 4)[2]
+        f_loose = loose._iteration_trace(loose._positions()[0], 4)[2]
+        total_tight = sum(len(v) for v in f_tight.values())
+        total_loose = sum(len(v) for v in f_loose.values())
+        assert total_loose < total_tight
+
+
+class TestMP3D:
+    def test_trajectories_stay_in_grid(self):
+        wl = MP3DWorkload(particles=256, cells=128, steps=3)
+        for frame in wl._trajectories(4):
+            for cell, partner in frame:
+                assert 0 <= cell < 128
+                assert partner == -1 or 0 <= partner < 256
+
+    def test_collisions_occur(self):
+        wl = MP3DWorkload(particles=512, cells=64, steps=2,
+                          collision_fraction=0.9)
+        frames = wl._trajectories(4)
+        assert any(partner >= 0 for frame in frames for _c, partner in frame)
+
+
+class TestOS:
+    def test_placement_validation(self):
+        with pytest.raises(ConfigError):
+            OSWorkload(placement="everywhere")
+
+    def test_node0_placement_homes_kernel_data_on_node0(self):
+        config = flash_config(n_procs=8)
+        wl = OSWorkload(tasks_per_proc=1, syscalls_per_task=5,
+                        placement="node0")
+        streams = wl.build(config)
+        mem = config.memory_bytes_per_node
+        # Kernel regions are first-allocated: any access by CPU 3 that is not
+        # to its private region must be homed at node 0.
+        foreign = {
+            op[1] // mem
+            for op in streams[3]
+            if op[0] in "rw" and op[1] // mem != 3
+        }
+        assert foreign == {0}
+
+
+class TestOcean:
+    def test_grid_divisibility_enforced(self):
+        with pytest.raises(ConfigError):
+            OceanWorkload(grid=35).build(flash_config(n_procs=16))
+
+    def test_neighbour_reads_present(self):
+        config = flash_config(n_procs=4)
+        wl = OceanWorkload(grid=34, n_grids=2, sweeps=1)
+        streams = wl.build(config)
+        mem = config.memory_bytes_per_node
+        homes = {op[1] // mem for op in streams[0] if op[0] == "r"}
+        assert len(homes) >= 2  # own subgrid plus at least one neighbour

@@ -1,0 +1,143 @@
+"""Tests for the emulator PP backend end-to-end, run results, and the
+harness reference tables."""
+
+import pytest
+
+from repro.common.params import MagicCacheConfig, flash_config, ideal_config
+from repro.harness.tables import (
+    PAPER_FIG_4_1_SLOWDOWN, PAPER_TABLE_4_1, PAPER_TABLE_5_1,
+)
+from repro.machine import Machine, run_pair
+from repro.pp.costmodel import EmulatedCostModel
+from repro.protocol.coherence import MissClass
+
+KB = 1024
+LINE = 128
+
+
+def sharing_workload(n_procs=4):
+    """A small mixed workload touching local and remote lines."""
+    def stream(cpu, mem):
+        ops = []
+        for i in range(12):
+            target = (cpu + i) % n_procs
+            ops.append(("r", target * mem + i * LINE))
+            if i % 3 == 0:
+                ops.append(("w", target * mem + i * LINE))
+        ops.append(("b", "end"))
+        return ops
+
+    def factory(config):
+        return [iter(stream(cpu, config.memory_bytes_per_node))
+                for cpu in range(n_procs)]
+
+    return factory
+
+
+class TestEmulatorBackend:
+    def test_machine_runs_with_emulated_handlers(self):
+        config = flash_config(n_procs=4, cache_size=8 * KB).with_changes(
+            pp_backend="emulator",
+            magic_caches=MagicCacheConfig(enabled=False),
+        )
+        model = EmulatedCostModel(config)
+        machine = Machine(config, cost_model=model)
+        machine.run(sharing_workload()(config))
+        machine.check_directory_invariants()
+        totals = model.dynamic_totals()
+        assert totals["invocations"] > 0
+        assert totals["pairs"] > totals["invocations"]
+
+    def test_emulator_and_table_backends_agree_on_protocol(self):
+        """Timings differ; final coherence state must not."""
+        snapshots = {}
+        for backend in ("table", "emulator"):
+            config = flash_config(n_procs=4, cache_size=8 * KB).with_changes(
+                magic_caches=MagicCacheConfig(enabled=False),
+            )
+            model = EmulatedCostModel(config) if backend == "emulator" else None
+            machine = Machine(config, cost_model=model)
+            machine.run(sharing_workload()(config))
+            state = {}
+            for node in machine.nodes:
+                for line, entry in node.directory._entries.items():
+                    state[line] = (entry.dirty, entry.owner,
+                                   frozenset(node.directory.sharers(line)))
+            snapshots[backend] = state
+        assert snapshots["table"] == snapshots["emulator"]
+
+    def test_emulator_backend_close_to_table_backend_timing(self):
+        times = {}
+        for backend in ("table", "emulator"):
+            config = flash_config(n_procs=4, cache_size=8 * KB).with_changes(
+                magic_caches=MagicCacheConfig(enabled=False),
+            )
+            model = EmulatedCostModel(config) if backend == "emulator" else None
+            machine = Machine(config, cost_model=model)
+            result = machine.run(sharing_workload()(config))
+            times[backend] = result.execution_time
+        ratio = times["emulator"] / times["table"]
+        # Independent handler implementations: within 50% of each other.
+        assert 0.6 < ratio < 1.6
+
+
+class TestRunPair:
+    def test_run_pair_builds_fresh_machines(self):
+        flash_cfg = flash_config(n_procs=4, cache_size=8 * KB)
+        ideal_cfg = ideal_config(n_procs=4, cache_size=8 * KB)
+        flash, ideal = run_pair(sharing_workload(), flash_cfg, ideal_cfg)
+        assert flash.kind == "flash" and ideal.kind == "ideal"
+        assert flash.references == ideal.references
+
+
+class TestRunResultFields:
+    @pytest.fixture(scope="class")
+    def result(self):
+        config = flash_config(n_procs=4, cache_size=8 * KB)
+        machine = Machine(config)
+        return machine.run(sharing_workload()(config))
+
+    def test_reference_counts(self, result):
+        assert result.total_reads == 4 * 12
+        assert result.total_writes == 4 * 4
+
+    def test_distribution_sums_to_one(self, result):
+        dist = result.read_miss_distribution
+        assert sum(dist.values()) == pytest.approx(1.0)
+
+    def test_occupancies_bounded(self, result):
+        for occ in result.pp_occupancy + result.memory_occupancy:
+            assert 0.0 <= occ <= 1.0
+
+    def test_network_traffic_counted(self, result):
+        assert result.network_messages > 0
+
+    def test_summary_keys(self, result):
+        summary = result.summary()
+        assert summary["kind"] == "flash"
+        assert summary["execution_time"] == result.execution_time
+
+    def test_crmt_between_extremes(self, result):
+        latencies = {cls: 100.0 for cls in MissClass.ALL}
+        assert result.crmt(latencies) == pytest.approx(100.0)
+
+
+class TestPaperReferenceData:
+    def test_table_4_1_distributions_sum_to_100(self):
+        # The paper's own rounding makes Barnes sum to 101.0.
+        for app, row in PAPER_TABLE_4_1.items():
+            assert sum(row[1:6]) == pytest.approx(100.0, abs=1.5), app
+
+    def test_fig_4_1_band(self):
+        optimized = [v for k, v in PAPER_FIG_4_1_SLOWDOWN.items()
+                     if k != "mp3d"]
+        assert all(0.0 < v <= 0.12 for v in optimized)
+        assert PAPER_FIG_4_1_SLOWDOWN["mp3d"] == max(
+            PAPER_FIG_4_1_SLOWDOWN.values()
+        )
+
+    def test_table_5_1_well_formed(self):
+        for app, (large, small) in PAPER_TABLE_5_1.items():
+            assert 0 <= large[0] <= 100
+            if small is not None:
+                assert 0 <= small[0] <= 100

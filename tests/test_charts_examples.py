@@ -1,0 +1,73 @@
+"""Tests for the text charts and smoke tests for the examples."""
+
+import runpy
+import sys
+
+import pytest
+
+from repro.stats.charts import figure_4_1_chart, stacked_bar
+
+
+class TestStackedBar:
+    def test_bar_height_normalized(self):
+        breakdown = {"busy": 50.0, "read": 25.0, "sync": 25.0}
+        bar, height = stacked_bar(breakdown, scale=1.0, width=40)
+        assert height == 100.0
+        assert "#" in bar and "=" in bar and "." in bar
+
+    def test_bar_proportions(self):
+        breakdown = {"busy": 75.0, "read": 25.0}
+        bar, _h = stacked_bar(breakdown, scale=1.0, width=40)
+        assert bar.count("#") == 3 * bar.count("=")
+
+    def test_empty_breakdown(self):
+        bar, height = stacked_bar({}, scale=1.0)
+        assert bar == "" and height == 0.0
+
+
+class TestFigureChart:
+    def test_flash_bar_is_100(self):
+        rows = [
+            ("fft", "FLASH", {"busy": 120.0, "read": 80.0}, 200.0),
+            ("fft", "ideal", {"busy": 120.0, "read": 60.0}, 180.0),
+        ]
+        text = figure_4_1_chart(rows)
+        lines = [l for l in text.splitlines() if l.startswith("fft")]
+        assert lines[0].rstrip().endswith("100.0")
+        assert lines[1].rstrip().endswith("90.0")
+
+    def test_legend_present(self):
+        text = figure_4_1_chart([])
+        assert "busy" in text and "sync" in text
+
+
+class TestExamplesSmoke:
+    """Each example must at least import and expose main()."""
+
+    @pytest.mark.parametrize("module", [
+        "quickstart", "latency_anatomy", "hotspot_study",
+        "protocol_playground", "monitoring", "figure_4_1",
+        "message_passing",
+    ])
+    def test_example_importable(self, module):
+        import importlib.util
+        import os
+        path = os.path.join(os.path.dirname(__file__), "..", "examples",
+                            f"{module}.py")
+        spec = importlib.util.spec_from_file_location(module, path)
+        mod = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(mod)
+        assert callable(mod.main)
+
+    def test_protocol_playground_runs(self, capsys):
+        import importlib.util
+        import os
+        path = os.path.join(os.path.dirname(__file__), "..", "examples",
+                            "protocol_playground.py")
+        spec = importlib.util.spec_from_file_location("ppg", path)
+        mod = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(mod)
+        mod.main()
+        out = capsys.readouterr().out
+        assert "final sharer list" in out
+        assert "handler=" in out

@@ -1,0 +1,376 @@
+"""Unit tests for the coherence protocol engine (pure semantics)."""
+
+import pytest
+
+from repro.caches.setassoc import CacheState
+from repro.common.errors import ProtocolError
+from repro.protocol.coherence import Handler, MissClass, NodeProtocolEngine
+from repro.protocol.directory import Directory
+from repro.protocol.messages import Message, MessageType as MT
+
+MB = 1024 * 1024
+MEM = 4 * MB  # per node
+LINE0 = 0x200          # homed at node 0
+LINE1 = 4 * MB + 0x80  # homed at node 1
+
+
+class FakeCache:
+    """Stand-in for the processor cache the engine probes/mutates."""
+
+    def __init__(self):
+        self.lines = {}
+        self.invalidated = []
+        self.downgraded = []
+
+    def state_of(self, line):
+        return self.lines.get(line, CacheState.INVALID)
+
+    def invalidate(self, line):
+        prior = self.lines.pop(line, CacheState.INVALID)
+        self.invalidated.append(line)
+        return prior
+
+    def downgrade(self, line):
+        if self.lines.get(line) == CacheState.DIRTY:
+            self.lines[line] = CacheState.SHARED
+        self.downgraded.append(line)
+
+
+def make_engine(node_id=0, n_nodes=4):
+    cache = FakeCache()
+    directory = Directory(node_id, MEM, n_links=256)
+    engine = NodeProtocolEngine(
+        node_id=node_id,
+        n_nodes=n_nodes,
+        directory=directory,
+        memory_bytes_per_node=MEM,
+        cache_state_of=cache.state_of,
+        cache_invalidate=cache.invalidate,
+        cache_downgrade=cache.downgrade,
+    )
+    return engine, directory, cache
+
+
+def msg(mtype, line, src, dst, requester, **kw):
+    return Message(mtype, line, src, dst, requester, **kw)
+
+
+class TestLocalRead:
+    def test_clean_read_served_from_memory(self):
+        engine, directory, _ = make_engine()
+        actions = engine.process(msg(MT.GET, LINE0, 0, 0, 0))
+        assert len(actions) == 1
+        a = actions[0]
+        assert a.handler == Handler.GET_HOME_CLEAN
+        assert a.needs_memory_data and not a.memory_stale
+        assert a.cpu_deliver.mtype == MT.PUT
+        assert a.sends == []
+        assert directory.sharers(LINE0) == [0]
+        assert a.miss_class == MissClass.LOCAL_CLEAN
+
+    def test_read_miss_to_remote_home_forwards(self):
+        engine, _, _ = make_engine(node_id=0)
+        actions = engine.process(msg(MT.GET, LINE1, 0, 0, 0))
+        a = actions[0]
+        assert a.handler == Handler.MISS_FORWARD
+        assert a.sends[0].mtype == MT.REMOTE_GET
+        assert a.sends[0].dst == 1
+
+    def test_local_read_dirty_in_remote_cache(self):
+        engine, directory, _ = make_engine()
+        directory.set_dirty(LINE0, owner=2)
+        actions = engine.process(msg(MT.GET, LINE0, 0, 0, 0))
+        a = actions[0]
+        assert a.handler == Handler.GET_LOCAL_FORWARD
+        assert a.sends[0].mtype == MT.FORWARD_GET
+        assert a.sends[0].dst == 2
+        assert a.memory_stale  # the speculative read is useless
+        assert directory.entry(LINE0).pending
+        assert a.miss_class == MissClass.LOCAL_DIRTY_REMOTE
+
+
+class TestRemoteRead:
+    def test_remote_clean(self):
+        engine, directory, _ = make_engine()
+        actions = engine.process(msg(MT.REMOTE_GET, LINE0, 3, 0, 3))
+        a = actions[0]
+        assert a.handler == Handler.GET_HOME_CLEAN
+        assert a.sends[0].mtype == MT.PUT and a.sends[0].dst == 3
+        assert a.cpu_deliver is None
+        assert a.miss_class == MissClass.REMOTE_CLEAN
+
+    def test_remote_dirty_at_home(self):
+        engine, directory, cache = make_engine()
+        cache.lines[LINE0] = CacheState.DIRTY
+        directory.set_dirty(LINE0, owner=0)
+        actions = engine.process(msg(MT.REMOTE_GET, LINE0, 3, 0, 3))
+        a = actions[0]
+        assert a.handler == Handler.GET_HOME_DIRTY_LOCAL
+        assert a.cache_retrieve and a.writes_memory
+        assert cache.lines[LINE0] == CacheState.SHARED  # downgraded
+        assert sorted(directory.sharers(LINE0)) == [0, 3]
+        assert a.miss_class == MissClass.REMOTE_DIRTY_HOME
+
+    def test_remote_dirty_in_third_node(self):
+        engine, directory, _ = make_engine()
+        directory.set_dirty(LINE0, owner=2)
+        actions = engine.process(msg(MT.REMOTE_GET, LINE0, 3, 0, 3))
+        a = actions[0]
+        assert a.handler == Handler.GET_HOME_FORWARD
+        assert a.sends[0].dst == 2
+        assert a.miss_class == MissClass.REMOTE_DIRTY_REMOTE
+
+    def test_forwarded_get_at_owner(self):
+        engine, _, cache = make_engine(node_id=2)
+        cache.lines[LINE0] = CacheState.DIRTY
+        actions = engine.process(msg(MT.FORWARD_GET, LINE0, 0, 2, 3))
+        a = actions[0]
+        assert a.handler == Handler.GET_OWNER
+        types = [m.mtype for m in a.sends]
+        assert types == [MT.SHARING_WRITEBACK, MT.PUT]
+        assert a.sends[0].dst == 0 and a.sends[1].dst == 3
+        assert cache.lines[LINE0] == CacheState.SHARED
+
+    def test_forwarded_get_misses_naks(self):
+        """The owner already wrote the line back: NAK to the home."""
+        engine, _, cache = make_engine(node_id=2)
+        actions = engine.process(msg(MT.FORWARD_GET, LINE0, 0, 2, 3))
+        assert actions[0].sends[0].mtype == MT.NAK
+
+    def test_sharing_writeback_completes_transaction(self):
+        engine, directory, _ = make_engine()
+        directory.set_dirty(LINE0, owner=2)
+        engine.process(msg(MT.REMOTE_GET, LINE0, 3, 0, 3))
+        actions = engine.process(msg(MT.SHARING_WRITEBACK, LINE0, 2, 0, 3))
+        a = actions[0]
+        assert a.handler == Handler.SHARING_WB
+        assert a.writes_memory
+        entry = directory.entry(LINE0)
+        assert not entry.pending and not entry.dirty
+        assert sorted(directory.sharers(LINE0)) == [2, 3]
+
+
+class TestWrites:
+    def test_getx_uncached(self):
+        engine, directory, _ = make_engine()
+        actions = engine.process(msg(MT.REMOTE_GETX, LINE0, 3, 0, 3,
+                                     is_write=True))
+        a = actions[0]
+        assert a.handler == Handler.GETX_HOME_CLEAN
+        assert a.sends[-1].mtype == MT.PUTX
+        assert a.sends[-1].n_invals == 0
+        assert directory.entry(LINE0).owner == 3
+
+    def test_getx_invalidates_sharers(self):
+        engine, directory, _ = make_engine()
+        for node in (1, 2):
+            engine.process(msg(MT.REMOTE_GET, LINE0, node, 0, node))
+        actions = engine.process(msg(MT.REMOTE_GETX, LINE0, 3, 0, 3,
+                                     is_write=True))
+        a = actions[0]
+        invals = [m for m in a.sends if m.mtype == MT.INVAL]
+        assert sorted(m.dst for m in invals) == [1, 2]
+        putx = [m for m in a.sends if m.mtype == MT.PUTX][0]
+        assert putx.n_invals == 2
+        assert all(m.requester == 3 for m in invals)  # acks to the requester
+        assert directory.sharers(LINE0) == []
+
+    def test_upgrade_with_copy_gets_ack_no_data(self):
+        engine, directory, _ = make_engine()
+        engine.process(msg(MT.REMOTE_GET, LINE0, 3, 0, 3))
+        actions = engine.process(msg(MT.REMOTE_UPGRADE, LINE0, 3, 0, 3,
+                                     is_write=True))
+        a = actions[0]
+        assert a.handler == Handler.UPGRADE_HOME
+        assert a.sends[-1].mtype == MT.UPGRADE_ACK
+        assert not a.needs_memory_data
+
+    def test_upgrade_raced_by_inval_becomes_getx(self):
+        """Requester's copy was invalidated in flight: grant data."""
+        engine, directory, _ = make_engine()
+        actions = engine.process(msg(MT.REMOTE_UPGRADE, LINE0, 3, 0, 3,
+                                     is_write=True))
+        a = actions[0]
+        assert a.handler == Handler.GETX_HOME_CLEAN
+        assert a.sends[-1].mtype == MT.PUTX
+        assert a.needs_memory_data
+
+    def test_getx_requester_already_sharer_not_invalidated(self):
+        engine, directory, _ = make_engine()
+        engine.process(msg(MT.REMOTE_GET, LINE0, 3, 0, 3))
+        engine.process(msg(MT.REMOTE_GET, LINE0, 2, 0, 2))
+        actions = engine.process(msg(MT.REMOTE_GETX, LINE0, 3, 0, 3,
+                                     is_write=True))
+        invals = [m for m in actions[0].sends if m.mtype == MT.INVAL]
+        assert [m.dst for m in invals] == [2]
+
+    def test_home_sharer_invalidated_in_place(self):
+        """When the home's own processor shares the line, the handler
+        invalidates the local cache and acks the requester directly."""
+        engine, directory, cache = make_engine()
+        cache.lines[LINE0] = CacheState.SHARED
+        engine.process(msg(MT.GET, LINE0, 0, 0, 0))
+        actions = engine.process(msg(MT.REMOTE_GETX, LINE0, 3, 0, 3,
+                                     is_write=True))
+        a = actions[0]
+        acks = [m for m in a.sends if m.mtype == MT.INVAL_ACK]
+        assert len(acks) == 1 and acks[0].dst == 3
+        assert LINE0 in cache.invalidated
+
+    def test_getx_dirty_remote_forwards(self):
+        engine, directory, _ = make_engine()
+        directory.set_dirty(LINE0, owner=1)
+        actions = engine.process(msg(MT.REMOTE_GETX, LINE0, 3, 0, 3,
+                                     is_write=True))
+        assert actions[0].handler == Handler.GETX_HOME_FORWARD
+        assert actions[0].sends[0].mtype == MT.FORWARD_GETX
+
+    def test_forwarded_getx_at_owner(self):
+        engine, _, cache = make_engine(node_id=1)
+        cache.lines[LINE0] = CacheState.DIRTY
+        actions = engine.process(msg(MT.FORWARD_GETX, LINE0, 0, 1, 3,
+                                     is_write=True))
+        a = actions[0]
+        types = [m.mtype for m in a.sends]
+        assert MT.PUTX in types and MT.OWNERSHIP_TRANSFER in types
+        assert cache.state_of(LINE0) == CacheState.INVALID
+
+    def test_ownership_transfer_at_home(self):
+        engine, directory, _ = make_engine()
+        directory.set_dirty(LINE0, owner=1)
+        engine.process(msg(MT.REMOTE_GETX, LINE0, 3, 0, 3, is_write=True))
+        actions = engine.process(msg(MT.OWNERSHIP_TRANSFER, LINE0, 1, 0, 3,
+                                     is_write=True))
+        assert actions[0].handler == Handler.OWNERSHIP_XFER
+        entry = directory.entry(LINE0)
+        assert entry.dirty and entry.owner == 3 and not entry.pending
+
+
+class TestAckCollection:
+    def test_putx_then_acks(self):
+        engine, _, _ = make_engine(node_id=3)
+        putx = msg(MT.PUTX, LINE0, 0, 3, 3, is_write=True, n_invals=2)
+        actions = engine.process(putx)
+        assert actions[0].cpu_deliver is None  # acks outstanding
+        engine.process(msg(MT.INVAL_ACK, LINE0, 1, 3, 3, is_write=True))
+        final = engine.process(msg(MT.INVAL_ACK, LINE0, 2, 3, 3, is_write=True))
+        assert final[0].cpu_deliver is putx
+
+    def test_acks_before_putx(self):
+        engine, _, _ = make_engine(node_id=3)
+        engine.process(msg(MT.INVAL_ACK, LINE0, 1, 3, 3, is_write=True))
+        putx = msg(MT.PUTX, LINE0, 0, 3, 3, is_write=True, n_invals=1)
+        actions = engine.process(putx)
+        assert actions[0].cpu_deliver is putx
+
+    def test_putx_no_invals_delivers_immediately(self):
+        engine, _, _ = make_engine(node_id=3)
+        putx = msg(MT.PUTX, LINE0, 0, 3, 3, is_write=True, n_invals=0)
+        assert engine.process(putx)[0].cpu_deliver is putx
+
+    def test_inval_receive_acks_requester(self):
+        engine, _, cache = make_engine(node_id=2)
+        cache.lines[LINE0] = CacheState.SHARED
+        actions = engine.process(msg(MT.INVAL, LINE0, 0, 2, 3, is_write=True))
+        a = actions[0]
+        assert a.sends[0].mtype == MT.INVAL_ACK and a.sends[0].dst == 3
+        assert cache.state_of(LINE0) == CacheState.INVALID
+
+
+class TestWritebacksAndHints:
+    def test_local_writeback(self):
+        engine, directory, cache = make_engine()
+        cache.lines[LINE0] = CacheState.DIRTY
+        engine.process(msg(MT.GETX, LINE0, 0, 0, 0, is_write=True))
+        cache.lines.pop(LINE0, None)  # CPU evicted
+        actions = engine.process(msg(MT.WRITEBACK, LINE0, 0, 0, 0))
+        a = actions[0]
+        assert a.handler == Handler.WRITEBACK_LOCAL and a.writes_memory
+        assert not directory.entry(LINE0).dirty
+
+    def test_unexpected_writeback_rejected(self):
+        engine, _, _ = make_engine()
+        with pytest.raises(ProtocolError):
+            engine.process(msg(MT.WRITEBACK, LINE0, 0, 0, 0))
+
+    def test_remote_hint_position(self):
+        engine, directory, _ = make_engine()
+        for node in (1, 2, 3):
+            engine.process(msg(MT.REMOTE_GET, LINE0, node, 0, node))
+        # List head-first is [3, 2, 1]: node 1 sits at position 3.
+        actions = engine.process(msg(MT.REMOTE_REPL_HINT, LINE0, 1, 0, 1))
+        a = actions[0]
+        assert a.handler == Handler.HINT_REMOTE
+        assert a.list_position == 3
+        assert sorted(directory.sharers(LINE0)) == [2, 3]
+
+    def test_hint_crossing_inval_is_harmless(self):
+        engine, directory, _ = make_engine()
+        actions = engine.process(msg(MT.REMOTE_REPL_HINT, LINE0, 1, 0, 1))
+        assert actions[0].list_position is None
+
+
+class TestDeferralAndReplay:
+    def test_requests_deferred_while_pending(self):
+        engine, directory, _ = make_engine()
+        directory.set_dirty(LINE0, owner=2)
+        engine.process(msg(MT.REMOTE_GET, LINE0, 3, 0, 3))
+        actions = engine.process(msg(MT.REMOTE_GET, LINE0, 1, 0, 1))
+        assert actions[0].deferred
+
+    def test_replay_after_sharing_writeback(self):
+        engine, directory, _ = make_engine()
+        directory.set_dirty(LINE0, owner=2)
+        engine.process(msg(MT.REMOTE_GET, LINE0, 3, 0, 3))
+        engine.process(msg(MT.REMOTE_GET, LINE0, 1, 0, 1))
+        actions = engine.process(msg(MT.SHARING_WRITEBACK, LINE0, 2, 0, 3))
+        handlers = [a.handler for a in actions]
+        assert handlers == [Handler.SHARING_WB, Handler.GET_HOME_CLEAN]
+        assert 1 in directory.sharers(LINE0)
+
+    def test_owner_rerequest_deferred_until_writeback(self):
+        """The recorded owner re-requests before its writeback arrives."""
+        engine, directory, cache = make_engine()
+        directory.set_dirty(LINE0, owner=2)
+        actions = engine.process(msg(MT.REMOTE_GET, LINE0, 2, 0, 2))
+        assert actions[0].deferred
+        actions = engine.process(msg(MT.REMOTE_WRITEBACK, LINE0, 2, 0, 2))
+        handlers = [a.handler for a in actions]
+        assert handlers == [Handler.WRITEBACK_REMOTE, Handler.GET_HOME_CLEAN]
+
+    def test_nak_retries_original_request(self):
+        engine, directory, _ = make_engine()
+        directory.set_dirty(LINE0, owner=2)
+        engine.process(msg(MT.REMOTE_GET, LINE0, 3, 0, 3))
+        # The owner wrote back before the forward arrived.
+        engine.process(msg(MT.REMOTE_WRITEBACK, LINE0, 2, 0, 2))
+        actions = engine.process(msg(MT.NAK, LINE0, 2, 0, 3))
+        handlers = [a.handler for a in actions]
+        assert handlers[0] == Handler.NAK_HOME
+        assert Handler.GET_HOME_CLEAN in handlers
+        assert 3 in directory.sharers(LINE0)
+
+    def test_replay_stable_noop_when_not_home(self):
+        engine, _, _ = make_engine(node_id=0)
+        assert engine.replay_stable(LINE1) == []
+
+    def test_home_grant_in_flight_defers_then_replays(self):
+        """Directory says the home's CPU owns the line, but the grant has not
+        reached the cache yet: remote requests wait for replay_stable."""
+        engine, directory, cache = make_engine()
+        engine.process(msg(MT.GETX, LINE0, 0, 0, 0, is_write=True))
+        # Directory: dirty, owner 0 — but the fake cache has no line yet.
+        actions = engine.process(msg(MT.REMOTE_GET, LINE0, 3, 0, 3))
+        assert actions[0].deferred
+        cache.lines[LINE0] = CacheState.DIRTY  # grant lands
+        actions = engine.replay_stable(LINE0)
+        assert actions[0].handler == Handler.GET_HOME_DIRTY_LOCAL
+
+
+class TestClassificationCounters:
+    def test_counts_accumulate(self):
+        engine, directory, _ = make_engine()
+        engine.process(msg(MT.GET, LINE0, 0, 0, 0))
+        engine.process(msg(MT.REMOTE_GET, LINE0, 3, 0, 3))
+        assert engine.miss_classes[MissClass.LOCAL_CLEAN] == 1
+        assert engine.miss_classes[MissClass.REMOTE_CLEAN] == 1

@@ -1,0 +1,166 @@
+"""Integration tests: whole-machine coherence across processors."""
+
+import pytest
+
+from repro.caches.setassoc import CacheState
+from repro.common.params import MagicCacheConfig, flash_config, ideal_config
+from repro.machine import Machine
+
+KB = 1024
+MB = 1024 * 1024
+LINE = 128
+
+
+def build(kind="flash", n_procs=4, cache=64 * KB):
+    make = flash_config if kind == "flash" else ideal_config
+    config = make(n_procs=n_procs, cache_size=cache)
+    config = config.with_changes(magic_caches=MagicCacheConfig(enabled=False))
+    return Machine(config)
+
+
+def run(machine, streams):
+    result = machine.run([iter(s) for s in streams])
+    machine.check_directory_invariants()
+    return result
+
+
+@pytest.mark.parametrize("kind", ["flash", "ideal"])
+class TestSharingPatterns:
+    def test_producer_consumer(self, kind):
+        machine = build(kind)
+        streams = [
+            [("w", 0), ("c", 500), ("b", "x")],
+            [("b", "x"), ("r", 0)],
+            [("c", 1), ("b", "x")],
+            [("c", 1), ("b", "x")],
+        ]
+        run(machine, streams)
+        # Producer downgraded to SHARED by the consumer's read.
+        assert machine.nodes[0].cpu.cache.state_of(0) == CacheState.SHARED
+        assert machine.nodes[1].cpu.cache.state_of(0) == CacheState.SHARED
+
+    def test_write_invalidates_all_readers(self, kind):
+        machine = build(kind)
+        streams = [
+            [("r", 0), ("b", "x"), ("c", 1000)],
+            [("r", 0), ("b", "x"), ("c", 1000)],
+            [("r", 0), ("b", "x"), ("c", 1000)],
+            [("b", "x"), ("w", 0), ("c", 1000)],
+        ]
+        run(machine, streams)
+        for reader in range(3):
+            assert machine.nodes[reader].cpu.cache.state_of(0) == CacheState.INVALID
+        assert machine.nodes[3].cpu.cache.state_of(0) == CacheState.DIRTY
+
+    def test_migratory_line(self, kind):
+        """Each processor in turn reads and writes the same line."""
+        machine = build(kind)
+        streams = []
+        for p in range(4):
+            ops = [("c", 1)]
+            for turn in range(4):
+                if turn == p:
+                    ops += [("r", 0), ("w", 0)]
+                ops += [("b", ("turn", turn))]
+            streams.append(ops)
+        run(machine, streams)
+        entry = machine.nodes[0].directory.entry(0)
+        assert entry.dirty and entry.owner == 3
+
+    def test_false_sharing_two_writers(self, kind):
+        """Two processors write different words of the same line."""
+        machine = build(kind)
+        streams = [
+            [("w", 0), ("c", 50)] * 10,
+            [("w", 64), ("c", 50)] * 10,
+            [("c", 1)],
+            [("c", 1)],
+        ]
+        run(machine, streams)
+        entry = machine.nodes[0].directory.entry(0)
+        assert entry.dirty  # one of the two ends up the owner
+        assert entry.owner in (0, 1)
+
+    def test_remote_home_three_hop(self, kind):
+        """Line homed at node 1, written by node 2, read by node 3."""
+        machine = build(kind)
+        addr = machine.config.memory_bytes_per_node  # homed at node 1
+        streams = [
+            [("c", 1), ("b", "w"), ("b", "r")],
+            [("c", 1), ("b", "w"), ("b", "r")],
+            [("r", addr), ("w", addr), ("c", 500), ("b", "w"), ("b", "r")],
+            [("b", "w"), ("r", addr), ("b", "r")],
+        ]
+        run(machine, streams)
+        sharers = machine.nodes[1].directory.sharers(addr)
+        assert sorted(sharers) == [2, 3]
+
+    def test_writeback_then_refetch(self, kind):
+        machine = build(kind, cache=2 * KB)  # tiny cache forces eviction
+        n_sets = machine.nodes[0].cpu.cache.n_sets
+        conflict = [LINE * n_sets * (i + 1) for i in range(3)]
+        streams = [
+            [("w", 0)] + [("r", a) for a in conflict] + [("c", 2000), ("r", 0)],
+            [("c", 1)], [("c", 1)], [("c", 1)],
+        ]
+        run(machine, streams)
+        assert machine.nodes[0].cpu.cache.state_of(0) == CacheState.SHARED
+
+    def test_many_lines_all_nodes(self, kind):
+        machine = build(kind)
+        mem = machine.config.memory_bytes_per_node
+        streams = []
+        for p in range(4):
+            ops = []
+            for target in range(4):
+                for i in range(8):
+                    ops.append(("r", target * mem + i * LINE))
+                    if (i + p) % 2:
+                        ops.append(("w", target * mem + i * LINE))
+            ops.append(("b", "end"))
+            streams.append(ops)
+        result = run(machine, streams)
+        assert result.execution_time > 0
+
+
+@pytest.mark.parametrize("kind", ["flash", "ideal"])
+class TestResultAccounting:
+    def test_miss_classification_totals(self, kind):
+        machine = build(kind)
+        mem = machine.config.memory_bytes_per_node
+        streams = [
+            [("r", 0), ("r", mem), ("b", "e")],
+            [("b", "e")], [("b", "e")], [("b", "e")],
+        ]
+        result = run(machine, streams)
+        assert sum(result.miss_classes.values()) == result.read_misses
+
+    def test_execution_time_is_max_finish(self, kind):
+        machine = build(kind)
+        streams = [[("c", 100)], [("c", 900)], [("c", 1)], [("c", 1)]]
+        result = run(machine, streams)
+        assert result.execution_time == 900
+
+
+class TestFlashVsIdeal:
+    def test_flash_never_faster_on_miss_heavy_workload(self):
+        mem = 64 * MB
+        streams_def = []
+        for p in range(4):
+            ops = [("r", ((p + t) % 4) * mem + i * LINE)
+                   for t in range(4) for i in range(16)]
+            ops.append(("b", "end"))
+            streams_def.append(ops)
+        times = {}
+        for kind in ("flash", "ideal"):
+            machine = build(kind)
+            times[kind] = run(machine, [list(s) for s in streams_def]).execution_time
+        assert times["flash"] > times["ideal"]
+
+    def test_compute_bound_workload_nearly_identical(self):
+        streams = [[("c", 10000), ("r", p * LINE)] for p in range(4)]
+        times = {}
+        for kind in ("flash", "ideal"):
+            machine = build(kind)
+            times[kind] = run(machine, [list(s) for s in streams]).execution_time
+        assert times["flash"] / times["ideal"] < 1.01

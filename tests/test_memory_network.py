@@ -1,0 +1,190 @@
+"""Unit tests for the memory controller and network models."""
+
+import pytest
+
+from repro.common.params import flash_config, ideal_config, mesh_transit_cycles
+from repro.memory.controller import MemoryController
+from repro.network.mesh import Network
+from repro.protocol.messages import Message, MessageType as MT
+from repro.sim.engine import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestMemoryController:
+    def test_first_data_at_access_latency(self, env):
+        mem = MemoryController(env, flash_config(2))
+
+        def proc():
+            req = mem.read(0)
+            yield mem.submit(req)
+            yield req.data_event
+            return env.now
+
+        assert env.run_process(proc()) == 14
+
+    def test_controller_busy_for_full_transfer(self, env):
+        config = flash_config(2)
+        mem = MemoryController(env, config)
+
+        def proc():
+            first = mem.read(0)
+            second = mem.read(128)
+            yield mem.submit(first)
+            yield mem.submit(second)
+            yield second.data_event
+            return env.now
+
+        # Second access starts only after the first's full-line transfer.
+        assert env.run_process(proc()) == config.memory_busy_cycles + 14
+
+    def test_queue_limit_stalls_submitter(self, env):
+        config = flash_config(2)  # memory queue holds one waiting request
+        mem = MemoryController(env, config)
+
+        def proc():
+            reqs = [mem.read(i * 128) for i in range(3)]
+            yield mem.submit(reqs[0])  # being served
+            yield mem.submit(reqs[1])  # waits in the 1-deep queue
+            t_before = env.now
+            yield mem.submit(reqs[2])  # must stall until a slot frees
+            return env.now - t_before
+
+        assert env.run_process(proc()) > 0
+
+    def test_ideal_queue_never_stalls(self, env):
+        mem = MemoryController(env, ideal_config(2))
+
+        def proc():
+            for i in range(10):
+                yield mem.submit(mem.read(i * 128))
+            return env.now
+
+        assert env.run_process(proc()) == 0
+
+    def test_occupancy_accounting(self, env):
+        config = flash_config(2)
+        mem = MemoryController(env, config)
+
+        def proc():
+            req = mem.read(0)
+            yield mem.submit(req)
+            yield req.done_event
+
+        env.run_process(proc())
+        assert mem.busy_cycles == config.memory_busy_cycles
+        assert mem.occupancy(config.memory_busy_cycles * 2) == pytest.approx(0.5)
+
+    def test_read_write_counters(self, env):
+        mem = MemoryController(env, flash_config(2))
+
+        def proc():
+            r = mem.read(0)
+            w = mem.write(128)
+            yield mem.submit(r)
+            yield mem.submit(w)
+            yield w.done_event
+
+        env.run_process(proc())
+        assert mem.reads == 1 and mem.writes == 1
+
+
+class TestNetwork:
+    def make(self, env, n=4, kind="flash"):
+        config = flash_config(n) if kind == "flash" else ideal_config(n)
+        return Network(env, config), config
+
+    def test_end_to_end_latency(self, env):
+        net, config = self.make(env)
+        lat = config.latencies
+
+        def proc():
+            message = Message(MT.REMOTE_GET, 0, 0, 1, 0)
+            yield net.port(0).send((message, None, None))
+            received = yield net.port(1).in_queue.get()
+            return env.now, received
+
+        t, received = env.run_process(proc())
+        expected = lat.ni_outbound + lat.network_transit + lat.ni_inbound
+        assert t == expected
+        assert received.mtype == MT.REMOTE_GET
+
+    def test_point_to_point_ordering(self, env):
+        net, _ = self.make(env)
+
+        def sender():
+            for i in range(5):
+                message = Message(MT.INVAL, i * 128, 0, 1, 0)
+                yield net.port(0).send((message, None, None))
+
+        def receiver():
+            out = []
+            for _ in range(5):
+                m = yield net.port(1).in_queue.get()
+                out.append(m.line_addr)
+            return out
+
+        env.process(sender())
+        proc = env.process(receiver())
+        env.run()
+        assert proc.value == [0, 128, 256, 384, 512]
+
+    def test_send_to_self_rejected(self, env):
+        net, _ = self.make(env)
+        message = Message(MT.PUT, 0, 0, 0, 0)
+        with pytest.raises(ValueError):
+            net.port(0).send((message, None, None))
+
+    def test_data_bearing_message_waits_for_data(self, env):
+        net, config = self.make(env)
+
+        def proc():
+            data_ready = env.timeout(50)
+            message = Message(MT.PUT, 0, 0, 1, 1)
+            yield net.port(0).send((message, data_ready, None))
+            yield net.port(1).in_queue.get()
+            return env.now
+
+        lat = config.latencies
+        expected = 50 + lat.ni_outbound + lat.network_transit + lat.ni_inbound
+        assert env.run_process(proc()) == expected
+
+    def test_outbound_serialization(self, env):
+        """The NI sends one message per ni_outbound cycles (link bandwidth)."""
+        net, config = self.make(env)
+
+        def proc():
+            for i in range(3):
+                m = Message(MT.INVAL, i * 128, 0, 1, 0)
+                yield net.port(0).send((m, None, None))
+            out = []
+            for _ in range(3):
+                yield net.port(1).in_queue.get()
+                out.append(env.now)
+            return out
+
+        times = env.run_process(proc())
+        lat = config.latencies
+        # The slower of the two serial NI stages paces back-to-back traffic.
+        pace = max(lat.ni_outbound, lat.ni_inbound)
+        assert times[1] - times[0] == pace
+        assert times[2] - times[1] == pace
+
+    def test_transit_scales_with_machine_size(self):
+        assert mesh_transit_cycles(16) == 22  # the paper's value
+        assert mesh_transit_cycles(64) > mesh_transit_cycles(16)
+        assert mesh_transit_cycles(1) == 0
+
+    def test_messages_counted(self, env):
+        net, _ = self.make(env)
+
+        def proc():
+            m = Message(MT.REMOTE_GET, 0, 0, 1, 0)
+            yield net.port(0).send((m, None, None))
+            yield net.port(1).in_queue.get()
+
+        env.run_process(proc())
+        assert net.messages_sent == 1

@@ -1,0 +1,112 @@
+"""Tests for the microbenchmark harness and experiment registry."""
+
+import pytest
+
+from repro.common.params import flash_config, ideal_config
+from repro.harness import experiments
+from repro.harness.micro import (
+    PAPER_TABLE_3_3, measure_latencies, miss_latency_lookup,
+)
+from repro.harness.tables import render_table
+from repro.protocol.coherence import MissClass
+
+
+@pytest.fixture(scope="module")
+def flash_latencies():
+    return measure_latencies(flash_config(16))
+
+
+@pytest.fixture(scope="module")
+def ideal_latencies():
+    return measure_latencies(ideal_config(16))
+
+
+class TestTable33:
+    def test_flash_latencies_close_to_paper(self, flash_latencies):
+        for cls, measurement in flash_latencies.items():
+            _ideal, paper_flash, _occ = PAPER_TABLE_3_3[cls]
+            assert measurement.latency == pytest.approx(paper_flash, abs=8), cls
+
+    def test_ideal_latencies_close_to_paper(self, ideal_latencies):
+        for cls, measurement in ideal_latencies.items():
+            paper_ideal, _flash, _occ = PAPER_TABLE_3_3[cls]
+            assert measurement.latency == pytest.approx(paper_ideal, abs=6), cls
+
+    def test_local_clean_exact(self, flash_latencies, ideal_latencies):
+        assert flash_latencies[MissClass.LOCAL_CLEAN].latency == 27
+        assert ideal_latencies[MissClass.LOCAL_CLEAN].latency == 24
+
+    def test_flash_always_slower_than_ideal(self, flash_latencies,
+                                            ideal_latencies):
+        for cls in MissClass.ALL:
+            assert flash_latencies[cls].latency > ideal_latencies[cls].latency
+
+    def test_pp_occupancy_ordering(self, flash_latencies):
+        """Dirty-remote misses occupy the PP far longer than clean ones."""
+        occ = {cls: m.pp_occupancy for cls, m in flash_latencies.items()}
+        assert occ[MissClass.LOCAL_CLEAN] < occ[MissClass.REMOTE_DIRTY_REMOTE]
+        assert occ[MissClass.LOCAL_CLEAN] == pytest.approx(11, abs=2)
+
+    def test_latency_lookup_shape(self):
+        lookup = miss_latency_lookup(flash_config(4))
+        assert set(lookup) == set(MissClass.ALL)
+        assert all(v > 0 for v in lookup.values())
+
+
+class TestExperimentRegistry:
+    def test_regime_sizes(self):
+        assert experiments.regime_cache_bytes("fft", "large") == 1024 * 1024
+        assert experiments.regime_cache_bytes("ocean", "small") == 4096
+        assert experiments.regime_cache_bytes("lu", "small") is None
+
+    def test_run_app_memoized(self):
+        experiments.clear_cache()
+        a = experiments.run_app("lu", regime="large",
+                                workload_overrides=dict(matrix=32, block=16))
+        b = experiments.run_app("lu", regime="large",
+                                workload_overrides=dict(matrix=32, block=16))
+        assert a is b
+
+    def test_na_regime_raises(self):
+        with pytest.raises(ValueError):
+            experiments.run_app("os", regime="small")
+
+    def test_run_flash_ideal_pairs(self):
+        experiments.clear_cache()
+        flash, ideal = experiments.run_flash_ideal(
+            "lu", workload_overrides=dict(matrix=32, block=16)
+        )
+        assert flash.kind == "flash" and ideal.kind == "ideal"
+        assert flash.execution_time >= ideal.execution_time
+
+    def test_workload_factory_names(self):
+        for app in experiments.APP_ORDER:
+            wl = experiments.app_workload(app)
+            assert wl.name == app
+
+
+class TestRendering:
+    def test_render_table_alignment(self):
+        text = render_table("T", ["a", "bb"], [[1, 2.5], [10, 0.125]])
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "2.50" in text and "0.12" in text
+        assert len(lines) == 5
+
+
+class TestPaperScale:
+    def test_paper_scale_sizes(self):
+        wl = experiments.app_workload("fft", paper_scale=True)
+        assert wl.points == 65536
+        wl = experiments.app_workload("lu", paper_scale=True)
+        assert wl.matrix == 512
+        wl = experiments.app_workload("radix", paper_scale=True)
+        assert wl.n_keys == 262144 and wl.radix == 256
+
+    def test_paper_scale_override_wins(self):
+        wl = experiments.app_workload("fft", paper_scale=True, points=1024)
+        assert wl.points == 1024
+
+    def test_quick_scale_defaults(self):
+        wl = experiments.app_workload("fft", paper_scale=False)
+        assert wl.points == 16384

@@ -1,0 +1,201 @@
+"""Tests for the migratory-data protocol variant."""
+
+import pytest
+
+from repro.caches.setassoc import CacheState
+from repro.common.params import MagicCacheConfig, flash_config
+from repro.machine import Machine
+from repro.protocol.coherence import Handler
+from repro.protocol.directory import Directory
+from repro.protocol.messages import Message, MessageType as MT
+from repro.protocol.migratory import MigratoryProtocolEngine
+
+MB = 1024 * 1024
+MEM = 4 * MB
+LINE = 0x400
+
+
+class FakeCache:
+    def __init__(self):
+        self.lines = {}
+
+    def state_of(self, line):
+        return self.lines.get(line, CacheState.INVALID)
+
+    def invalidate(self, line):
+        return self.lines.pop(line, CacheState.INVALID)
+
+    def downgrade(self, line):
+        if self.lines.get(line) == CacheState.DIRTY:
+            self.lines[line] = CacheState.SHARED
+
+
+def make_engine(probe_period=None):
+    cache = FakeCache()
+    directory = Directory(0, MEM, n_links=64)
+    engine = MigratoryProtocolEngine(
+        node_id=0, n_nodes=4, directory=directory,
+        memory_bytes_per_node=MEM,
+        cache_state_of=cache.state_of,
+        cache_invalidate=cache.invalidate,
+        cache_downgrade=cache.downgrade,
+        probe_period=probe_period,
+    )
+    return engine, directory, cache
+
+
+def migrate_once(engine, node):
+    """One read-then-upgrade hand-off by `node`."""
+    engine.process(Message(MT.REMOTE_GET, LINE, node, 0, node))
+    # Resolve any 3-hop the read may have started.
+    entry = engine.directory.entry(LINE)
+    if entry.pending:
+        old_owner = [m for m in (1, 2, 3) if m != node]
+        engine.process(Message(MT.SHARING_WRITEBACK, LINE,
+                               entry.deferred and 0 or 0, 0, node))
+    engine.process(Message(MT.REMOTE_UPGRADE, LINE, node, 0, node,
+                           is_write=True))
+
+
+class TestDetection:
+    def test_two_steps_classify_migratory(self):
+        engine, directory, _ = make_engine()
+        # Step 1: node 1 reads then upgrades.
+        engine.process(Message(MT.REMOTE_GET, LINE, 1, 0, 1))
+        engine.process(Message(MT.REMOTE_UPGRADE, LINE, 1, 0, 1,
+                               is_write=True))
+        assert engine.migratory_lines() == []
+        # Step 2: node 2 reads (3-hop) then upgrades.
+        engine.process(Message(MT.REMOTE_GET, LINE, 2, 0, 2))
+        engine.process(Message(MT.SHARING_WRITEBACK, LINE, 1, 0, 2))
+        engine.process(Message(MT.REMOTE_UPGRADE, LINE, 2, 0, 2,
+                               is_write=True))
+        assert engine.migratory_lines() == [LINE]
+
+    def test_probe_declassifies_stopped_pattern(self):
+        """With probing every 2nd grant, a line whose readers stop writing
+        is observed by a shared-read probe and declassified."""
+        engine, directory, cache = make_engine(probe_period=2)
+        # Build up migratory status.
+        engine.process(Message(MT.REMOTE_GET, LINE, 1, 0, 1))
+        engine.process(Message(MT.REMOTE_UPGRADE, LINE, 1, 0, 1,
+                               is_write=True))
+        engine.process(Message(MT.REMOTE_GET, LINE, 2, 0, 2))
+        engine.process(Message(MT.SHARING_WRITEBACK, LINE, 1, 0, 2))
+        engine.process(Message(MT.REMOTE_UPGRADE, LINE, 2, 0, 2,
+                               is_write=True))
+        assert engine.migratory_lines() == [LINE]
+        # Grant 1: exclusive hand-off to node 3.
+        engine.process(Message(MT.REMOTE_GET, LINE, 3, 0, 3))
+        engine.process(Message(MT.OWNERSHIP_TRANSFER, LINE, 2, 0, 3,
+                               is_write=True))
+        # Grant 2 is the probe: node 1's read is served shared (3-hop GET).
+        actions = engine.process(Message(MT.REMOTE_GET, LINE, 1, 0, 1))
+        assert actions[0].sends[0].mtype == MT.FORWARD_GET
+        assert engine.probes == 1
+        engine.process(Message(MT.SHARING_WRITEBACK, LINE, 3, 0, 1))
+        # Node 1 never writes; node 2's next read declassifies the line.
+        engine.process(Message(MT.REMOTE_GET, LINE, 2, 0, 2))
+        assert engine.migratory_lines() == []
+        assert engine.declassified == 1
+
+
+class TestExclusiveHandoff:
+    def _make_migratory(self, engine):
+        engine.process(Message(MT.REMOTE_GET, LINE, 1, 0, 1))
+        engine.process(Message(MT.REMOTE_UPGRADE, LINE, 1, 0, 1,
+                               is_write=True))
+        engine.process(Message(MT.REMOTE_GET, LINE, 2, 0, 2))
+        engine.process(Message(MT.SHARING_WRITEBACK, LINE, 1, 0, 2))
+        engine.process(Message(MT.REMOTE_UPGRADE, LINE, 2, 0, 2,
+                               is_write=True))
+
+    def test_read_on_migratory_line_forwards_as_getx(self):
+        engine, directory, _ = make_engine()
+        self._make_migratory(engine)
+        actions = engine.process(Message(MT.REMOTE_GET, LINE, 3, 0, 3))
+        a = actions[0]
+        assert a.handler == Handler.GETX_HOME_FORWARD
+        assert a.sends[0].mtype == MT.FORWARD_GETX
+        assert engine.migratory_grants == 1
+
+    def test_ownership_lands_on_reader(self):
+        engine, directory, _ = make_engine()
+        self._make_migratory(engine)
+        engine.process(Message(MT.REMOTE_GET, LINE, 3, 0, 3))
+        engine.process(Message(MT.OWNERSHIP_TRANSFER, LINE, 2, 0, 3,
+                               is_write=True))
+        entry = directory.entry(LINE)
+        assert entry.dirty and entry.owner == 3
+
+    def test_home_owned_migratory_grant(self):
+        engine, directory, cache = make_engine()
+        self._make_migratory(engine)
+        # Hand the line to the home's own processor first.
+        engine.process(Message(MT.REMOTE_GET, LINE, 3, 0, 3))
+        engine.process(Message(MT.OWNERSHIP_TRANSFER, LINE, 2, 0, 3,
+                               is_write=True))
+        engine.process(Message(MT.REMOTE_WRITEBACK, LINE, 3, 0, 3))
+        engine.process(Message(MT.GET, LINE, 0, 0, 0))
+        engine.process(Message(MT.UPGRADE, LINE, 0, 0, 0, is_write=True))
+        cache.lines[LINE] = CacheState.DIRTY
+        actions = engine.process(Message(MT.REMOTE_GET, LINE, 1, 0, 1))
+        a = actions[0]
+        assert a.handler == Handler.GETX_HOME_DIRTY_LOCAL
+        assert a.sends[0].mtype == MT.PUTX
+        assert cache.state_of(LINE) == CacheState.INVALID
+
+
+class TestEndToEnd:
+    def _migratory_workload(self, rounds=4):
+        """Each processor in turn reads then writes the same set of lines."""
+        streams = []
+        for p in range(4):
+            ops = []
+            for r in range(rounds):
+                if r % 4 == p:
+                    for i in range(8):
+                        ops.append(("r", i * 128))
+                        ops.append(("w", i * 128))
+                ops.append(("b", ("round", r)))
+            streams.append(ops)
+        return streams
+
+    def _run(self, protocol):
+        config = flash_config(n_procs=4, cache_size=64 * 1024).with_changes(
+            protocol=protocol,
+            magic_caches=MagicCacheConfig(enabled=False),
+        )
+        machine = Machine(config)
+        result = machine.run([iter(s) for s in self._migratory_workload()])
+        machine.check_directory_invariants()
+        return machine, result
+
+    def test_migratory_machine_runs_and_detects(self):
+        machine, _ = self._run("migratory")
+        grants = sum(n.engine.migratory_grants for n in machine.nodes)
+        assert grants > 0
+
+    def test_migratory_protocol_reduces_messages(self):
+        base_machine, base = self._run("base")
+        mig_machine, mig = self._run("migratory")
+        assert mig.network_messages < base.network_messages
+
+    def test_migratory_protocol_not_slower(self):
+        _, base = self._run("base")
+        _, mig = self._run("migratory")
+        assert mig.execution_time <= base.execution_time * 1.02
+
+    def test_same_final_owner(self):
+        base_machine, _ = self._run("base")
+        mig_machine, _ = self._run("migratory")
+        for line in range(0, 8 * 128, 128):
+            b = base_machine.nodes[0].directory.entry(line)
+            m = mig_machine.nodes[0].directory.entry(line)
+            assert b.owner == m.owner
+            assert b.dirty == m.dirty
+
+    def test_config_validation(self):
+        from repro.common.errors import ConfigError
+        with pytest.raises(ConfigError):
+            flash_config(4).with_changes(protocol="token")

@@ -1,0 +1,120 @@
+"""Tests for the protocol performance monitor."""
+
+import pytest
+
+from repro.common.params import MagicCacheConfig, flash_config
+from repro.common.units import PAGE_BYTES
+from repro.machine import Machine
+from repro.protocol.coherence import MissClass
+from repro.stats.monitor import ProtocolMonitor, SharingPattern
+
+LINE = 128
+
+
+@pytest.fixture
+def monitor():
+    return ProtocolMonitor(node_id=0)
+
+
+class TestCounting:
+    def test_local_remote_split(self, monitor):
+        monitor.note_miss(MissClass.LOCAL_CLEAN, 0, 0)
+        monitor.note_miss(MissClass.REMOTE_CLEAN, 0, 3)
+        monitor.note_miss(MissClass.REMOTE_DIRTY_REMOTE, 0, 2)
+        assert monitor.page_local[0] == 1
+        assert monitor.page_remote[0] == 2
+        assert monitor.remote_fraction() == pytest.approx(2 / 3)
+
+    def test_hot_pages_ranked_by_remote_traffic(self, monitor):
+        for _ in range(5):
+            monitor.note_miss(MissClass.REMOTE_CLEAN, 0 * PAGE_BYTES, 1)
+        for _ in range(9):
+            monitor.note_miss(MissClass.REMOTE_CLEAN, 3 * PAGE_BYTES, 2)
+        hot = monitor.hot_pages(top=2)
+        assert hot[0][0] == 3 and hot[0][1] == 9
+        assert hot[1][0] == 0 and hot[1][1] == 5
+
+    def test_dominant_requesters(self, monitor):
+        for node, count in ((1, 7), (2, 3)):
+            for _ in range(count):
+                monitor.note_miss(MissClass.REMOTE_CLEAN, 0, node)
+        assert monitor.dominant_requesters(1) == [(1, 7)]
+
+
+class TestSharingClassification:
+    def test_private(self, monitor):
+        monitor.note_miss(MissClass.REMOTE_CLEAN, 0, 1)
+        monitor.note_miss(MissClass.REMOTE_CLEAN, 0, 1)
+        assert monitor.classify_line(0) == SharingPattern.PRIVATE
+
+    def test_read_shared(self, monitor):
+        for node in (1, 2, 3):
+            monitor.note_miss(MissClass.REMOTE_CLEAN, 0, node)
+        assert monitor.classify_line(0) == SharingPattern.READ_SHARED
+
+    def test_producer_consumer(self, monitor):
+        monitor.note_write(0, 1)
+        for node in (2, 3):
+            monitor.note_miss(MissClass.REMOTE_DIRTY_REMOTE, 0, node)
+        assert monitor.classify_line(0) == SharingPattern.PRODUCER_CONSUMER
+
+    def test_migratory(self, monitor):
+        for node in (1, 2, 3):
+            monitor.note_miss(MissClass.REMOTE_DIRTY_REMOTE, 0, node)
+            monitor.note_write(0, node)
+        assert monitor.classify_line(0) == SharingPattern.MIGRATORY
+
+    def test_unobserved_line_private(self, monitor):
+        assert monitor.classify_line(0x9999) == SharingPattern.PRIVATE
+
+    def test_pattern_histogram(self, monitor):
+        monitor.note_miss(MissClass.REMOTE_CLEAN, 0, 1)
+        monitor.note_miss(MissClass.REMOTE_CLEAN, LINE, 1)
+        monitor.note_miss(MissClass.REMOTE_CLEAN, LINE, 2)
+        histogram = monitor.pattern_histogram()
+        assert histogram[SharingPattern.PRIVATE] == 1
+        assert histogram[SharingPattern.READ_SHARED] == 1
+
+
+class TestMigrationAdvice:
+    def test_single_dominant_remote_node(self, monitor):
+        for i in range(12):
+            monitor.note_miss(MissClass.REMOTE_CLEAN, i * LINE, 2)
+        advice = monitor.migration_advice(threshold=8)
+        assert advice == [(0, 2)]
+
+    def test_balanced_traffic_gives_no_advice(self, monitor):
+        for i in range(16):
+            monitor.note_miss(MissClass.REMOTE_CLEAN, i * LINE, 1 + i % 3)
+        assert monitor.migration_advice(threshold=8) == []
+
+    def test_below_threshold_no_advice(self, monitor):
+        for i in range(3):
+            monitor.note_miss(MissClass.REMOTE_CLEAN, i * LINE, 2)
+        assert monitor.migration_advice(threshold=8) == []
+
+
+class TestMachineIntegration:
+    def test_monitor_attached_to_engine_observes_run(self):
+        config = flash_config(n_procs=4, cache_size=64 * 1024).with_changes(
+            magic_caches=MagicCacheConfig(enabled=False)
+        )
+        machine = Machine(config)
+        monitors = []
+        for node in machine.nodes:
+            monitor = ProtocolMonitor(node.node_id)
+            node.engine.monitor = monitor
+            monitors.append(monitor)
+        mem = config.memory_bytes_per_node
+        streams = [
+            [("r", 0)] + [("b", "e")],                                # local
+            [("r", i * LINE) for i in range(8)]                       # remote
+            + [("w", i * LINE) for i in range(8)] + [("b", "e")],
+            [("w", mem + i * LINE) for i in range(4)] + [("b", "e")],
+            [("c", 1), ("b", "e")],
+        ]
+        machine.run([iter(s) for s in streams])
+        assert sum(monitors[0].class_counts.values()) > 0
+        assert monitors[0].remote_fraction() > 0
+        # Node 0's hottest page saw remote traffic from node 1.
+        assert monitors[0].dominant_requesters(1)[0][0] == 1

@@ -1,0 +1,150 @@
+"""Tests for block-transfer message passing."""
+
+import pytest
+
+from repro.common.params import MagicCacheConfig, flash_config, ideal_config
+from repro.machine import Machine
+from repro.msgpass.transfer import TransferDomain
+
+KB = 1024
+MB = 1024 * 1024
+
+
+def build(kind="flash", n_procs=2):
+    make = flash_config if kind == "flash" else ideal_config
+    config = make(n_procs=n_procs, cache_size=64 * KB).with_changes(
+        magic_caches=MagicCacheConfig(enabled=False)
+    )
+    return Machine(config)
+
+
+class TestTransferDomain:
+    def test_lines_for(self):
+        assert TransferDomain.lines_for(1) == 1
+        assert TransferDomain.lines_for(128) == 1
+        assert TransferDomain.lines_for(129) == 2
+        assert TransferDomain.lines_for(4096) == 32
+
+    def test_receive_before_completion_blocks(self):
+        from repro.sim.engine import Environment
+        env = Environment()
+        domain = TransferDomain(env)
+
+        def receiver():
+            yield domain.receive(0, 1)
+            return env.now
+
+        def completer():
+            yield env.timeout(50)
+            domain.complete(0, 1)
+
+        proc = env.process(receiver())
+        env.process(completer())
+        env.run()
+        assert proc.value == 50
+
+    def test_completion_before_receive(self):
+        from repro.sim.engine import Environment
+        env = Environment()
+        domain = TransferDomain(env)
+        domain.complete(0, 1)
+
+        def receiver():
+            yield domain.receive(0, 1)
+            return env.now
+
+        assert env.run_process(receiver()) == 0
+
+
+@pytest.mark.parametrize("kind", ["flash", "ideal"])
+class TestEndToEnd:
+    def test_send_receive(self, kind):
+        machine = build(kind)
+        mem = machine.config.memory_bytes_per_node
+        streams = [
+            iter([("s", 1, 0, 1024), ("c", 10)]),
+            iter([("v", 0), ("c", 10)]),
+        ]
+        result = machine.run(streams)
+        assert machine.transfers.transfers_completed == 1
+        assert machine.transfers.lines_moved == 8
+
+    def test_receiver_waits_for_payload(self, kind):
+        machine = build(kind)
+        streams = [
+            iter([("c", 500), ("s", 1, 0, 2048)]),
+            iter([("v", 0)]),
+        ]
+        machine.run(streams)
+        times = machine.nodes[1].cpu.times
+        assert times.sync > 500  # waited for the sender's compute + transfer
+
+    def test_payload_consumes_both_memories(self, kind):
+        machine = build(kind)
+        streams = [
+            iter([("s", 1, 0, 4096)]),
+            iter([("c", 1)]),
+        ]
+        machine.run(streams)
+        assert machine.nodes[0].memory.reads >= 32   # source lines
+        assert machine.nodes[1].memory.writes >= 32  # destination lines
+
+    def test_multiple_transfers_same_pair(self, kind):
+        machine = build(kind)
+        streams = [
+            iter([("s", 1, 0, 256), ("s", 1, 4096, 256)]),
+            iter([("v", 0), ("v", 0)]),
+        ]
+        machine.run(streams)
+        assert machine.transfers.transfers_completed == 2
+
+    def test_bidirectional(self, kind):
+        machine = build(kind)
+        streams = [
+            iter([("s", 1, 0, 512), ("v", 1)]),
+            iter([("s", 0, 8192, 512), ("v", 0)]),
+        ]
+        machine.run(streams)
+        assert machine.transfers.transfers_completed == 2
+
+
+class TestFlexibilityCost:
+    def test_flash_transfer_occupies_pp(self):
+        machine = build("flash")
+        machine.run([iter([("s", 1, 0, 4096)]), iter([("c", 1)])])
+        assert machine.nodes[0].stats.pp_busy > 0
+        assert machine.nodes[1].stats.pp_busy > 0
+
+    def test_ideal_transfer_zero_occupancy(self):
+        machine = build("ideal")
+        machine.run([iter([("s", 1, 0, 4096)]), iter([("c", 1)])])
+        assert machine.nodes[0].stats.pp_busy == 0
+
+    def test_flash_slower_but_same_payload(self):
+        times = {}
+        for kind in ("flash", "ideal"):
+            machine = build(kind)
+            result = machine.run([
+                iter([("s", 1, 0, 8192)]),
+                iter([("v", 0)]),
+            ])
+            times[kind] = result.execution_time
+            assert machine.transfers.lines_moved == 64
+        assert times["flash"] > times["ideal"]
+
+    def test_block_transfer_beats_line_at_a_time(self):
+        """Moving 4 KB by block transfer is far cheaper than pulling it
+        through the coherence protocol line by line — the argument of
+        [WSH94], which the paper builds on."""
+        machine_xfer = build("flash")
+        result_xfer = machine_xfer.run([
+            iter([("s", 1, 0, 4096)]),
+            iter([("v", 0)]),
+        ])
+        machine_lines = build("flash")
+        # Node 1 reads 32 remote lines through the protocol.
+        result_lines = machine_lines.run([
+            iter([("c", 1)]),
+            iter([("r", i * 128) for i in range(32)]),
+        ])
+        assert result_xfer.execution_time < result_lines.execution_time

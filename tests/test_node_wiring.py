@@ -1,0 +1,71 @@
+"""Tests for node/machine assembly and wiring."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.params import flash_config, ideal_config
+from repro.ideal.controller import IdealController
+from repro.machine import Machine
+from repro.magic.chip import MagicChip
+from repro.protocol.coherence import NodeProtocolEngine
+from repro.protocol.migratory import MigratoryProtocolEngine
+
+KB = 1024
+
+
+class TestNodeAssembly:
+    def test_flash_node_uses_magic(self):
+        machine = Machine(flash_config(2))
+        assert isinstance(machine.nodes[0].controller, MagicChip)
+        assert machine.nodes[0].mdc is not None
+
+    def test_ideal_node_uses_oracle(self):
+        machine = Machine(ideal_config(2))
+        assert isinstance(machine.nodes[0].controller, IdealController)
+        assert machine.nodes[0].mdc is None
+
+    def test_protocol_selection(self):
+        base = Machine(flash_config(2))
+        assert type(base.nodes[0].engine) is NodeProtocolEngine
+        mig = Machine(flash_config(2).with_changes(protocol="migratory"))
+        assert isinstance(mig.nodes[0].engine, MigratoryProtocolEngine)
+
+    def test_transfers_attached_everywhere(self):
+        machine = Machine(flash_config(2))
+        for node in machine.nodes:
+            assert node.controller.transfers is machine.transfers
+            assert node.cpu.transfers is machine.transfers
+
+    def test_engine_cache_callbacks_reach_cpu(self):
+        machine = Machine(flash_config(2))
+        node = machine.nodes[0]
+        node.cpu.cache.fill(0, "M")
+        assert node.engine._cache_state_of(0) == "M"
+        node.engine._cache_downgrade(0)
+        assert node.cpu.cache.state_of(0) == "S"
+        node.engine._cache_invalidate(0)
+        assert node.cpu.cache.state_of(0) == "I"
+
+    def test_directories_partition_address_space(self):
+        machine = Machine(flash_config(4))
+        mem = machine.config.memory_bytes_per_node
+        for node_id, node in enumerate(machine.nodes):
+            entry = node.directory.entry(node_id * mem)  # first local line
+            assert entry.is_uncached
+
+
+class TestMachineValidation:
+    def test_workload_length_mismatch_rejected(self):
+        machine = Machine(flash_config(4))
+        with pytest.raises(ConfigError):
+            machine.run([iter([("c", 1)])] * 3)
+
+    def test_classmethod_constructors(self):
+        assert Machine.flash(2).config.kind == "flash"
+        assert Machine.ideal(2).config.kind == "ideal"
+
+    def test_empty_streams_complete_instantly(self):
+        machine = Machine(flash_config(2, cache_size=8 * KB))
+        result = machine.run([iter([]), iter([])])
+        assert result.execution_time == 0
+        assert result.references == 0

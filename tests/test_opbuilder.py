@@ -1,0 +1,82 @@
+"""Tests for the workload op-builder and PRNG helpers."""
+
+import pytest
+
+from repro.apps.base import OpBuilder, Workload, rng_stream
+
+
+def drain(gen):
+    return list(gen)
+
+
+class TestOpBuilder:
+    def test_read_emits_tuple(self):
+        ops = OpBuilder()
+        out = drain(ops.read(0x100))
+        assert out == [("r", 0x100)]
+
+    def test_multi_ref_form(self):
+        ops = OpBuilder(refs_per_access=4)
+        out = drain(ops.read(0x100))
+        assert out == [("r", 0x100, 4)]
+
+    def test_explicit_refs_override_default(self):
+        ops = OpBuilder(refs_per_access=4)
+        out = drain(ops.write(0x100, refs=16))
+        assert out == [("w", 0x100, 16)]
+
+    def test_work_accumulates_until_threshold(self):
+        ops = OpBuilder(work_per_ref=5.0, threshold=16.0)
+        first = drain(ops.read(0))        # 5 pending: below threshold
+        second = drain(ops.read(128))     # 10 pending
+        third = drain(ops.read(256))      # 15 pending
+        fourth = drain(ops.read(384))     # 20 >= 16: flushes
+        assert all(op[0] == "r" for op in first + second + third)
+        assert fourth[0][0] == "c" and fourth[0][1] == 20.0
+        assert fourth[1][0] == "r"
+
+    def test_flush_emits_remainder(self):
+        ops = OpBuilder(work_per_ref=3.0)
+        drain(ops.read(0))
+        out = drain(ops.flush())
+        assert out == [("c", 3.0)]
+        assert drain(ops.flush()) == []  # idempotent
+
+    def test_compute_respects_threshold(self):
+        ops = OpBuilder(threshold=10.0)
+        assert drain(ops.compute(4)) == []
+        out = drain(ops.compute(8))
+        assert out == [("c", 12.0)]
+
+    def test_refs_scale_pending_work(self):
+        ops = OpBuilder(work_per_ref=1.0, threshold=100.0, refs_per_access=8)
+        drain(ops.read(0))
+        out = drain(ops.flush())
+        assert out == [("c", 8.0)]
+
+
+class TestRngStream:
+    def test_deterministic(self):
+        a, b = rng_stream(5), rng_stream(5)
+        assert [a() for _ in range(20)] == [b() for _ in range(20)]
+
+    def test_seed_sensitivity(self):
+        a, b = rng_stream(5), rng_stream(6)
+        assert [a() for _ in range(8)] != [b() for _ in range(8)]
+
+    def test_range(self):
+        rng = rng_stream(1)
+        for _ in range(100):
+            assert 0 <= rng() < 2**32
+
+    def test_no_short_cycles(self):
+        rng = rng_stream(9)
+        seen = {rng() for _ in range(1000)}
+        assert len(seen) == 1000
+
+
+class TestWorkloadBase:
+    def test_streams_abstract(self):
+        from repro.common.params import flash_config
+        with pytest.raises(NotImplementedError):
+            Workload().build(flash_config(2))

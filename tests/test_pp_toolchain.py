@@ -1,0 +1,277 @@
+"""Tests for the PP ISA, assembler, scheduler, emulator and lowering."""
+
+import pytest
+
+from repro.common.errors import PPError
+from repro.pp.assembler import assemble
+from repro.pp.emulator import PPEmulator
+from repro.pp.isa import Instruction
+from repro.pp.lowering import lower_text
+from repro.pp.schedule import schedule_pairs
+
+
+def run_asm(text, regs=None, memory=None):
+    instructions = assemble(text)
+    schedule = schedule_pairs(instructions)
+    emu = PPEmulator()
+    for addr, value in (memory or {}).items():
+        emu.poke(addr, value)
+    stats = emu.run(schedule, regs or {})
+    return emu, stats
+
+
+class TestAssembler:
+    def test_basic_program(self):
+        instrs = assemble("addi r1, r0, 5\ndone\n")
+        assert instrs[0].op == "addi" and instrs[0].imm == 5
+
+    def test_labels_resolved(self):
+        instrs = assemble("""
+            beq r0, r0, end
+            addi r1, r0, 1
+        end:
+            done
+        """)
+        assert instrs[0].target == 2
+
+    def test_comments_ignored(self):
+        instrs = assemble("addi r1, r0, 1  # a comment\ndone")
+        assert len(instrs) == 2
+
+    def test_memory_operand_syntax(self):
+        instrs = assemble("lw r3, -8(r6)\ndone")
+        assert instrs[0].imm == -8 and instrs[0].rs == 6
+
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(PPError):
+            assemble("frobnicate r1, r2\ndone")
+
+    def test_undefined_label_rejected(self):
+        with pytest.raises(PPError):
+            assemble("j nowhere\ndone")
+
+    def test_missing_done_rejected(self):
+        with pytest.raises(PPError):
+            assemble("addi r1, r0, 1")
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(PPError):
+            assemble("x:\nx:\ndone")
+
+
+class TestEmulatorSemantics:
+    def test_arithmetic(self):
+        emu, _ = run_asm("""
+            addi r1, r0, 7
+            addi r2, r0, 3
+            add  r3, r1, r2
+            sub  r4, r1, r2
+            sw   r3, 0(r0)
+            sw   r4, 8(r0)
+            done
+        """)
+        assert emu.peek(0) == 10 and emu.peek(8) == 4
+
+    def test_logic_and_shifts(self):
+        emu, _ = run_asm("""
+            addi r1, r0, 0xF0
+            andi r2, r1, 0x3C
+            ori  r3, r1, 0x0F
+            xori r4, r1, 0xFF
+            sll  r5, r1, 4
+            srl  r6, r1, 4
+            sw   r2, 0(r0)
+            sw   r3, 8(r0)
+            sw   r4, 16(r0)
+            sw   r5, 24(r0)
+            sw   r6, 32(r0)
+            done
+        """)
+        assert emu.peek(0) == 0x30
+        assert emu.peek(8) == 0xFF
+        assert emu.peek(16) == 0x0F
+        assert emu.peek(24) == 0xF00
+        assert emu.peek(32) == 0x0F
+
+    def test_r0_hardwired_zero(self):
+        emu, _ = run_asm("""
+            addi r0, r0, 99
+            sw   r0, 0(r0)
+            done
+        """)
+        assert emu.peek(0) == 0
+
+    def test_branches(self):
+        emu, _ = run_asm("""
+            addi r1, r0, 3
+        loop:
+            addi r2, r2, 10
+            addi r1, r1, -1
+            bne  r1, r0, loop
+            sw   r2, 0(r0)
+            done
+        """)
+        assert emu.peek(0) == 30
+
+    def test_bitfield_extract_insert(self):
+        emu, _ = run_asm("""
+            lui   r1, 0x1234
+            ori   r1, r1, 0x5678
+            bfext r2, r1, 8, 8
+            addi  r3, r0, 0xAB
+            bfins r1, r3, 16, 8
+            sw    r2, 0(r0)
+            sw    r1, 8(r0)
+            done
+        """)
+        assert emu.peek(0) == 0x56
+        assert emu.peek(8) == 0x12AB5678
+
+    def test_branch_on_bit(self):
+        emu, _ = run_asm("""
+            addi r1, r0, 4      # bit 2 set
+            bbs  r1, 2, yes
+            addi r2, r0, 1
+            j    end
+        yes:
+            addi r2, r0, 2
+        end:
+            sw   r2, 0(r0)
+            done
+        """)
+        assert emu.peek(0) == 2
+
+    def test_find_first_set(self):
+        emu, _ = run_asm("""
+            addi r1, r0, 0x50
+            ffs  r2, r1
+            ffs  r3, r0
+            sw   r2, 0(r0)
+            sw   r3, 8(r0)
+            done
+        """)
+        assert emu.peek(0) == 4
+        assert emu.peek(8) == 64  # no bit set
+
+    def test_send_recorded(self):
+        _, stats = run_asm("""
+            addi r1, r0, 0x42
+            addi r2, r0, 2
+            send r1, r2
+            done
+        """)
+        assert stats.sends == [(0x42, 2)]
+
+    def test_runaway_handler_caught(self):
+        with pytest.raises(PPError):
+            run_asm("loop:\nj loop\ndone")
+
+    def test_memory_touch_tracking(self):
+        _, stats = run_asm("lw r1, 0(r0)\nsw r1, 128(r0)\ndone")
+        assert stats.touched == [0, 128]
+        assert stats.loads == 1 and stats.stores == 1
+
+
+class TestScheduler:
+    def test_independent_instructions_pair(self):
+        instrs = assemble("""
+            addi r1, r0, 1
+            addi r2, r0, 2
+            done
+        """)
+        schedule = schedule_pairs(instrs)
+        assert schedule.pairs[0].non_nop_count == 2
+
+    def test_dependent_instructions_split(self):
+        instrs = assemble("""
+            addi r1, r0, 1
+            addi r2, r1, 1
+            done
+        """)
+        schedule = schedule_pairs(instrs)
+        assert schedule.pairs[0].second is None
+
+    def test_single_issue_mode(self):
+        instrs = assemble("""
+            addi r1, r0, 1
+            addi r2, r0, 2
+            addi r3, r0, 3
+            done
+        """)
+        dual = schedule_pairs(instrs, dual_issue=True)
+        single = schedule_pairs(instrs, dual_issue=False)
+        assert single.static_pairs > dual.static_pairs
+        assert all(p.second is None for p in single.pairs)
+
+    def test_memory_ops_never_share_a_pair(self):
+        instrs = assemble("""
+            lw r1, 0(r0)
+            lw r2, 8(r0)
+            done
+        """)
+        schedule = schedule_pairs(instrs)
+        for pair in schedule.pairs:
+            mems = sum(1 for i in pair.instructions if i.is_memory)
+            assert mems <= 1
+
+    def test_branch_targets_start_pairs(self):
+        instrs = assemble("""
+            addi r1, r0, 3
+        loop:
+            addi r1, r1, -1
+            addi r2, r2, 1
+            bne  r1, r0, loop
+            done
+        """)
+        schedule = schedule_pairs(instrs)
+        target = next(i for i in instrs if i.op == "bne").target
+        pair_idx = schedule.pair_of[target]
+        # The target instruction is the first slot of its pair.
+        assert schedule.pairs[pair_idx].first is instrs[target]
+
+    def test_scheduling_preserves_semantics(self):
+        text = """
+            addi r1, r0, 10
+            addi r2, r0, 20
+            add  r3, r1, r2
+            sll  r4, r3, 1
+            sub  r5, r4, r1
+            sw   r5, 0(r0)
+            done
+        """
+        emu_dual = PPEmulator()
+        emu_single = PPEmulator()
+        instrs = assemble(text)
+        emu_dual.run(schedule_pairs(instrs, dual_issue=True), {})
+        emu_single.run(schedule_pairs(instrs, dual_issue=False), {})
+        assert emu_dual.peek(0) == emu_single.peek(0) == 50
+
+
+class TestLowering:
+    CASES = [
+        ("bfext", "addi r1, r0, 0x5678\nbfext r2, r1, 8, 8\nsw r2, 0(r0)\ndone", 0x56),
+        ("bfins", "addi r1, r0, 0xFFFF\naddi r2, r0, 0xA\nbfins r1, r2, 4, 4\nsw r1, 0(r0)\ndone", 0xFFAF),
+        ("bbs", "addi r1, r0, 8\nbbs r1, 3, t\naddi r2, r0, 1\nj e\nt:\naddi r2, r0, 2\ne:\nsw r2, 0(r0)\ndone", 2),
+        ("bbc", "addi r1, r0, 8\nbbc r1, 0, t\naddi r2, r0, 1\nj e\nt:\naddi r2, r0, 2\ne:\nsw r2, 0(r0)\ndone", 2),
+        ("ffs", "addi r1, r0, 0x20\nffs r2, r1\nsw r2, 0(r0)\ndone", 5),
+    ]
+
+    @pytest.mark.parametrize("name,text,expected", CASES)
+    def test_lowered_code_equivalent(self, name, text, expected):
+        for source in (text, lower_text(text)):
+            emu, _ = run_asm(source)
+            assert emu.peek(0) == expected, f"{name} mismatch"
+
+    def test_lowered_code_has_no_specials(self):
+        text = "bfext r1, r2, 4, 4\nbbs r1, 0, x\nx:\nffs r3, r1\ndone"
+        lowered = lower_text(text)
+        instrs = assemble(lowered)
+        assert not any(i.is_special for i in instrs)
+
+    def test_lowered_code_is_longer(self):
+        text = "bfext r1, r2, 4, 4\nbfins r3, r1, 8, 4\nffs r4, r3\ndone"
+        assert len(assemble(lower_text(text))) > len(assemble(text))
+
+    def test_reserved_registers_enforced(self):
+        with pytest.raises(PPError):
+            lower_text("addi r28, r0, 1\ndone")

@@ -1,0 +1,200 @@
+"""Property-based tests (hypothesis) on protocol and machine invariants."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.caches.setassoc import CacheState
+from repro.common.params import MagicCacheConfig, flash_config, ideal_config
+from repro.machine import Machine
+from repro.protocol.directory import Directory
+
+KB = 1024
+MB = 1024 * 1024
+LINE = 128
+
+_slow = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+# -- directory properties ------------------------------------------------------------
+
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["add", "remove", "clear", "dirty", "clean"]),
+            st.integers(min_value=0, max_value=7),   # node
+            st.integers(min_value=0, max_value=3),   # line index
+        ),
+        max_size=60,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_directory_never_corrupts(ops):
+    directory = Directory(node_id=0, memory_bytes=1 * MB, n_links=512)
+    lines = [i * LINE for i in range(4)]
+    for op, node, line_idx in ops:
+        line = lines[line_idx]
+        entry = directory.entry(line)
+        if op == "add" and not entry.dirty:
+            directory.add_sharer(line, node)
+        elif op == "remove":
+            directory.remove_sharer(line, node)
+        elif op == "clear":
+            directory.clear_sharers(line)
+        elif op == "dirty" and entry.head is None and not entry.dirty:
+            directory.set_dirty(line, node)
+        elif op == "clean" and entry.dirty:
+            directory.clear_dirty(line)
+        directory.check_invariants(line)
+
+
+@given(
+    nodes=st.lists(st.integers(min_value=0, max_value=15), min_size=1,
+                   max_size=16, unique=True)
+)
+@settings(max_examples=100, deadline=None)
+def test_directory_link_accounting_balances(nodes):
+    directory = Directory(node_id=0, memory_bytes=1 * MB, n_links=64)
+    for node in nodes:
+        directory.add_sharer(0, node)
+    assert directory.links.used == len(nodes)
+    removed, _ = directory.clear_sharers(0)
+    assert sorted(removed) == sorted(nodes)
+    assert directory.links.used == 0
+
+
+# -- whole-machine properties ----------------------------------------------------------
+
+def _random_workload(draw_ops, n_procs, mem):
+    streams = []
+    for p, ops in enumerate(draw_ops):
+        stream = []
+        for kind, node, line in ops:
+            addr = node * mem + line * LINE
+            stream.append((kind, addr))
+        stream.append(("b", "end"))
+        streams.append(stream)
+    return streams
+
+
+machine_ops = st.lists(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["r", "w"]),
+            st.integers(min_value=0, max_value=3),   # home node
+            st.integers(min_value=0, max_value=5),   # line
+        ),
+        max_size=25,
+    ),
+    min_size=4, max_size=4,
+)
+
+
+@given(ops=machine_ops, kind=st.sampled_from(["flash", "ideal"]))
+@_slow
+def test_machine_quiesces_consistently(ops, kind):
+    """After any random 4-processor workload drains: directory invariants
+    hold, caches agree with the directory, and no resources are leaked."""
+    make = flash_config if kind == "flash" else ideal_config
+    config = make(n_procs=4, cache_size=8 * KB).with_changes(
+        magic_caches=MagicCacheConfig(enabled=False)
+    )
+    machine = Machine(config)
+    mem = config.memory_bytes_per_node
+    streams = _random_workload(ops, 4, mem)
+    machine.run([iter(s) for s in streams])
+    machine.check_directory_invariants()
+    # Single-writer invariant, checked from the cache side.
+    for node in range(4):
+        home = machine.nodes[node].directory
+        for line_addr, entry in home._entries.items():
+            holders = [
+                p for p in range(4)
+                if machine.nodes[p].cpu.cache.state_of(line_addr)
+                == CacheState.DIRTY
+            ]
+            if entry.dirty:
+                assert holders == [entry.owner]
+            else:
+                assert holders == []
+                # Every cache holding the line SHARED is on the sharer list.
+                sharers = set(home.sharers(line_addr))
+                for p in range(4):
+                    state = machine.nodes[p].cpu.cache.state_of(line_addr)
+                    if state == CacheState.SHARED:
+                        assert p in sharers
+    if kind == "flash":
+        for node in machine.nodes:
+            assert node.controller.data_buffers.in_use == 0
+            assert len(node.controller.pi_in_q) == 0
+            assert len(node.controller.pp_q) == 0
+
+
+drf_ops = st.lists(
+    st.tuples(
+        st.lists(  # per-proc write phase: lines the proc owns (disjoint)
+            st.integers(min_value=0, max_value=1), max_size=4
+        ),
+        st.lists(  # per-proc read phase: any line
+            st.integers(min_value=0, max_value=7), max_size=6
+        ),
+    ),
+    min_size=4, max_size=4,
+)
+
+
+@given(ops=drf_ops)
+@_slow
+def test_flash_and_ideal_reach_same_coherence_state(ops):
+    """For a *data-race-free* workload (writes to disjoint lines, a barrier,
+    then reads), both machines must quiesce with identical directory sharing
+    state even though their timings differ.  (Racy workloads may legitimately
+    interleave differently.)"""
+    states = {}
+    for kind in ("flash", "ideal"):
+        make = flash_config if kind == "flash" else ideal_config
+        config = make(n_procs=4, cache_size=8 * KB).with_changes(
+            magic_caches=MagicCacheConfig(enabled=False)
+        )
+        machine = Machine(config)
+        mem = config.memory_bytes_per_node
+        streams = []
+        for p, (writes, reads) in enumerate(ops):
+            stream = [("w", (4 * w + p) * LINE) for w in writes]
+            stream.append(("b", "phase"))
+            stream += [("r", line * LINE) for line in reads]
+            stream.append(("b", "end"))
+            streams.append(iter(stream))
+        machine.run(streams)
+        snapshot = {}
+        for node in machine.nodes:
+            for line_addr, entry in node.directory._entries.items():
+                snapshot[line_addr] = (
+                    entry.dirty, entry.owner,
+                    frozenset(node.directory.sharers(line_addr)),
+                )
+        states[kind] = snapshot
+    assert states["flash"] == states["ideal"]
+
+
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["r", "w"]),
+                  st.integers(min_value=0, max_value=63)),
+        max_size=80,
+    )
+)
+@settings(max_examples=30, deadline=None)
+def test_single_node_time_breakdown_consistent(ops):
+    config = flash_config(n_procs=1, cache_size=2 * KB).with_changes(
+        magic_caches=MagicCacheConfig(enabled=False)
+    )
+    machine = Machine(config)
+    stream = [(k, line * LINE) for k, line in ops]
+    machine.run([iter(stream)])
+    times = machine.nodes[0].cpu.times
+    assert times.total == pytest.approx(times.finish_time, rel=0.05, abs=2)

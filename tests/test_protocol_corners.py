@@ -1,0 +1,125 @@
+"""Corner-case tests: message helpers, grant races, queue semantics."""
+
+import pytest
+
+from repro.caches.setassoc import CacheState
+from repro.common.params import MagicCacheConfig, flash_config, ideal_config
+from repro.machine import Machine
+from repro.protocol.messages import (
+    DATA_BEARING, Message, MessageType as MT, TRANSFER_TYPES,
+)
+
+KB = 1024
+LINE = 128
+
+
+class TestMessageHelpers:
+    def test_reply_targets_requester(self):
+        msg = Message(MT.REMOTE_GET, 0x100, 3, 0, 3)
+        reply = msg.reply(MT.PUT)
+        assert reply.src == 0 and reply.dst == 3 and reply.requester == 3
+        assert reply.line_addr == 0x100
+
+    def test_reply_override_destination(self):
+        msg = Message(MT.REMOTE_GET, 0x100, 3, 0, 3)
+        forward = msg.reply(MT.FORWARD_GET, dst=2)
+        assert forward.dst == 2
+
+    def test_carries_data_classification(self):
+        assert Message(MT.PUT, 0, 0, 1, 1).carries_data
+        assert Message(MT.XFER_DATA, 0, 0, 1, 1).carries_data
+        assert not Message(MT.INVAL, 0, 0, 1, 1).carries_data
+        assert not Message(MT.GET, 0, 0, 0, 0).carries_data
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            Message(MT.GET, -8, 0, 0, 0)
+
+    def test_uids_unique_by_default(self):
+        a = Message(MT.GET, 0, 0, 0, 0)
+        b = Message(MT.GET, 0, 0, 0, 0)
+        assert a.uid != b.uid
+
+    def test_explicit_uid_shared_for_transfers(self):
+        a = Message(MT.XFER_DATA, 0, 0, 1, 0, uid=7)
+        b = Message(MT.XFER_DATA, 128, 0, 1, 0, uid=7)
+        assert a.uid == b.uid == 7
+
+    def test_type_sets_disjoint(self):
+        assert not (TRANSFER_TYPES - {MT.XFER_SEND, MT.XFER_DATA,
+                                      MT.XFER_DONE})
+        assert MT.XFER_SEND not in DATA_BEARING
+
+
+class TestGrantRaceEndToEnd:
+    """The home's CPU is being granted ownership while a remote request for
+    the same line arrives: the request defers, then replays when the grant
+    crosses the bus (the replay_stable path)."""
+
+    @pytest.mark.parametrize("kind", ["flash", "ideal"])
+    def test_remote_read_during_local_grant(self, kind):
+        make = flash_config if kind == "flash" else ideal_config
+        config = make(n_procs=2, cache_size=8 * KB).with_changes(
+            magic_caches=MagicCacheConfig(enabled=False)
+        )
+        machine = Machine(config)
+        # CPU 0 (home) writes line 0; CPU 1 reads it at nearly the same
+        # time, repeatedly, to hit the in-flight-grant window.
+        streams = [
+            iter([("w", 0), ("c", 5), ("r", 0), ("b", "e")]),
+            iter([("r", 0), ("r", 0), ("b", "e")]),
+        ]
+        machine.run(streams)
+        machine.check_directory_invariants()
+        entry = machine.nodes[0].directory.entry(0)
+        # Whatever the interleaving, the final state is coherent: either
+        # shared by both or still dirty at the last writer.
+        if entry.dirty:
+            assert entry.owner in (0, 1)
+        else:
+            assert 1 in machine.nodes[0].directory.sharers(0)
+
+
+class TestIdealUnboundedness:
+    def test_ideal_pi_queue_never_stalls_processor(self):
+        config = ideal_config(n_procs=1, cache_size=8 * KB)
+        machine = Machine(config)
+        # Far more posted writes than any bounded PI queue would accept.
+        ops = [("w", i * LINE) for i in range(64)] + [("c", 1)]
+        result = machine.run([iter(ops)])
+        times = machine.nodes[0].cpu.times
+        # Stall comes only from MSHR pressure, never from queue space; with
+        # 4 MSHRs and fast local misses this stays small.
+        assert times.write_stall < result.execution_time
+
+    def test_flash_pi_queue_is_bounded(self):
+        config = flash_config(n_procs=1, cache_size=8 * KB)
+        machine = Machine(config)
+        assert machine.nodes[0].controller.pi_in_q.capacity == 16
+
+
+class TestHomeOfMapping:
+    def test_lines_map_to_consecutive_homes(self):
+        config = flash_config(n_procs=4)
+        machine = Machine(config)
+        engine = machine.nodes[0].engine
+        mem = config.memory_bytes_per_node
+        assert engine.home_of(0) == 0
+        assert engine.home_of(mem - LINE) == 0
+        assert engine.home_of(mem) == 1
+        assert engine.home_of(3 * mem + 5 * LINE) == 3
+
+
+class TestTransferOpValidation:
+    def test_transfer_counts_roll_up(self):
+        config = flash_config(n_procs=2, cache_size=8 * KB).with_changes(
+            magic_caches=MagicCacheConfig(enabled=False)
+        )
+        machine = Machine(config)
+        machine.run([
+            iter([("s", 1, 0, 300)]),  # 3 lines (rounded up)
+            iter([("v", 0)]),
+        ])
+        assert machine.transfers.transfers_started == 1
+        assert machine.transfers.transfers_completed == 1
+        assert machine.transfers.lines_moved == 3

@@ -1,0 +1,102 @@
+"""Property-based tests: the dual-issue scheduler must preserve semantics
+for arbitrary programs (random straight-line code and simple loops)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pp.assembler import assemble
+from repro.pp.emulator import PPEmulator
+from repro.pp.lowering import lower_text
+from repro.pp.schedule import schedule_pairs
+
+REGS = [f"r{i}" for i in range(1, 12)]
+
+_alu = st.sampled_from(["add", "sub", "and", "or", "xor"])
+_alu_imm = st.sampled_from(["addi", "andi", "ori", "xori", "slti"])
+_shift = st.sampled_from(["sll", "srl"])
+
+
+@st.composite
+def straight_line_program(draw):
+    """A random dependency-rich straight-line program ending in stores."""
+    lines = []
+    n = draw(st.integers(min_value=1, max_value=25))
+    for _ in range(n):
+        choice = draw(st.integers(min_value=0, max_value=4))
+        rd = draw(st.sampled_from(REGS))
+        rs = draw(st.sampled_from(REGS))
+        if choice == 0:
+            rt = draw(st.sampled_from(REGS))
+            lines.append(f"{draw(_alu)} {rd}, {rs}, {rt}")
+        elif choice == 1:
+            imm = draw(st.integers(min_value=0, max_value=255))
+            lines.append(f"{draw(_alu_imm)} {rd}, {rs}, {imm}")
+        elif choice == 2:
+            imm = draw(st.integers(min_value=0, max_value=7))
+            lines.append(f"{draw(_shift)} {rd}, {rs}, {imm}")
+        elif choice == 3:
+            pos = draw(st.integers(min_value=0, max_value=12))
+            length = draw(st.integers(min_value=1, max_value=8))
+            lines.append(f"bfext {rd}, {rs}, {pos}, {length}")
+        else:
+            pos = draw(st.integers(min_value=0, max_value=12))
+            length = draw(st.integers(min_value=1, max_value=8))
+            lines.append(f"bfins {rd}, {rs}, {pos}, {length}")
+    for i, reg in enumerate(REGS):
+        lines.append(f"sw {reg}, {8 * i}(r0)")
+    lines.append("done")
+    return "\n".join(lines)
+
+
+def _final_memory(text, dual_issue):
+    instructions = assemble(text)
+    schedule = schedule_pairs(instructions, dual_issue=dual_issue)
+    emu = PPEmulator()
+    registers = {i + 1: (i * 2654435761) & 0xFFFF for i in range(11)}
+    emu.run(schedule, registers)
+    return {addr: emu.peek(addr) for addr in range(0, 8 * len(REGS), 8)}
+
+
+@given(program=straight_line_program())
+@settings(max_examples=120, deadline=None)
+def test_dual_issue_schedule_preserves_semantics(program):
+    assert _final_memory(program, True) == _final_memory(program, False)
+
+
+@given(program=straight_line_program())
+@settings(max_examples=60, deadline=None)
+def test_lowering_preserves_semantics(program):
+    lowered = lower_text(program)
+    assert _final_memory(program, True) == _final_memory(lowered, True)
+
+
+@given(program=straight_line_program())
+@settings(max_examples=60, deadline=None)
+def test_dual_issue_never_slower(program):
+    instructions = assemble(program)
+    dual = schedule_pairs(instructions, dual_issue=True)
+    single = schedule_pairs(instructions, dual_issue=False)
+    assert dual.static_pairs <= single.static_pairs
+
+
+@given(
+    iterations=st.integers(min_value=1, max_value=10),
+    increment=st.integers(min_value=1, max_value=50),
+)
+@settings(max_examples=40, deadline=None)
+def test_loop_semantics_under_scheduling(iterations, increment):
+    program = f"""
+        addi r1, r0, {iterations}
+        addi r2, r0, 0
+    loop:
+        addi r2, r2, {increment}
+        addi r1, r1, -1
+        bne  r1, r0, loop
+        sw   r2, 0(r0)
+        done
+    """
+    for dual in (True, False):
+        instructions = assemble(program)
+        emu = PPEmulator()
+        emu.run(schedule_pairs(instructions, dual_issue=dual), {})
+        assert emu.peek(0) == iterations * increment

@@ -1,0 +1,224 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim.engine import (
+    AllOf, AnyOf, Environment, Event, Process, SimulationError, Timeout,
+)
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestTimeout:
+    def test_advances_clock(self, env):
+        def proc():
+            yield env.timeout(10)
+            return env.now
+
+        assert env.run_process(proc()) == 10
+
+    def test_zero_delay(self, env):
+        def proc():
+            yield env.timeout(0)
+            return env.now
+
+        assert env.run_process(proc()) == 0
+
+    def test_negative_delay_rejected(self, env):
+        with pytest.raises(SimulationError):
+            env.timeout(-1)
+
+    def test_not_triggered_before_fire(self, env):
+        t = env.timeout(5)
+        assert not t.triggered
+        env.run()
+        assert t.triggered
+
+    def test_carries_value(self, env):
+        def proc():
+            value = yield env.timeout(3, value="hello")
+            return value
+
+        assert env.run_process(proc()) == "hello"
+
+    def test_fractional_delays(self, env):
+        def proc():
+            yield env.timeout(0.25)
+            yield env.timeout(0.5)
+            return env.now
+
+        assert env.run_process(proc()) == 0.75
+
+
+class TestEvent:
+    def test_succeed_resumes_waiter(self, env):
+        event = env.event()
+
+        def waiter():
+            value = yield event
+            return value
+
+        def firer():
+            yield env.timeout(7)
+            event.succeed(42)
+
+        proc = env.process(waiter())
+        env.process(firer())
+        env.run()
+        assert proc.value == 42
+        assert env.now == 7
+
+    def test_double_succeed_rejected(self, env):
+        event = env.event()
+        event.succeed()
+        with pytest.raises(SimulationError):
+            event.succeed()
+
+    def test_value_before_trigger_rejected(self, env):
+        event = env.event()
+        with pytest.raises(SimulationError):
+            _ = event.value
+
+    def test_wait_on_already_fired_event(self, env):
+        event = env.event()
+        event.succeed("x")
+
+        def proc():
+            value = yield event
+            return value
+
+        assert env.run_process(proc()) == "x"
+
+    def test_fail_raises_in_waiter(self, env):
+        event = env.event()
+
+        def waiter():
+            try:
+                yield event
+            except ValueError:
+                return "caught"
+            return "missed"
+
+        proc = env.process(waiter())
+        event.fail(ValueError("boom"))
+        env.run()
+        assert proc.value == "caught"
+
+    def test_fail_requires_exception(self, env):
+        event = env.event()
+        with pytest.raises(SimulationError):
+            event.fail("not an exception")
+
+
+class TestProcess:
+    def test_return_value(self, env):
+        def proc():
+            yield env.timeout(1)
+            return "done"
+
+        assert env.run_process(proc()) == "done"
+
+    def test_process_waits_on_process(self, env):
+        def inner():
+            yield env.timeout(5)
+            return 99
+
+        def outer():
+            value = yield env.process(inner())
+            return (env.now, value)
+
+        assert env.run_process(outer()) == (5, 99)
+
+    def test_unhandled_process_error_surfaces(self, env):
+        def bad():
+            yield env.timeout(1)
+            raise RuntimeError("die")
+
+        env.process(bad())
+        with pytest.raises(RuntimeError, match="die"):
+            env.run()
+
+    def test_observed_process_error_propagates_to_waiter(self, env):
+        def bad():
+            yield env.timeout(1)
+            raise RuntimeError("die")
+
+        def outer():
+            try:
+                yield env.process(bad())
+            except RuntimeError:
+                return "handled"
+
+        assert env.run_process(outer()) == "handled"
+
+    def test_yielding_non_event_raises(self, env):
+        def proc():
+            yield 42
+
+        env.process(proc())
+        with pytest.raises(SimulationError):
+            env.run()
+
+    def test_requires_generator(self, env):
+        with pytest.raises(SimulationError):
+            env.process(lambda: None)
+
+
+class TestComposites:
+    def test_all_of_waits_for_all(self, env):
+        def proc():
+            values = yield env.all_of([env.timeout(3, "a"), env.timeout(9, "b")])
+            return (env.now, values)
+
+        assert env.run_process(proc()) == (9, ["a", "b"])
+
+    def test_all_of_empty(self, env):
+        def proc():
+            values = yield env.all_of([])
+            return values
+
+        assert env.run_process(proc()) == []
+
+    def test_any_of_returns_first(self, env):
+        def proc():
+            index, value = yield env.any_of(
+                [env.timeout(9, "slow"), env.timeout(2, "fast")]
+            )
+            return (env.now, index, value)
+
+        assert env.run_process(proc()) == (2, 1, "fast")
+
+    def test_any_of_empty_rejected(self, env):
+        with pytest.raises(SimulationError):
+            env.any_of([])
+
+
+class TestDeterminism:
+    def test_same_time_fifo_order(self, env):
+        order = []
+
+        def proc(tag):
+            yield env.timeout(5)
+            order.append(tag)
+
+        for tag in ("a", "b", "c"):
+            env.process(proc(tag))
+        env.run()
+        assert order == ["a", "b", "c"]
+
+    def test_run_until_stops_clock(self, env):
+        def proc():
+            yield env.timeout(100)
+
+        env.process(proc())
+        assert env.run(until=30) == 30
+
+    def test_run_returns_final_time(self, env):
+        def proc():
+            yield env.timeout(17)
+
+        env.process(proc())
+        assert env.run() == 17

@@ -1,0 +1,203 @@
+"""Unit tests for bounded queues and counting resources."""
+
+import pytest
+
+from repro.sim.engine import Environment, SimulationError
+from repro.sim.queues import BoundedQueue, CountingResource
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestBoundedQueue:
+    def test_put_then_get(self, env):
+        q = BoundedQueue(env, 4)
+
+        def proc():
+            yield q.put("x")
+            item = yield q.get()
+            return item
+
+        assert env.run_process(proc()) == "x"
+
+    def test_get_blocks_until_put(self, env):
+        q = BoundedQueue(env, 4)
+
+        def getter():
+            item = yield q.get()
+            return (env.now, item)
+
+        def putter():
+            yield env.timeout(5)
+            yield q.put("late")
+
+        proc = env.process(getter())
+        env.process(putter())
+        env.run()
+        assert proc.value == (5, "late")
+
+    def test_put_blocks_when_full(self, env):
+        q = BoundedQueue(env, 1)
+
+        def putter():
+            yield q.put(1)
+            yield q.put(2)  # blocks until the getter drains
+            return env.now
+
+        def getter():
+            yield env.timeout(10)
+            yield q.get()
+
+        proc = env.process(putter())
+        env.process(getter())
+        env.run()
+        assert proc.value == 10
+        assert q.full_stalls == 1
+
+    def test_unbounded_never_blocks(self, env):
+        q = BoundedQueue(env, None)
+
+        def proc():
+            for i in range(1000):
+                yield q.put(i)
+            return env.now
+
+        assert env.run_process(proc()) == 0
+        assert len(q) == 1000
+
+    def test_fifo_order(self, env):
+        q = BoundedQueue(env, 10)
+
+        def proc():
+            for i in range(5):
+                yield q.put(i)
+            out = []
+            for _ in range(5):
+                out.append((yield q.get()))
+            return out
+
+        assert env.run_process(proc()) == [0, 1, 2, 3, 4]
+
+    def test_fifo_among_blocked_putters(self, env):
+        q = BoundedQueue(env, 1)
+
+        def putter(tag):
+            yield q.put(tag)
+
+        def drainer():
+            out = []
+            for _ in range(4):
+                yield env.timeout(1)
+                out.append((yield q.get()))
+            return out
+
+        for tag in "abcd":
+            env.process(putter(tag))
+        proc = env.process(drainer())
+        env.run()
+        assert proc.value == ["a", "b", "c", "d"]
+
+    def test_try_put(self, env):
+        q = BoundedQueue(env, 1)
+        assert q.try_put("a") is True
+        assert q.try_put("b") is False
+        assert len(q) == 1
+
+    def test_capacity_validation(self, env):
+        with pytest.raises(SimulationError):
+            BoundedQueue(env, 0)
+
+    def test_peak_depth_tracked(self, env):
+        q = BoundedQueue(env, 8)
+
+        def proc():
+            for i in range(6):
+                yield q.put(i)
+            for _ in range(6):
+                yield q.get()
+
+        env.run_process(proc())
+        assert q.peak_depth == 6
+
+    def test_handoff_to_waiting_getter(self, env):
+        """A put with a waiting getter bypasses the buffer entirely."""
+        q = BoundedQueue(env, 1)
+
+        def getter():
+            return (yield q.get())
+
+        proc = env.process(getter())
+        env.run()
+
+        def putter():
+            yield q.put("direct")
+
+        env.process(putter())
+        env.run()
+        assert proc.value == "direct"
+        assert len(q) == 0
+
+
+class TestCountingResource:
+    def test_acquire_release(self, env):
+        r = CountingResource(env, 2)
+
+        def proc():
+            yield r.acquire()
+            yield r.acquire()
+            assert r.available == 0
+            r.release()
+            return r.available
+
+        assert env.run_process(proc()) == 1
+
+    def test_acquire_blocks_when_exhausted(self, env):
+        r = CountingResource(env, 1)
+
+        def holder():
+            yield r.acquire()
+            yield env.timeout(20)
+            r.release()
+
+        def waiter():
+            yield env.timeout(1)
+            yield r.acquire()
+            return env.now
+
+        env.process(holder())
+        proc = env.process(waiter())
+        env.run()
+        assert proc.value == 20
+        assert r.acquire_stalls == 1
+
+    def test_release_idle_rejected(self, env):
+        r = CountingResource(env, 1)
+        with pytest.raises(SimulationError):
+            r.release()
+
+    def test_unbounded_resource(self, env):
+        r = CountingResource(env, None)
+
+        def proc():
+            for _ in range(100):
+                yield r.acquire()
+            return r.in_use
+
+        assert env.run_process(proc()) == 100
+        assert r.available is None
+
+    def test_peak_tracking(self, env):
+        r = CountingResource(env, 4)
+
+        def proc():
+            yield r.acquire()
+            yield r.acquire()
+            yield r.acquire()
+            r.release()
+            r.release()
+            r.release()
+
+        env.run_process(proc())
+        assert r.peak_in_use == 3

@@ -1,0 +1,112 @@
+"""Kitchen-sink stress tests and the harness CLI."""
+
+import pytest
+
+from repro.apps.base import rng_stream
+from repro.common.params import flash_config, ideal_config
+from repro.harness.__main__ import main as harness_main
+from repro.machine import Machine
+
+KB = 1024
+LINE = 128
+
+
+def stress_streams(n_procs, mem, n_ops=120, seed=99):
+    """Random mixed workload: reads/writes/locks/barriers over hot and cold
+    lines across every node, with everything enabled."""
+    streams = []
+    for cpu in range(n_procs):
+        rng = rng_stream(seed + cpu)
+        ops = []
+        for i in range(n_ops):
+            roll = rng() % 100
+            node = rng() % n_procs
+            line = rng() % 24
+            addr = node * mem + line * LINE
+            if roll < 45:
+                ops.append(("r", addr, 1 + rng() % 8))
+            elif roll < 75:
+                ops.append(("w", addr))
+            elif roll < 85:
+                ops.append(("c", 5 + rng() % 40))
+            elif roll < 92:
+                lock = rng() % 4
+                ops.append(("l", ("stress", lock)))
+                ops.append(("w", (rng() % n_procs) * mem + (24 + lock) * LINE))
+                ops.append(("u", ("stress", lock)))
+            else:
+                ops.append(("b", ("phase", i // 40)))
+        # Everyone meets at every phase barrier they individually reach —
+        # normalize: append the full set at the end.
+        for phase in range(n_ops // 40 + 1):
+            ops.append(("b", ("phase", phase)))
+        ops.append(("b", "final"))
+        streams.append(ops)
+    return streams
+
+
+def dedupe_barriers(streams):
+    """Keep only the first occurrence of each barrier id per stream so all
+    processors arrive exactly once."""
+    out = []
+    for ops in streams:
+        seen = set()
+        kept = []
+        for op in ops:
+            if op[0] == "b":
+                if op[1] in seen:
+                    continue
+                seen.add(op[1])
+            kept.append(op)
+        out.append(kept)
+    return out
+
+
+@pytest.mark.parametrize("kind,protocol", [
+    ("flash", "base"), ("flash", "migratory"), ("ideal", "base"),
+])
+def test_stress_everything_enabled(kind, protocol):
+    make = flash_config if kind == "flash" else ideal_config
+    config = make(n_procs=4, cache_size=2 * KB)
+    if kind == "flash":
+        config = config.with_changes(protocol=protocol)
+    machine = Machine(config)
+    mem = config.memory_bytes_per_node
+    streams = dedupe_barriers(stress_streams(4, mem))
+    result = machine.run([iter(s) for s in streams])
+    machine.check_directory_invariants()
+    assert result.execution_time > 0
+    if kind == "flash":
+        for node in machine.nodes:
+            assert node.controller.data_buffers.in_use == 0
+            assert node.memory.occupancy(result.execution_time) <= 1.0
+
+
+def test_stress_deterministic_across_runs():
+    times = []
+    for _ in range(2):
+        config = flash_config(n_procs=4, cache_size=2 * KB)
+        machine = Machine(config)
+        mem = config.memory_bytes_per_node
+        streams = dedupe_barriers(stress_streams(4, mem, n_ops=80))
+        times.append(machine.run([iter(s) for s in streams]).execution_time)
+    assert times[0] == times[1]
+
+
+class TestHarnessCLI:
+    def test_list(self, capsys):
+        assert harness_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "barnes" in out and "large" in out
+
+    def test_run_app(self, capsys):
+        assert harness_main(["run", "lu", "--regime", "large"]) == 0
+        out = capsys.readouterr().out
+        assert "cost of flexibility" in out
+        assert "flash" in out and "ideal" in out
+
+    def test_latencies_table(self, capsys):
+        assert harness_main(["latencies"]) == 0
+        out = capsys.readouterr().out
+        assert "local_clean" in out
+        assert "27" in out  # the FLASH local clean latency
