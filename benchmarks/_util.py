@@ -15,6 +15,17 @@ from typing import Sequence
 OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
 
 
+def prefetch(specs: Sequence[dict]) -> None:
+    """Execute run specs up front, farmed across ``REPRO_JOBS`` worker
+    processes (serial when unset/1).  Results land in the in-process memo and
+    the on-disk cache, so the benchmark's own ``run_app`` calls are instant.
+    """
+    from repro.harness import runfarm
+
+    if runfarm.default_jobs() > 1 and len(specs) > 1:
+        runfarm.run_specs(specs)
+
+
 def emit(name: str, text: str) -> None:
     """Print a rendered table and persist it for EXPERIMENTS.md."""
     print()

@@ -1,0 +1,102 @@
+"""Perf smoke: record the kernel and end-to-end performance trajectory.
+
+Run as a script (``PYTHONPATH=src python benchmarks/perf_smoke.py``) to
+measure
+
+* event-kernel throughput (events/second) on a canonical mixed workload of
+  future timeouts, zero-delay timeouts, and event triggers — the same traffic
+  mix the simulator generates, and
+* the wall-clock of one small uncached end-to-end FFT run (FLASH machine),
+
+and append them to ``benchmarks/BENCH_kernel.json`` so future PRs have a
+perf trajectory to compare against.  ``test_kernel_throughput.py`` imports
+the same workload so the pytest microbenchmark and the smoke record agree.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+BENCH_FILE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                          "BENCH_kernel.json")
+
+#: Canonical microbenchmark shape: every worker alternates a future timeout,
+#: a zero-delay timeout, and an immediately-triggered event wait.
+N_WORKERS = 200
+N_STEPS = 500
+EVENTS_PER_STEP = 3
+
+
+def kernel_events_per_sec(repeats: int = 3) -> float:
+    """Best-of-``repeats`` kernel throughput in events/second."""
+    from repro.sim.engine import Environment
+
+    best = 0.0
+    for _ in range(repeats):
+        env = Environment()
+
+        def worker(i):
+            for step in range(N_STEPS):
+                yield env.timeout((i % 7) + 1)
+                yield env.timeout(0)
+                event = env.event()
+                event.succeed(step)
+                yield event
+
+        for i in range(N_WORKERS):
+            env.process(worker(i))
+        start = time.perf_counter()
+        env.run()
+        elapsed = time.perf_counter() - start
+        best = max(best, N_WORKERS * N_STEPS * EVENTS_PER_STEP / elapsed)
+    return best
+
+
+def end_to_end_seconds() -> float:
+    """Wall-clock of one small FLASH run, bypassing every cache layer."""
+    from repro.harness import experiments
+
+    spec = experiments.normalize_spec(
+        "fft", kind="flash", regime="large",
+        workload_overrides={"points": 1024},
+    )
+    start = time.perf_counter()
+    experiments._execute(spec)
+    return time.perf_counter() - start
+
+
+def main() -> int:
+    record = {
+        "utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpus": os.cpu_count(),
+        "kernel_events_per_sec": round(kernel_events_per_sec()),
+        "e2e_fft1k_seconds": round(end_to_end_seconds(), 3),
+    }
+    history = []
+    if os.path.exists(BENCH_FILE):
+        try:
+            with open(BENCH_FILE) as fh:
+                history = json.load(fh)
+        except ValueError:
+            history = []
+    history.append(record)
+    with open(BENCH_FILE, "w") as fh:
+        json.dump(history, fh, indent=2)
+        fh.write("\n")
+    print(json.dumps(record, indent=2))
+    print(f"appended to {BENCH_FILE} ({len(history)} record(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

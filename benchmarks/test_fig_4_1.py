@@ -5,14 +5,16 @@ time of both machines (FLASH = 100) broken into Busy / Cont / Read / Write /
 Sync, plus the headline FLASH-over-ideal slowdown.
 """
 
-from _util import emit, once, pct
+from _util import emit, once, pct, prefetch
 
 from repro.harness import experiments as exp
+from repro.harness.runfarm import sweep_specs
 from repro.harness.tables import PAPER_FIG_4_1_SLOWDOWN, render_table
 
 
 def test_fig_4_1(benchmark):
     def regenerate():
+        prefetch(sweep_specs(regime="large"))
         rows = []
         slowdowns = {}
         for app in exp.APP_ORDER:

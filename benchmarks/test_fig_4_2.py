@@ -1,8 +1,9 @@
 """Figure 4.2 — execution times at the medium ("64 KB") caches."""
 
-from _util import emit, once, pct
+from _util import emit, once, pct, prefetch
 
 from repro.harness import experiments as exp
+from repro.harness.runfarm import sweep_specs
 from repro.harness.tables import render_table
 
 APPS = ["barnes", "fft", "mp3d", "ocean", "radix"]
@@ -10,6 +11,7 @@ APPS = ["barnes", "fft", "mp3d", "ocean", "radix"]
 
 def test_fig_4_2(benchmark):
     def regenerate():
+        prefetch(sweep_specs(apps=APPS, regime="medium"))
         rows = []
         slowdowns = {}
         for app in APPS:

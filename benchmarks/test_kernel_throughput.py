@@ -1,0 +1,23 @@
+"""Event-kernel throughput microbenchmark.
+
+Reports events/second for the canonical mixed workload (future timeouts,
+zero-delay timeouts, event triggers) defined in ``perf_smoke.py``.  The
+same-time ready-deque fast path and timeout recycling in ``sim/engine.py``
+lift this well above the pre-optimization scheduler (~435k ev/s on the
+reference container; ~665k after — see ``BENCH_kernel.json``).
+"""
+
+from _util import emit, once
+
+import perf_smoke
+
+
+def test_kernel_throughput(benchmark):
+    rate = once(benchmark, lambda: perf_smoke.kernel_events_per_sec(repeats=2))
+    emit("kernel_throughput",
+         f"event kernel throughput: {rate:,.0f} events/sec\n"
+         f"(workload: {perf_smoke.N_WORKERS} processes x {perf_smoke.N_STEPS}"
+         f" steps x {perf_smoke.EVENTS_PER_STEP} events)")
+    # Conservative floor: an order of magnitude below the reference machine,
+    # so only a genuine kernel regression (not CI jitter) trips it.
+    assert rate > 60_000, f"kernel throughput collapsed: {rate:,.0f} ev/s"

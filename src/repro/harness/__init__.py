@@ -1,5 +1,6 @@
-"""Experiment harness: per-table experiments, microbenchmarks, rendering."""
+"""Experiment harness: per-table experiments, microbenchmarks, rendering,
+the parallel run farm and the persistent result cache."""
 
-from . import experiments, micro, tables
+from . import diskcache, experiments, micro, runfarm, tables
 
-__all__ = ["experiments", "micro", "tables"]
+__all__ = ["diskcache", "experiments", "micro", "runfarm", "tables"]

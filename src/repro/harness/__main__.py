@@ -7,9 +7,14 @@ Usage::
     python -m repro.harness run fft              # one app, FLASH vs ideal
     python -m repro.harness run mp3d --regime small --procs 16
     python -m repro.harness suite                # Figure 4.1 sweep
+    python -m repro.harness --jobs 4 suite       # ... farmed over 4 workers
+    python -m repro.harness clear                # wipe the on-disk result cache
 
-The full per-table reproduction lives in ``benchmarks/`` (pytest-benchmark);
-this CLI is for interactive exploration.
+Results persist in ``.repro_cache/`` (disable with ``REPRO_CACHE=off``), so
+repeated invocations reuse prior simulations; ``--jobs``/``REPRO_JOBS`` farm
+independent configurations across worker processes.  The full per-table
+reproduction lives in ``benchmarks/`` (pytest-benchmark); this CLI is for
+interactive exploration.
 """
 
 from __future__ import annotations
@@ -18,6 +23,7 @@ import argparse
 import sys
 
 from ..common.params import flash_config, ideal_config
+from . import diskcache, runfarm
 from .experiments import APP_ORDER, REGIMES, run_flash_ideal, slowdown
 from .micro import PAPER_TABLE_3_3, measure_latencies
 from .tables import render_table
@@ -53,7 +59,19 @@ def cmd_latencies(_args) -> int:
     return 0
 
 
+def cmd_clear(_args) -> int:
+    dropped = diskcache.default_cache.clear()
+    print(f"cleared {dropped} cached result(s) from {diskcache.cache_root()}")
+    return 0
+
+
 def cmd_run(args) -> int:
+    if args.jobs > 1:
+        runfarm.run_specs(
+            runfarm.sweep_specs(apps=[args.app], regime=args.regime,
+                                n_procs=args.procs),
+            jobs=args.jobs,
+        )
     flash, ideal = run_flash_ideal(args.app, regime=args.regime,
                                    n_procs=args.procs)
     rows = []
@@ -75,6 +93,10 @@ def cmd_run(args) -> int:
 
 
 def cmd_suite(args) -> int:
+    if args.jobs > 1:
+        # Farm the whole sweep up front; the loop below then hits the memo.
+        runfarm.run_specs(runfarm.sweep_specs(regime=args.regime),
+                          jobs=args.jobs)
     rows = []
     for app in APP_ORDER:
         flash, ideal = run_flash_ideal(app, regime=args.regime)
@@ -92,9 +114,16 @@ def cmd_suite(args) -> int:
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="repro.harness")
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=runfarm.default_jobs(),
+        metavar="N",
+        help="worker processes for independent runs (default: $REPRO_JOBS or 1)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list").set_defaults(fn=cmd_list)
     sub.add_parser("latencies").set_defaults(fn=cmd_latencies)
+    sub.add_parser("clear", help="wipe the on-disk result cache"
+                   ).set_defaults(fn=cmd_clear)
     run = sub.add_parser("run")
     run.add_argument("app", choices=APP_ORDER)
     run.add_argument("--regime", default="large",

@@ -24,10 +24,11 @@ from ..common.units import KB, MB
 from ..machine import Machine
 from ..pp.costmodel import EmulatedCostModel
 from ..stats.report import RunResult
+from . import diskcache
 
 __all__ = [
     "APP_ORDER", "REGIMES", "app_workload", "regime_cache_bytes",
-    "run_app", "run_flash_ideal", "clear_cache",
+    "normalize_spec", "run_app", "run_flash_ideal", "clear_cache", "memoize",
 ]
 
 APP_ORDER = ["barnes", "fft", "lu", "mp3d", "ocean", "os", "radix"]
@@ -89,12 +90,71 @@ def regime_cache_bytes(app: str, regime: str) -> Optional[int]:
 
 
 # -- memoized runs -----------------------------------------------------------------------
+#
+# Two layers: an in-process memo table, and (through ``diskcache``) a
+# persistent on-disk store shared across processes and invocations.  Both are
+# keyed by a canonical hash of the *normalized* run spec, which is stable for
+# nested/unhashable override values (plain tuple-of-sorted-items keys broke
+# on dict- or list-valued config overrides).
 
-_cache: Dict[Tuple, RunResult] = {}
+_cache: Dict[str, RunResult] = {}
 
 
 def clear_cache() -> None:
+    """Drop the in-process memo table (the disk cache is unaffected; clear
+    that with ``python -m repro.harness clear``)."""
     _cache.clear()
+
+
+def normalize_spec(
+    app: str,
+    kind: str = "flash",
+    regime: str = "large",
+    n_procs: Optional[int] = None,
+    workload_overrides: Optional[dict] = None,
+    config_overrides: Optional[dict] = None,
+    pp_backend: Optional[str] = None,
+) -> Dict:
+    """The fully-defaulted description of one run — the unit of caching and
+    of run-farm dispatch.  Includes everything that can change the result."""
+    cache_bytes = regime_cache_bytes(app, regime)
+    if cache_bytes is None:
+        raise ValueError(f"{app} is not run at the {regime} regime (paper N/A)")
+    return {
+        "app": app,
+        "kind": kind,
+        "regime": regime,
+        "n_procs": n_procs if n_procs is not None else default_procs(app),
+        "cache_bytes": cache_bytes,
+        "workload_overrides": dict(workload_overrides or {}),
+        "config_overrides": dict(config_overrides or {}),
+        "pp_backend": pp_backend,
+        "paper_scale": _PAPER_SCALE,
+    }
+
+
+def _execute(spec: Dict) -> RunResult:
+    """Run the simulation described by a normalized spec (no caching)."""
+    make = flash_config if spec["kind"] == "flash" else ideal_config
+    config = make(n_procs=spec["n_procs"], cache_size=spec["cache_bytes"])
+    if spec["config_overrides"]:
+        config = config.with_changes(**spec["config_overrides"])
+    cost_model = None
+    if spec["pp_backend"] == "emulator" and spec["kind"] == "flash":
+        config = config.with_changes(pp_backend="emulator")
+        cost_model = EmulatedCostModel(config)
+    workload = app_workload(spec["app"], **spec["workload_overrides"])
+    machine = Machine(config, cost_model=cost_model)
+    result = machine.run(workload.build(config))
+    if cost_model is not None:
+        result.pp_dynamic = cost_model.dynamic_totals()
+    return result
+
+
+def memoize(spec: Dict, result: RunResult) -> None:
+    """Seed the in-process memo table (used by the run farm to hand results
+    computed in worker processes back to the parent)."""
+    _cache[diskcache.canonical_key(spec)] = result
 
 
 def run_app(
@@ -106,33 +166,20 @@ def run_app(
     config_overrides: Optional[dict] = None,
     pp_backend: Optional[str] = None,
 ) -> RunResult:
-    """Run one application on one machine; memoized."""
-    n_procs = n_procs if n_procs is not None else default_procs(app)
-    cache_bytes = regime_cache_bytes(app, regime)
-    if cache_bytes is None:
-        raise ValueError(f"{app} is not run at the {regime} regime (paper N/A)")
-    workload_overrides = dict(workload_overrides or {})
-    config_overrides = dict(config_overrides or {})
-    key = (
-        app, kind, regime, n_procs, pp_backend,
-        tuple(sorted(workload_overrides.items())),
-        tuple(sorted(config_overrides.items())),
+    """Run one application on one machine; memoized in-process and cached
+    on disk (see ``harness/diskcache.py``; ``REPRO_CACHE=off`` disables)."""
+    spec = normalize_spec(
+        app, kind=kind, regime=regime, n_procs=n_procs,
+        workload_overrides=workload_overrides,
+        config_overrides=config_overrides, pp_backend=pp_backend,
     )
+    key = diskcache.canonical_key(spec)
     if key in _cache:
         return _cache[key]
-    make = flash_config if kind == "flash" else ideal_config
-    config = make(n_procs=n_procs, cache_size=cache_bytes)
-    if config_overrides:
-        config = config.with_changes(**config_overrides)
-    cost_model = None
-    if pp_backend == "emulator" and kind == "flash":
-        config = config.with_changes(pp_backend="emulator")
-        cost_model = EmulatedCostModel(config)
-    workload = app_workload(app, **workload_overrides)
-    machine = Machine(config, cost_model=cost_model)
-    result = machine.run(workload.build(config))
-    if cost_model is not None:
-        result.pp_dynamic = cost_model.dynamic_totals()
+    result = diskcache.default_cache.load(spec)
+    if result is None:
+        result = _execute(spec)
+        diskcache.default_cache.store(spec, result)
     _cache[key] = result
     return result
 

@@ -1,0 +1,115 @@
+"""Parallel experiment run farm.
+
+Every ``run_app`` configuration is independent, so a sweep (seven apps x two
+machines x several regimes) is embarrassingly parallel.  The farm fans
+normalized run specs out to a ``multiprocessing`` pool of worker processes;
+each worker executes ``run_app`` (hitting or populating the shared on-disk
+result cache) and ships the serialized :class:`RunResult` back, which the
+parent deserializes and seeds into the in-process memo so subsequent
+``run_app``/``run_flash_ideal`` calls are instant.
+
+Parallelism is requested with ``--jobs N`` on ``python -m repro.harness`` or
+the ``REPRO_JOBS`` environment variable (honored by ``benchmarks/_util.py``).
+The fork start method is preferred: workers inherit the parent's interpreter
+state (including the hash seed), so a farmed sweep is bit-identical to a
+serial one.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..stats.report import RunResult
+from . import experiments
+
+__all__ = ["default_jobs", "sweep_specs", "run_specs", "run_suite"]
+
+
+def default_jobs() -> int:
+    """Worker count from ``REPRO_JOBS`` (defaults to 1 = serial)."""
+    try:
+        return max(1, int(os.environ.get("REPRO_JOBS", "1")))
+    except ValueError:
+        return 1
+
+
+def sweep_specs(
+    apps: Optional[Sequence[str]] = None,
+    regime: str = "large",
+    kinds: Sequence[str] = ("flash", "ideal"),
+    **common,
+) -> List[Dict]:
+    """Normalized specs for an app x machine sweep (the Figure 4.1 shape).
+
+    Apps that the paper does not run at ``regime`` (N/A cells) are skipped.
+    """
+    specs = []
+    for app in apps if apps is not None else experiments.APP_ORDER:
+        if experiments.regime_cache_bytes(app, regime) is None:
+            continue
+        for kind in kinds:
+            specs.append(experiments.normalize_spec(
+                app, kind=kind, regime=regime, **common))
+    return specs
+
+
+def _worker(spec: Dict) -> str:
+    """Run one spec in a worker process; results travel as canonical JSON."""
+    result = experiments.run_app(
+        spec["app"], kind=spec["kind"], regime=spec["regime"],
+        n_procs=spec["n_procs"],
+        workload_overrides=spec["workload_overrides"],
+        config_overrides=spec["config_overrides"],
+        pp_backend=spec["pp_backend"],
+    )
+    return result.to_json()
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    method = os.environ.get("REPRO_START_METHOD")
+    if method:
+        return multiprocessing.get_context(method)
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def run_specs(specs: Iterable[Dict], jobs: Optional[int] = None) -> List[RunResult]:
+    """Execute every spec, farming across ``jobs`` worker processes.
+
+    Returns results in spec order and seeds the parent's memo table, so the
+    usual ``run_app`` accessors find them afterwards.  ``jobs=None`` reads
+    ``REPRO_JOBS``; 1 (or a single spec) degrades to a plain serial loop.
+    """
+    specs = list(specs)
+    jobs = default_jobs() if jobs is None else max(1, jobs)
+    jobs = min(jobs, len(specs))
+    if jobs <= 1:
+        return [
+            experiments.run_app(
+                s["app"], kind=s["kind"], regime=s["regime"],
+                n_procs=s["n_procs"],
+                workload_overrides=s["workload_overrides"],
+                config_overrides=s["config_overrides"],
+                pp_backend=s["pp_backend"],
+            )
+            for s in specs
+        ]
+    with _pool_context().Pool(processes=jobs) as pool:
+        payloads = pool.map(_worker, specs, chunksize=1)
+    results = []
+    for spec, payload in zip(specs, payloads):
+        result = RunResult.from_json(payload)
+        experiments.memoize(spec, result)
+        results.append(result)
+    return results
+
+
+def run_suite(
+    regime: str = "large", jobs: Optional[int] = None, **common
+) -> Dict[Tuple[str, str], RunResult]:
+    """Farm the full FLASH-vs-ideal sweep; keyed by ``(app, kind)``."""
+    specs = sweep_specs(regime=regime, **common)
+    results = run_specs(specs, jobs=jobs)
+    return {(s["app"], s["kind"]): r for s, r in zip(specs, results)}

@@ -13,6 +13,8 @@ reproduction (processors, MAGIC units, memory controllers, the network).
 from __future__ import annotations
 
 import heapq
+import sys
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 __all__ = [
@@ -31,6 +33,16 @@ class SimulationError(Exception):
 
 
 PENDING = object()
+
+#: Sentinel for "call the queued callback with no argument".
+_NO_ARG = object()
+
+# Timeout pooling relies on CPython reference-count semantics to prove that
+# nobody else can observe the recycled object (see Environment._run_heap_head).
+_REFCOUNT_POOLING = sys.implementation.name == "cpython"
+#: getrefcount(event) when the run loop's local + getrefcount's own argument
+#: are the only remaining references.
+_FREE_REFCOUNT = 2
 
 
 class Event:
@@ -87,7 +99,7 @@ class Event:
     def add_callback(self, callback: Callable[["Event"], None]) -> None:
         if self.callbacks is None:
             # Already fired and dispatched: run at current time.
-            self.env._queue_callback(lambda: callback(self))
+            self.env._queue_callback(callback, self)
         else:
             self.callbacks.append(callback)
 
@@ -102,7 +114,13 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires ``delay`` cycles in the future."""
+    """An event that fires ``delay`` cycles in the future.
+
+    Dead timeouts that provably have no remaining references are recycled by
+    the run loop through :attr:`Environment._timeout_pool`, so the dominant
+    ``yield env.timeout(d)`` pattern usually reuses an existing object
+    instead of allocating a fresh one.
+    """
 
     __slots__ = ("delay", "_pending_value")
 
@@ -112,7 +130,19 @@ class Timeout(Event):
         super().__init__(env)
         self.delay = delay
         self._pending_value = value
-        env._schedule_at(env.now + delay, self)
+        env._schedule_at(env._now + delay, self)
+
+    def _reinit(self, delay: float, value: Any) -> None:
+        """Re-arm a recycled (fired, unreferenced) timeout."""
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = True
+        self.delay = delay
+        self._pending_value = value
+        env = self.env
+        env._schedule_at(env._now + delay, self)
 
     def _dispatch(self) -> None:
         if self._value is PENDING:
@@ -226,13 +256,27 @@ class AnyOf(Event):
 
 
 class Environment:
-    """The simulation environment: clock plus scheduler."""
+    """The simulation environment: clock plus scheduler.
+
+    Scheduling is split across two structures:
+
+    * ``_ready`` — a FIFO deque of work at the *current* simulation time
+      (event triggers, process resumes, zero-delay timeouts).  This is the
+      dominant traffic, and a deque append/popleft is O(1) where the old
+      single-heap scheduler paid O(log n) tuple-comparison churn per event.
+    * ``_heap`` — a binary heap of strictly-future timeouts.
+
+    Both carry a global sequence number, so interleaved same-time work still
+    fires in exactly the order it was scheduled — observable behaviour
+    (including tie-breaking) is identical to the single-heap scheduler.
+    """
 
     def __init__(self) -> None:
         self._now: float = 0
-        self._heap: List = []
+        self._heap: List = []        # (when, seq, event) — future work only
         self._sequence = 0
-        self._ready: List = []  # FIFO of work at the current time
+        self._ready: deque = deque()  # (seq, event, callback, arg) at current time
+        self._timeout_pool: List[Timeout] = []
 
     @property
     def now(self) -> float:
@@ -242,20 +286,29 @@ class Environment:
 
     def _schedule_at(self, when: float, event: Event) -> None:
         self._sequence += 1
-        heapq.heappush(self._heap, (when, self._sequence, event, None))
+        if when <= self._now:
+            # Zero-delay fast path: current-time work never touches the heap.
+            self._ready.append((self._sequence, event, None, None))
+        else:
+            heapq.heappush(self._heap, (when, self._sequence, event))
 
     def _queue_event(self, event: Event) -> None:
         """Schedule a just-triggered event's dispatch at the current time."""
         self._sequence += 1
-        heapq.heappush(self._heap, (self._now, self._sequence, event, None))
+        self._ready.append((self._sequence, event, None, None))
 
-    def _queue_callback(self, callback: Callable[[], None]) -> None:
+    def _queue_callback(self, callback: Callable[..., None], arg: Any = _NO_ARG) -> None:
         self._sequence += 1
-        heapq.heappush(self._heap, (self._now, self._sequence, None, callback))
+        self._ready.append((self._sequence, None, callback, arg))
 
     # -- public API ----------------------------------------------------------
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
+        pool = self._timeout_pool
+        if pool:
+            timeout = pool.pop()
+            timeout._reinit(delay, value)
+            return timeout
         return Timeout(self, delay, value)
 
     def event(self) -> Event:
@@ -271,21 +324,30 @@ class Environment:
         return AnyOf(self, events)
 
     def run(self, until: Optional[float] = None) -> float:
-        """Run until the event heap drains or the clock reaches ``until``.
+        """Run until the schedule drains or the clock reaches ``until``.
 
-        Returns the final simulation time.
+        Returns the final simulation time.  If the schedule drains before
+        ``until``, the clock still advances to ``until`` (callers rely on
+        ``now == until`` for rate and occupancy computations).
         """
         heap = self._heap
-        while heap:
-            when, _seq, event, callback = heap[0]
-            if until is not None and when > until:
-                self._now = until
-                return self._now
-            heapq.heappop(heap)
-            self._now = when
-            if callback is not None:
-                callback()
-            elif event is not None:
+        ready = self._ready
+        pool = self._timeout_pool
+        heappop = heapq.heappop
+        refcount = sys.getrefcount if _REFCOUNT_POOLING else None
+        while ready or heap:
+            # Same-time FIFO fast path: fire ready work unless a heap entry
+            # at the current time carries an earlier sequence number.
+            if ready and not (
+                heap and heap[0][0] <= self._now and heap[0][1] < ready[0][0]
+            ):
+                _seq, event, callback, arg = ready.popleft()
+                if callback is not None:
+                    if arg is _NO_ARG:
+                        callback()
+                    else:
+                        callback(arg)
+                    continue
                 if (
                     isinstance(event, Process)
                     and event.triggered
@@ -296,6 +358,24 @@ class Environment:
                     # error instead of silently swallowing it.
                     raise event._value
                 event._dispatch()
+            else:
+                when, _seq, event = heap[0]
+                if until is not None and when > until:
+                    self._now = until
+                    return until
+                heappop(heap)
+                self._now = when
+                event._dispatch()
+            if (
+                refcount is not None
+                and type(event) is Timeout
+                and refcount(event) == _FREE_REFCOUNT
+            ):
+                # Fired and provably unreferenced: recycle the object so the
+                # next env.timeout() call skips allocation entirely.
+                pool.append(event)
+        if until is not None and until > self._now:
+            self._now = until
         return self._now
 
     def run_process(self, generator: Generator, until: Optional[float] = None) -> Any:

@@ -40,6 +40,17 @@ class CpuTimes:
             "sync": self.sync,
         }
 
+    def to_state(self) -> Dict[str, float]:
+        """Full lossless state (``as_dict`` omits ``finish_time``)."""
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    @classmethod
+    def from_state(cls, state: Dict[str, float]) -> "CpuTimes":
+        times = cls()
+        for slot in cls.__slots__:
+            setattr(times, slot, state[slot])
+        return times
+
 
 def merge_cpu_times(times: List[CpuTimes]) -> Dict[str, float]:
     """Average the per-CPU categories, as the paper's stacked bars do."""

@@ -8,7 +8,8 @@ speculation and MDC statistics of Section 5.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+import json
+from typing import Any, Dict, List, Optional
 
 from ..protocol.coherence import MissClass
 from .breakdown import CpuTimes, merge_cpu_times
@@ -30,7 +31,29 @@ def crmt(distribution: Dict[str, float], latencies: Dict[str, float]) -> float:
 
 
 class RunResult:
-    """Everything measured from one simulation run."""
+    """Everything measured from one simulation run.
+
+    Serializable: :meth:`to_json` produces a canonical (sorted-key, compact)
+    JSON form that round-trips losslessly through :meth:`from_json`, so
+    results can cross process boundaries (the run farm) and persist on disk
+    (the result cache).  Two identical simulations serialize byte-identically.
+    """
+
+    #: Serialization schema version; bump when the measured fields change.
+    SCHEMA = 1
+
+    #: Scalar/plain-container attributes, serialized verbatim.
+    _PLAIN_FIELDS = (
+        "kind", "n_procs", "cache_size", "execution_time", "breakdown",
+        "total_reads", "total_writes", "read_misses", "write_misses",
+        "miss_classes", "memory_occupancy", "pp_occupancy",
+        "spec_issued", "spec_useless", "mdc_accesses", "mdc_misses",
+        "mdc_writebacks", "mdc_miss_rates", "handler_invocations",
+        "pp_handler_cycles", "network_messages", "pp_dynamic",
+    )
+
+    #: Optional Table 5.2 totals, attached only for emulator-backend runs.
+    pp_dynamic: Optional[Dict[str, float]] = None
 
     def __init__(self, machine, execution_time: float):
         config = machine.config
@@ -74,6 +97,37 @@ class RunResult:
             n.stats.pp_handler_cycles for n in machine.nodes
         )
         self.network_messages = machine.network.messages_sent
+
+    # -- serialization ------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        state: Dict[str, Any] = {"schema": self.SCHEMA}
+        for name in self._PLAIN_FIELDS:
+            state[name] = getattr(self, name)
+        state["cpu_times"] = [times.to_state() for times in self.cpu_times]
+        return state
+
+    @classmethod
+    def from_dict(cls, state: Dict[str, Any]) -> "RunResult":
+        if state.get("schema") != cls.SCHEMA:
+            raise ValueError(
+                f"RunResult schema mismatch: got {state.get('schema')!r}, "
+                f"expected {cls.SCHEMA}"
+            )
+        result = cls.__new__(cls)
+        for name in cls._PLAIN_FIELDS:
+            setattr(result, name, state[name])
+        result.cpu_times = [CpuTimes.from_state(s) for s in state["cpu_times"]]
+        return result
+
+    def to_json(self) -> str:
+        """Canonical JSON: sorted keys, compact separators — byte-stable for
+        identical runs, so determinism can be asserted on the serialized form."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunResult":
+        return cls.from_dict(json.loads(text))
 
     # -- derived metrics ----------------------------------------------------------
 

@@ -1,0 +1,97 @@
+"""The parallel run farm: spec fan-out, determinism, memo seeding.
+
+The core guarantee: a farmed sweep (worker processes + serialized results +
+disk cache) is *byte-identical* to a serial in-process sweep.  The sweep here
+is the Figure 4.1 shape (every app, FLASH and ideal) at tiny problem sizes so
+the double run stays fast.
+"""
+
+import pytest
+
+from repro.harness import experiments as exp, runfarm
+
+#: Figure 4.1 sweep at tiny problem sizes (seconds, not minutes, per run).
+TINY_SIZES = {
+    "barnes": {"bodies": 64, "iterations": 1},
+    "fft": {"points": 256},
+    "lu": {"matrix": 32, "block": 8},
+    "mp3d": {"particles": 200, "steps": 1},
+    "ocean": {"grid": 10, "n_grids": 2, "sweeps": 1},
+    "os": {"tasks_per_proc": 1},
+    "radix": {"keys": 512, "radix": 16, "key_bits": 8},
+}
+
+
+def tiny_sweep_specs():
+    return [
+        exp.normalize_spec(app, kind=kind, regime="large", n_procs=4,
+                           workload_overrides=TINY_SIZES[app])
+        for app in exp.APP_ORDER
+        for kind in ("flash", "ideal")
+    ]
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.delenv("REPRO_CACHE", raising=False)
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    exp.clear_cache()
+    yield
+    exp.clear_cache()
+
+
+class TestSweepSpecs:
+    def test_full_large_sweep_shape(self):
+        specs = runfarm.sweep_specs(regime="large")
+        assert len(specs) == len(exp.APP_ORDER) * 2
+        assert {s["kind"] for s in specs} == {"flash", "ideal"}
+
+    def test_paper_na_cells_skipped(self):
+        specs = runfarm.sweep_specs(regime="small")
+        apps = {s["app"] for s in specs}
+        # Barnes, LU and OS are not run at the small ("4 KB") regime.
+        assert "barnes" not in apps and "lu" not in apps and "os" not in apps
+        assert "fft" in apps and "ocean" in apps
+
+    def test_default_jobs_reads_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "6")
+        assert runfarm.default_jobs() == 6
+        monkeypatch.setenv("REPRO_JOBS", "garbage")
+        assert runfarm.default_jobs() == 1
+
+
+class TestDeterminism:
+    def test_serial_and_jobs4_sweeps_are_byte_identical(self, monkeypatch):
+        specs = tiny_sweep_specs()
+        # Serial reference, all caching off: pure in-process simulation.
+        monkeypatch.setenv("REPRO_CACHE", "off")
+        serial = [r.to_json() for r in runfarm.run_specs(specs, jobs=1)]
+        monkeypatch.delenv("REPRO_CACHE")
+        exp.clear_cache()
+        # Farmed run: fresh worker processes, results round-trip through
+        # serialization and the (empty) disk cache.
+        farmed = [r.to_json() for r in runfarm.run_specs(specs, jobs=4)]
+        assert serial == farmed
+
+    def test_farm_seeds_parent_memo(self, monkeypatch):
+        specs = tiny_sweep_specs()[:2]  # fft flash+ideal equivalent pair
+        runfarm.run_specs(specs, jobs=2)
+        # Subsequent run_app calls in the parent must not re-simulate.
+        monkeypatch.setattr(
+            exp, "_execute",
+            lambda _spec: pytest.fail("farm result missed the memo table"))
+        for spec in specs:
+            result = exp.run_app(
+                spec["app"], kind=spec["kind"], regime=spec["regime"],
+                n_procs=spec["n_procs"],
+                workload_overrides=spec["workload_overrides"])
+            assert result.execution_time > 0
+
+    def test_cache_round_trip_after_farm_is_lossless(self):
+        spec = tiny_sweep_specs()[0]
+        (farmed,) = runfarm.run_specs([spec], jobs=1)
+        exp.clear_cache()
+        # Second invocation loads from disk; serialized forms must match.
+        (reloaded,) = runfarm.run_specs([spec], jobs=1)
+        assert reloaded.to_json() == farmed.to_json()

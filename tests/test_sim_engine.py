@@ -222,3 +222,73 @@ class TestDeterminism:
 
         env.process(proc())
         assert env.run() == 17
+
+    def test_run_until_advances_clock_past_drained_schedule(self, env):
+        # Regression: when every event fires before `until`, the clock must
+        # still advance to `until`, not stop at the last event time.
+        def proc():
+            yield env.timeout(17)
+
+        env.process(proc())
+        assert env.run(until=100) == 100
+        assert env.now == 100
+
+    def test_run_until_advances_clock_with_empty_schedule(self, env):
+        assert env.run(until=42) == 42
+        assert env.now == 42
+
+    def test_run_until_resumable_after_drain(self, env):
+        order = []
+
+        def proc():
+            yield env.timeout(5)
+            order.append(env.now)
+
+        env.process(proc())
+        env.run(until=20)
+        # New work scheduled after the horizon starts from the horizon time.
+        def late():
+            yield env.timeout(1)
+            order.append(env.now)
+
+        env.process(late())
+        env.run()
+        assert order == [5, 21]
+
+    def test_same_time_heap_and_ready_interleave_in_schedule_order(self, env):
+        # Zero-delay timeouts, event triggers, and already-fired waits at one
+        # simulation time must fire in exactly the order they were scheduled,
+        # even though they traverse different scheduler structures.
+        order = []
+
+        def proc():
+            yield env.timeout(3)
+            order.append("timeout-a")
+            trigger = env.event()
+            trigger.succeed(None)       # ready deque
+            t = env.timeout(0)          # zero-delay fast path
+            trigger.add_callback(lambda e: order.append("event"))
+            t.add_callback(lambda e: order.append("timeout-0"))
+            yield env.timeout(0)
+            order.append("resume")
+
+        env.process(proc())
+        env.run()
+        assert order == ["timeout-a", "event", "timeout-0", "resume"]
+
+    def test_timeout_pool_recycles_only_unreferenced_timeouts(self, env):
+        held = env.timeout(1)
+
+        def proc():
+            yield env.timeout(2)
+            yield held
+            assert held.triggered and held.value is None
+
+        env.process(proc())
+        env.run()
+        # `held` is still referenced by this frame: it must not be in the pool.
+        assert held not in env._timeout_pool
+        # Pooled timeouts are re-armed, not stale.
+        t = env.timeout(4)
+        assert not t.triggered
+        assert env.run() == env.now == 6
