@@ -11,6 +11,12 @@ measure
 and append them to ``benchmarks/BENCH_kernel.json`` so future PRs have a
 perf trajectory to compare against.  ``test_kernel_throughput.py`` imports
 the same workload so the pytest microbenchmark and the smoke record agree.
+
+With ``--e2e`` it additionally runs the full Figure 4.1 sweep (all 14
+app/machine combinations at the large regime) cold — no memo, no disk
+cache — and appends total wall clock plus aggregate references/second to
+``benchmarks/BENCH_e2e.json``.  That is the headline end-to-end number the
+optimization PRs are judged on; expect it to take about a minute.
 """
 
 from __future__ import annotations
@@ -27,6 +33,8 @@ sys.path.insert(
 
 BENCH_FILE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                           "BENCH_kernel.json")
+BENCH_E2E_FILE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                              "BENCH_e2e.json")
 
 #: Canonical microbenchmark shape: every worker alternates a future timeout,
 #: a zero-delay timeout, and an immediately-triggered event wait.
@@ -73,28 +81,74 @@ def end_to_end_seconds() -> float:
     return time.perf_counter() - start
 
 
-def main() -> int:
-    record = {
-        "utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
-        "python": platform.python_version(),
-        "machine": platform.machine(),
-        "cpus": os.cpu_count(),
-        "kernel_events_per_sec": round(kernel_events_per_sec()),
-        "e2e_fft1k_seconds": round(end_to_end_seconds(), 3),
+def fig41_sweep() -> dict:
+    """Cold wall-clock of the full Figure 4.1 sweep, sequential, uncached.
+
+    Runs every (app, kind) spec through ``experiments._execute`` directly so
+    neither the in-process memo nor the disk cache can shortcut a run, and
+    reports per-app seconds, the total, and aggregate simulated memory
+    references per wall-clock second.
+    """
+    from repro.harness import experiments, runfarm
+
+    per_app: dict = {}
+    total_refs = 0
+    total_seconds = 0.0
+    for spec in runfarm.sweep_specs(regime="large"):
+        start = time.perf_counter()
+        result = experiments._execute(spec)
+        elapsed = time.perf_counter() - start
+        key = f"{spec['app']}/{spec['kind']}"
+        per_app[key] = round(elapsed, 2)
+        total_refs += result.references
+        total_seconds += elapsed
+        print(f"  {key:<14} {elapsed:6.2f}s", file=sys.stderr)
+    return {
+        "sweep_seconds": round(total_seconds, 2),
+        "references": total_refs,
+        "references_per_sec": round(total_refs / total_seconds),
+        "per_app_seconds": per_app,
     }
+
+
+def append_history(path: str, record: dict) -> int:
     history = []
-    if os.path.exists(BENCH_FILE):
+    if os.path.exists(path):
         try:
-            with open(BENCH_FILE) as fh:
+            with open(path) as fh:
                 history = json.load(fh)
         except ValueError:
             history = []
     history.append(record)
-    with open(BENCH_FILE, "w") as fh:
+    with open(path, "w") as fh:
         json.dump(history, fh, indent=2)
         fh.write("\n")
+    return len(history)
+
+
+def machine_stamp() -> dict:
+    return {
+        "utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpus": os.cpu_count(),
+    }
+
+
+def main() -> int:
+    if "--e2e" in sys.argv[1:]:
+        record = machine_stamp()
+        record.update(fig41_sweep())
+        count = append_history(BENCH_E2E_FILE, record)
+        print(json.dumps(record, indent=2))
+        print(f"appended to {BENCH_E2E_FILE} ({count} record(s))")
+        return 0
+    record = machine_stamp()
+    record["kernel_events_per_sec"] = round(kernel_events_per_sec())
+    record["e2e_fft1k_seconds"] = round(end_to_end_seconds(), 3)
+    count = append_history(BENCH_FILE, record)
     print(json.dumps(record, indent=2))
-    print(f"appended to {BENCH_FILE} ({len(history)} record(s))")
+    print(f"appended to {BENCH_FILE} ({count} record(s))")
     return 0
 
 

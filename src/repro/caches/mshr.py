@@ -36,55 +36,67 @@ class MSHREntry:
 
 
 class MSHRFile:
-    """A small fully-associative file of outstanding misses."""
+    """A small fully-associative file of outstanding misses.
+
+    ``entries`` (line address -> entry) is deliberately public: the CPU's
+    hit-run inner loop binds ``entries.get`` once and probes it per
+    reference without a method call.
+    """
+
+    __slots__ = (
+        "capacity", "_cache", "entries",
+        "peak_outstanding", "total_allocations", "total_merges",
+    )
 
     def __init__(self, capacity: int, cache: SetAssocCache):
         self.capacity = capacity
         self._cache = cache
-        self._entries: Dict[int, MSHREntry] = {}
+        self.entries: Dict[int, MSHREntry] = {}
         self.peak_outstanding = 0
         self.total_allocations = 0
         self.total_merges = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self.entries)
 
     @property
     def is_full(self) -> bool:
-        return len(self._entries) >= self.capacity
+        return len(self.entries) >= self.capacity
 
     def lookup(self, line_addr: int) -> Optional[MSHREntry]:
-        return self._entries.get(line_addr)
+        return self.entries.get(line_addr)
 
     def index_conflict(self, line_addr: int) -> bool:
         """True when an outstanding miss maps to the same cache index but a
         different tag — the case that stalls even a non-blocking write."""
-        index = self._cache.set_index(line_addr)
-        for other in self._entries:
-            if other != line_addr and self._cache.set_index(other) == index:
+        shift = self._cache.line_shift
+        mask = self._cache.set_mask
+        index = (line_addr >> shift) & mask
+        for other in self.entries:
+            if other != line_addr and ((other >> shift) & mask) == index:
                 return True
         return False
 
     def allocate(self, line_addr: int, is_write: bool, now: float) -> MSHREntry:
-        if line_addr in self._entries:
+        if line_addr in self.entries:
             raise KeyError(f"duplicate MSHR for line {line_addr:#x}")
         if self.is_full:
             raise OverflowError("MSHR file full")
         entry = MSHREntry(line_addr, is_write, now)
-        self._entries[line_addr] = entry
+        self.entries[line_addr] = entry
         self.total_allocations += 1
-        self.peak_outstanding = max(self.peak_outstanding, len(self._entries))
+        self.peak_outstanding = max(self.peak_outstanding, len(self.entries))
         return entry
 
     def merge_write(self, line_addr: int) -> MSHREntry:
-        entry = self._entries[line_addr]
+        entry = self.entries[line_addr]
         entry.merged_writes += 1
         self.total_merges += 1
         return entry
 
     def complete(self, line_addr: int) -> MSHREntry:
         """Retire the miss; caller fires ``entry.waiters``."""
-        return self._entries.pop(line_addr)
+        return self.entries.pop(line_addr)
 
     def outstanding_lines(self) -> List[int]:
-        return list(self._entries)
+        return list(self.entries)

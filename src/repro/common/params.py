@@ -109,6 +109,20 @@ class CacheConfig:
                 f"cache size {self.size_bytes} not divisible by "
                 f"{self.associativity} ways of {self.line_bytes}-byte lines"
             )
+        # The cache hot path decomposes addresses with shifts and masks, which
+        # requires power-of-two line size and set count (true of every real
+        # cache geometry, including all of the paper's).
+        if self.line_bytes < 1 or self.line_bytes & (self.line_bytes - 1):
+            raise ConfigError(
+                f"line_bytes must be a power of two, got {self.line_bytes}"
+            )
+        n_sets = self.n_sets
+        if n_sets < 1 or n_sets & (n_sets - 1):
+            raise ConfigError(
+                f"derived set count must be a power of two, got {n_sets} "
+                f"({self.size_bytes} bytes / {self.associativity} ways of "
+                f"{self.line_bytes}-byte lines)"
+            )
 
     @property
     def n_sets(self) -> int:

@@ -8,6 +8,7 @@ Usage::
     python -m repro.harness run mp3d --regime small --procs 16
     python -m repro.harness suite                # Figure 4.1 sweep
     python -m repro.harness --jobs 4 suite       # ... farmed over 4 workers
+    python -m repro.harness profile mp3d         # per-subsystem time attribution
     python -m repro.harness clear                # wipe the on-disk result cache
 
 Results persist in ``.repro_cache/`` (disable with ``REPRO_CACHE=off``), so
@@ -92,6 +93,35 @@ def cmd_run(args) -> int:
     return 0
 
 
+def cmd_profile(args) -> int:
+    """Profile one uncached run and attribute time per subsystem."""
+    import cProfile
+    import time
+
+    from . import experiments
+    from ..stats.report import attribute_profile, render_profile
+
+    spec = experiments.normalize_spec(
+        args.app, kind=args.kind, regime=args.regime, n_procs=args.procs)
+    profile = cProfile.Profile()
+    start = time.perf_counter()
+    profile.enable()
+    result = experiments._execute(spec)  # bypass memo + disk cache
+    profile.disable()
+    elapsed = time.perf_counter() - start
+    attribution = attribute_profile(profile)
+    title = (f"{args.app}/{args.kind} regime={args.regime} "
+             f"({result.references} refs, {elapsed:.1f}s under cProfile)")
+    print(render_profile(attribution, title, top_n=args.top,
+                         cache_totals=result.cache_totals))
+    print(f"\nreferences/sec (profiled; cProfile adds ~2-3x overhead): "
+          f"{result.references / elapsed:,.0f}")
+    if args.pstats:
+        profile.dump_stats(args.pstats)
+        print(f"raw pstats written to {args.pstats}")
+    return 0
+
+
 def cmd_suite(args) -> int:
     if args.jobs > 1:
         # Farm the whole sweep up front; the loop below then hits the memo.
@@ -133,6 +163,18 @@ def main(argv=None) -> int:
     suite = sub.add_parser("suite")
     suite.add_argument("--regime", default="large")
     suite.set_defaults(fn=cmd_suite)
+    profile = sub.add_parser(
+        "profile", help="cProfile one uncached run, attribute per subsystem")
+    profile.add_argument("app", choices=APP_ORDER)
+    profile.add_argument("--kind", default="flash", choices=["flash", "ideal"])
+    profile.add_argument("--regime", default="large",
+                         choices=["large", "medium", "small"])
+    profile.add_argument("--procs", type=int, default=None)
+    profile.add_argument("--top", type=int, default=3,
+                         help="hottest frames listed per subsystem")
+    profile.add_argument("--pstats", metavar="FILE", default=None,
+                         help="also dump raw pstats data to FILE")
+    profile.set_defaults(fn=cmd_profile)
     args = parser.parse_args(argv)
     return args.fn(args)
 

@@ -74,16 +74,21 @@ class IdealController:
     # -- message intake -------------------------------------------------------------
 
     def _pi_loop(self):
-        env = self.env
+        timeout = self.env.timeout
+        get = self.pi_in_q.get
+        pi_inbound = self.lat.pi_inbound
+        process = self._process
         while True:
-            message = yield self.pi_in_q.get()
-            yield env.timeout(self.lat.pi_inbound)
-            self._process(message)
+            message = yield get()
+            yield timeout(pi_inbound)
+            process(message)
 
     def _ni_loop(self):
+        get = self.net_port.in_queue.get
+        process = self._process
         while True:
-            message = yield self.net_port.in_queue.get()
-            self._process(message)
+            message = yield get()
+            process(message)
 
     def _process(self, message: Message) -> None:
         self.stats.messages_in += 1
@@ -158,15 +163,19 @@ class IdealController:
     # -- processor interface, outbound --------------------------------------------------
 
     def _pi_out(self):
-        env = self.env
+        timeout = self.env.timeout
+        get = self.pi_out_q.get
+        pi_outbound = self.lat.pi_outbound
+        bus_transit = self.lat.pi_outbound_bus_transit
+        replay_stable = self.engine.replay_stable
         while True:
-            message, data_ready, done = yield self.pi_out_q.get()
+            message, data_ready, done = yield get()
             if data_ready is not None and not data_ready.triggered:
                 yield data_ready
-            yield env.timeout(self.lat.pi_outbound)
-            yield env.timeout(self.lat.pi_outbound_bus_transit)
+            yield timeout(pi_outbound)
+            yield timeout(bus_transit)
             self._cpu_deliver(message)
             if done is not None and not done.triggered:
                 done.succeed()
-            for action in self.engine.replay_stable(message.line_addr):
+            for action in replay_stable(message.line_addr):
                 self._execute(action)

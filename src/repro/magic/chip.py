@@ -25,7 +25,7 @@ from ..msgpass.transfer import (
 )
 from ..protocol.coherence import Action, NodeProtocolEngine
 from ..protocol.messages import Message, MessageType as MT, TRANSFER_TYPES
-from ..sim.engine import Environment, Event
+from ..sim.engine import Environment, Event, PENDING
 from ..sim.queues import BoundedQueue, CountingResource
 from ..stats.breakdown import NodeStats
 from .mdc import MagicDataCache, MagicInstructionCache
@@ -35,6 +35,29 @@ __all__ = ["MagicChip", "SPECULATIVE_TYPES"]
 #: Message types for which the jump table initiates a speculative memory read
 #: (requests that may be satisfied from local memory).
 SPECULATIVE_TYPES = frozenset({MT.GET, MT.GETX, MT.REMOTE_GET, MT.REMOTE_GETX})
+
+
+class _EitherReady(Event):
+    """Lean two-child ``any_of`` for inbox arbitration: fires as soon as
+    either queue's get-event fires.  Scheduling order is identical to
+    ``env.any_of([a, b])`` — the child's dispatch queues this event's
+    trigger at the same point — but without the per-wait list, enumerate
+    and closure allocations.  The value (unused by the inbox) is None."""
+
+    __slots__ = ()
+
+    def __init__(self, env: Environment, a: Event, b: Event):
+        Event.__init__(self, env)
+        on_child = self._on_child
+        a.add_callback(on_child)
+        b.add_callback(on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self._value is PENDING:
+            if event._ok:
+                self.succeed(None)
+            else:
+                self.fail(event._value)
 
 
 class MagicChip:
@@ -99,25 +122,31 @@ class MagicChip:
 
     def _inbox(self):
         env = self.env
+        timeout = env.timeout
         ni_in = self.net_port.in_queue
-        get_pi = self.pi_in_q.get()
+        pi_in = self.pi_in_q
+        stats = self.stats
+        lat = self.lat
+        get_pi = pi_in.get()
         get_ni = ni_in.get()
         while True:
-            if get_pi.triggered:
-                message, from_pi = get_pi.value, True
-                get_pi = self.pi_in_q.get()
-            elif get_ni.triggered:
-                message, from_pi = get_ni.value, False
+            # ``._value is not PENDING`` is ``.triggered`` with the property
+            # call inlined (this check runs twice per arbitration).
+            if get_pi._value is not PENDING:
+                message, from_pi = get_pi._value, True
+                get_pi = pi_in.get()
+            elif get_ni._value is not PENDING:
+                message, from_pi = get_ni._value, False
                 get_ni = ni_in.get()
             else:
-                yield env.any_of([get_pi, get_ni])
+                yield _EitherReady(env, get_pi, get_ni)
                 continue
-            self.stats.messages_in += 1
+            stats.messages_in += 1
             if from_pi:
-                yield env.timeout(self.lat.pi_inbound)
+                yield timeout(lat.pi_inbound)
             if message.carries_data:
                 yield self.data_buffers.acquire()
-            yield env.timeout(self.lat.inbox_arbitration)
+            yield timeout(lat.inbox_arbitration)
             # The jump table output may initiate a speculative memory read;
             # it issues as the 2-cycle lookup proceeds.
             if (
@@ -131,88 +160,97 @@ class MagicChip:
                 self._spec[message.uid] = request
                 self.stats.spec_issued += 1
                 self._release_buffer_after([request.done_event])
-            yield env.timeout(self.lat.jump_table_lookup)
+            yield timeout(lat.jump_table_lookup)
             yield self.pp_q.put(message)
 
     # -- protocol processor ----------------------------------------------------------
 
     def _pp(self):
+        get = self.pp_q.get
+        spec_pop = self._spec.pop
+        engine_process = self.engine.process
+        execute = self._execute
         while True:
-            message = yield self.pp_q.get()
-            spec = self._spec.pop(message.uid, None)
+            message = yield get()
+            spec = spec_pop(message.uid, None)
             if message.mtype in TRANSFER_TYPES:
                 yield from self._execute_transfer(message)
                 continue
-            actions = self.engine.process(message)
+            actions = engine_process(message)
             incoming_buffer = message.carries_data
             for action in actions:
-                yield from self._execute(action, spec, incoming_buffer)
+                yield from execute(action, spec, incoming_buffer)
                 spec = None
                 incoming_buffer = False
 
     def _execute(self, action: Action, spec: Optional[MemoryRequest],
                  incoming_buffer: bool):
         env = self.env
-        start = env.now
+        timeout = env.timeout
+        lat = self.lat
+        stats = self.stats
+        memory = self.memory
+        start = env._now
         self.icache.fetch(action.handler)
         # Directory accesses go through the MDC; misses stall the PP and
         # consume memory bandwidth.
         mdc_misses, mdc_writebacks = self.mdc.access_sequence(action.dir_addrs)
         for _ in range(mdc_writebacks):
-            victim = self.memory.write(action.message.line_addr)
-            yield self.memory.submit(victim)
-        mdc_stall_start = env.now
-        for _ in range(mdc_misses):
-            fill = self.memory.read(action.message.line_addr)
-            yield self.memory.submit(fill)
-            yield fill.data_event
-            extra = self.lat.mdc_miss_penalty - self.lat.memory_access
-            if extra > 0:
-                yield env.timeout(extra)
-        self.stats.pp_mdc_stall += env.now - mdc_stall_start
+            victim = memory.write(action.message.line_addr)
+            yield memory.submit(victim)
+        if mdc_misses:
+            mdc_stall_start = env._now
+            for _ in range(mdc_misses):
+                fill = memory.read(action.message.line_addr)
+                yield memory.submit(fill)
+                yield fill.data_event
+                extra = lat.mdc_miss_penalty - lat.memory_access
+                if extra > 0:
+                    yield timeout(extra)
+            stats.pp_mdc_stall += env._now - mdc_stall_start
         # Handler execution.
         cost = self.cost_model.cost(action)
-        self.stats.note_handler(action.handler, cost)
-        yield env.timeout(cost)
+        stats.note_handler(action.handler, cost)
+        yield timeout(cost)
         # Resolve the data source for any outgoing data-bearing message.
         data_ready: Optional[Event] = None
         if action.cache_retrieve:
-            data_ready = env.timeout(
-                max(0, self.lat.intervention_data - (env.now - start))
+            data_ready = timeout(
+                max(0, lat.intervention_data - (env._now - start))
             )
-            self._cache_busy(self.lat.cache_state_retrieve +
-                             self.lat.cache_data_retrieve)
+            self._cache_busy(lat.cache_state_retrieve +
+                             lat.cache_data_retrieve)
         elif action.cache_touched:
-            self._cache_busy(self.lat.cache_state_retrieve)
+            self._cache_busy(lat.cache_state_retrieve)
         if action.needs_memory_data:
             if spec is not None and not action.memory_stale:
                 data_ready = spec.data_event
                 spec = None
             else:
-                request = self.memory.read(action.message.line_addr)
+                request = memory.read(action.message.line_addr)
                 yield self.data_buffers.acquire()
                 self._release_buffer_after([request.done_event])
-                yield self.memory.submit(request)
+                yield memory.submit(request)
                 data_ready = request.data_event
         if spec is not None:
             # The speculative read was useless: the memory copy is stale, the
             # message was deferred, or no data was needed after all.  The
             # access still occupies the memory system.
             spec.useless = True
-            self.stats.spec_useless += 1
+            stats.spec_useless += 1
         if action.writes_memory:
-            wreq = self.memory.write(action.message.line_addr)
+            wreq = memory.write(action.message.line_addr)
             if data_ready is None and not incoming_buffer:
-                yield self.memory.submit(wreq)
+                yield memory.submit(wreq)
             elif data_ready is None:
-                yield self.memory.submit(wreq)
+                yield memory.submit(wreq)
                 self._release_buffer_after([wreq.done_event])
                 incoming_buffer = False
             else:
                 self._submit_after(wreq, data_ready)
         # Outgoing messages leave through the outbox into interface queues.
         for out in action.sends:
-            yield env.timeout(self.lat.outbox)
+            yield timeout(lat.outbox)
             attached = data_ready if out.carries_data else None
             done: Optional[Event] = None
             if out.carries_data:
@@ -226,7 +264,7 @@ class MagicChip:
                     self._release_buffer_after([done])
             yield self.net_port.send((out, attached, done))
         if action.cpu_deliver is not None:
-            yield env.timeout(self.lat.outbox)
+            yield timeout(lat.outbox)
             done = Event(env)
             if incoming_buffer:
                 self._release_buffer_after([done])
@@ -236,20 +274,24 @@ class MagicChip:
             # Data arrived but was fully consumed by the handler (e.g. a
             # deferred writeback): free its buffer now.
             self.data_buffers.release()
-        self.stats.pp_busy += env.now - start
+        stats.pp_busy += env._now - start
 
     # -- processor interface, outbound ------------------------------------------------
 
     def _pi_out(self):
         env = self.env
+        timeout = env.timeout
+        get = self.pi_out_q.get
+        pi_outbound = self.lat.pi_outbound
+        bus_transit = self.lat.pi_outbound_bus_transit
         while True:
-            message, data_ready, done = yield self.pi_out_q.get()
-            if data_ready is not None and not data_ready.triggered:
+            message, data_ready, done = yield get()
+            if data_ready is not None and data_ready._value is PENDING:
                 yield data_ready
-            yield env.timeout(self.lat.pi_outbound)
-            yield env.timeout(self.lat.pi_outbound_bus_transit)
+            yield timeout(pi_outbound)
+            yield timeout(bus_transit)
             self._cpu_deliver(message)
-            if done is not None and not done.triggered:
+            if done is not None and done._value is PENDING:
                 done.succeed()
             # Delivering a grant to the local processor may make a line's
             # directory state consistent again; replay anything deferred on it.

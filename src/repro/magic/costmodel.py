@@ -39,56 +39,57 @@ class TableCostModel:
         if not config.pp_special_instructions:
             scale *= SPECIAL_INSTR_FACTOR
         self.scale = scale
+        # Most handlers have a fixed occupancy, so their scaled cost is
+        # precomputed into a flat lookup; only the invalidation- and
+        # list-position-dependent handlers are computed per call.
+        c = self.costs
+        bases = {
+            Handler.MISS_FORWARD: c.forward_to_home,
+            Handler.GET_HOME_CLEAN: c.read_from_memory,
+            # Retrieve from the local processor cache, reply, and update
+            # memory + directory.
+            Handler.GET_HOME_DIRTY_LOCAL: c.retrieve_from_proc_cache + c.local_writeback,
+            Handler.GETX_HOME_DIRTY_LOCAL: c.retrieve_from_proc_cache + c.local_writeback,
+            Handler.GET_LOCAL_FORWARD: c.forward_to_home,
+            Handler.GETX_LOCAL_FORWARD: c.forward_to_home,
+            Handler.GET_HOME_FORWARD: c.forward_home_to_dirty,
+            Handler.GETX_HOME_FORWARD: c.forward_home_to_dirty,
+            Handler.GET_OWNER: c.retrieve_from_proc_cache,
+            Handler.GETX_OWNER: c.retrieve_from_proc_cache,
+            Handler.SHARING_WB: c.sharing_writeback,
+            Handler.OWNERSHIP_XFER: c.remote_writeback,
+            Handler.REPLY_TO_PROC: c.reply_net_to_proc,
+            Handler.INVAL_RECEIVE: c.invalidation_receive,
+            Handler.ACK_RECEIVE: c.ack_receive,
+            Handler.WRITEBACK_LOCAL: c.local_writeback,
+            Handler.WRITEBACK_REMOTE: c.remote_writeback,
+            Handler.WRITEBACK_FORWARD: c.forward_to_home,
+            Handler.HINT_FORWARD: c.forward_to_home,
+            Handler.HINT_LOCAL: c.local_replacement_hint,
+            Handler.NAK_HOME: 4,
+            Handler.DEFERRED: 3,
+        }
+        self._flat = {
+            handler: max(1, int(round(base * scale)))
+            for handler, base in bases.items()
+        }
 
     def cost(self, action: Action) -> int:
         """PP occupancy in cycles for one handler invocation, excluding MDC
         miss penalties (charged separately by the chip)."""
-        c = self.costs
         handler = action.handler
-        if handler == Handler.MISS_FORWARD:
-            base = c.forward_to_home
-        elif handler == Handler.GET_HOME_CLEAN:
-            base = c.read_from_memory
-        elif handler in (Handler.GET_HOME_DIRTY_LOCAL, Handler.GETX_HOME_DIRTY_LOCAL):
-            # Retrieve from the local processor cache, reply, and update
-            # memory + directory.
-            base = c.retrieve_from_proc_cache + c.local_writeback
-        elif handler in (Handler.GET_LOCAL_FORWARD, Handler.GETX_LOCAL_FORWARD):
-            base = c.forward_to_home
-        elif handler in (Handler.GET_HOME_FORWARD, Handler.GETX_HOME_FORWARD):
-            base = c.forward_home_to_dirty
-        elif handler in (Handler.GET_OWNER, Handler.GETX_OWNER):
-            base = c.retrieve_from_proc_cache
-        elif handler in (Handler.GETX_HOME_CLEAN, Handler.UPGRADE_HOME):
+        flat = self._flat.get(handler)
+        if flat is not None:
+            return flat
+        c = self.costs
+        if handler in (Handler.GETX_HOME_CLEAN, Handler.UPGRADE_HOME):
             base = c.write_from_memory + c.per_invalidation * action.n_invals
-        elif handler == Handler.SHARING_WB:
-            base = c.sharing_writeback
-        elif handler == Handler.OWNERSHIP_XFER:
-            base = c.remote_writeback
-        elif handler == Handler.REPLY_TO_PROC:
-            base = c.reply_net_to_proc
-        elif handler == Handler.INVAL_RECEIVE:
-            base = c.invalidation_receive
-        elif handler == Handler.ACK_RECEIVE:
-            base = c.ack_receive
-        elif handler == Handler.WRITEBACK_LOCAL:
-            base = c.local_writeback
-        elif handler == Handler.WRITEBACK_REMOTE:
-            base = c.remote_writeback
-        elif handler in (Handler.WRITEBACK_FORWARD, Handler.HINT_FORWARD):
-            base = c.forward_to_home
-        elif handler == Handler.HINT_LOCAL:
-            base = c.local_replacement_hint
         elif handler == Handler.HINT_REMOTE:
             position = action.list_position
             if position is None or position <= 1:
                 base = c.remote_hint_only_sharer
             else:
                 base = c.remote_hint_base + c.remote_hint_per_link * position
-        elif handler == Handler.NAK_HOME:
-            base = 4
-        elif handler == Handler.DEFERRED:
-            base = 3
         else:
             raise KeyError(f"no cost for handler {handler!r}")
         return max(1, int(round(base * self.scale)))

@@ -50,12 +50,13 @@ class MagicDataCache:
         """
         if not self.enabled:
             return False, False
+        return self._access_line(self._cache.line_address(addr))
+
+    def _access_line(self, line: int) -> Tuple[bool, bool]:
+        """RMW one resident-or-filled MDC line.  The hit path is a single
+        fused dict operation (state check + MRU + dirty) in the cache."""
         self.accesses += 1
-        line = self._cache.line_address(addr)
-        state = self._cache.state_of(line)
-        if state != CacheState.INVALID:
-            self._cache.touch(line)
-            self._cache.set_state(line, CacheState.DIRTY)
+        if self._cache.rmw_touch(line):
             return False, False
         self.read_misses += 1
         victim = self._cache.fill(line, CacheState.DIRTY)
@@ -68,17 +69,20 @@ class MagicDataCache:
         """Access several addresses; returns (misses, victim writebacks).
         Consecutive accesses to the same MDC line count once, as the handler
         keeps the header in registers."""
+        if not self.enabled:
+            return 0, 0
         misses = 0
         writebacks = 0
         last_line = None
+        shift = self._cache.line_shift
         for addr in addrs:
-            line = self._cache.line_address(addr) if self.enabled else None
-            if self.enabled and line == last_line:
+            line = (addr >> shift) << shift
+            if line == last_line:
                 continue
-            miss, wb = self.access(addr)
-            misses += int(miss)
-            writebacks += int(wb)
             last_line = line
+            miss, wb = self._access_line(line)
+            misses += miss          # bools are 0/1
+            writebacks += wb
         return misses, writebacks
 
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..common.params import MachineConfig
-from ..sim.engine import Environment, Event
+from ..sim.engine import Environment, Event, PENDING
 from ..sim.queues import BoundedQueue
 
 __all__ = ["MemoryRequest", "MemoryController"]
@@ -27,8 +27,21 @@ class MemoryRequest:
     def __init__(self, env: Environment, is_read: bool, line_addr: int):
         self.is_read = is_read
         self.line_addr = line_addr
-        self.data_event = Event(env)   # first 8 bytes available (reads)
-        self.done_event = Event(env)   # controller freed
+        # Draw from the recycled event pool when available (two events per
+        # memory request; reset mirrors Event.__init__).
+        pool = env._event_pool
+        if len(pool) >= 2:
+            data_event = pool.pop()
+            data_event._value = PENDING
+            data_event._ok = True
+            done_event = pool.pop()
+            done_event._value = PENDING
+            done_event._ok = True
+        else:
+            data_event = Event(env)
+            done_event = Event(env)
+        self.data_event = data_event   # first 8 bytes available (reads)
+        self.done_event = done_event   # controller freed
         self.useless = False           # marked when a speculative read was wasted
 
 
@@ -68,16 +81,23 @@ class MemoryController:
         return self.busy_cycles / elapsed if elapsed > 0 else 0.0
 
     def _serve(self):
+        env = self.env
+        timeout = env.timeout
+        get = self.queue.get
+        access_cycles = self.access_cycles
+        busy_per_access = self.busy_cycles_per_access
+        remainder = busy_per_access - access_cycles
         while True:
-            request = yield self.queue.get()
-            yield self.env.timeout(self.access_cycles)
-            if not request.data_event.triggered:
-                request.data_event.succeed(self.env.now)
-            remainder = self.busy_cycles_per_access - self.access_cycles
+            request = yield get()
+            yield timeout(access_cycles)
+            data_event = request.data_event
+            if data_event._value is PENDING:
+                data_event.succeed(env._now)
             if remainder > 0:
-                yield self.env.timeout(remainder)
-            self.busy_cycles += self.busy_cycles_per_access
+                yield timeout(remainder)
+            self.busy_cycles += busy_per_access
             if request.useless:
                 self.useless_reads += 1
-            if not request.done_event.triggered:
-                request.done_event.succeed(self.env.now)
+            done_event = request.done_event
+            if done_event._value is PENDING:
+                done_event.succeed(env._now)

@@ -19,7 +19,7 @@ from typing import Callable, Dict, List, Optional
 
 from ..common.params import MachineConfig
 from ..protocol.messages import Message
-from ..sim.engine import Environment
+from ..sim.engine import Environment, PENDING
 from ..sim.queues import BoundedQueue
 
 __all__ = ["Network", "NetworkPort"]
@@ -57,27 +57,32 @@ class NetworkPort:
         return self.out_queue.put(bundle)
 
     def _outbound(self):
-        env = self._network.env
+        timeout = self._network.env.timeout
+        get = self.out_queue.get
+        launch = self._network._launch
+        ni_outbound = self._ni_outbound
         while True:
-            bundle = yield self.out_queue.get()
-            message, data_ready, done = bundle
-            if data_ready is not None and not data_ready.triggered:
+            message, data_ready, done = yield get()
+            if data_ready is not None and data_ready._value is PENDING:
                 # Pipelined data transfer: the header leaves only once the
                 # line data has begun streaming into the data buffer.
                 yield data_ready
-            yield env.timeout(self._ni_outbound)
-            self._network._launch(message)
-            if done is not None and not done.triggered:
+            yield timeout(ni_outbound)
+            launch(message)
+            if done is not None and done._value is PENDING:
                 done.succeed()
 
     def _inbound(self):
-        env = self._network.env
+        timeout = self._network.env.timeout
+        get = self._wire.get
+        put = self.in_queue.put
+        ni_inbound = self._ni_inbound
         while True:
-            message = yield self._wire.get()
-            yield env.timeout(self._ni_inbound)
+            message = yield get()
+            yield timeout(ni_inbound)
             # A full incoming queue backs subsequent traffic up into the
             # network (this put blocks the inbound path).
-            yield self.in_queue.put(message)
+            yield put(message)
 
 
 class Network:
@@ -99,8 +104,10 @@ class Network:
 
     def _launch(self, message: Message) -> None:
         self.messages_sent += 1
-        self._in_flight += 1
-        self.peak_in_flight = max(self.peak_in_flight, self._in_flight)
+        in_flight = self._in_flight + 1
+        self._in_flight = in_flight
+        if in_flight > self.peak_in_flight:
+            self.peak_in_flight = in_flight
         self.env.process(self._transit(message), name="net.transit")
 
     def _transit(self, message: Message):

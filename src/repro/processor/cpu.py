@@ -37,7 +37,7 @@ from ..caches.mshr import MSHRFile
 from ..caches.setassoc import CacheState, SetAssocCache
 from ..common.errors import WorkloadError
 from ..common.params import MachineConfig
-from ..common.units import line_address
+from ..common.units import CACHE_LINE_BYTES, line_address
 from ..protocol.messages import Message, MessageType as MT
 from ..sim.engine import Environment, Event
 from ..stats.breakdown import CpuTimes
@@ -47,6 +47,11 @@ __all__ = ["CPU", "CYCLES_PER_REFERENCE"]
 
 #: Each reference is one instruction slot of the 4-issue 400-MIPS processor.
 CYCLES_PER_REFERENCE = 0.25
+
+#: ``addr & _LINE_MASK == line_address(addr)`` for non-negative addresses
+#: (CACHE_LINE_BYTES is a power of two) — the branch-free form the hit-run
+#: inner loop uses.
+_LINE_MASK = -CACHE_LINE_BYTES
 
 
 class CPU:
@@ -137,58 +142,95 @@ class CPU:
         return process
 
     def _run(self, ops: Iterator[Tuple]):
+        # Hit-run inner loop: consecutive hitting references and compute ops
+        # are consumed in plain Python — cache geometry as local shift/mask
+        # bindings, hit/miss decision as one dict pop/insert, time charged in
+        # bulk through ``batched`` — and the generator only yields to the
+        # event kernel on a miss, an MSHR hit, a sync op, a block transfer,
+        # or quantum expiry.  The kernel sees misses, not references.
+        # Timing (and therefore every result) is identical to the unbatched
+        # form; see DESIGN.md "Performance engineering".
+        cache = self.cache
+        sets = cache._sets
+        line_shift = cache.line_shift
+        tag_shift = cache.tag_shift
+        set_mask = cache.set_mask
+        stats = cache.stats
+        mshr_get = self.mshrs.entries.get
+        quantum = self.quantum
+        cpr = CYCLES_PER_REFERENCE
+        SHARED = CacheState.SHARED
         batched = 0.0
         for op in ops:
             kind = op[0]
-            if kind == "c":
-                batched += op[1]
-                if batched >= self.quantum:
-                    batched = yield from self._flush(batched)
-            elif kind == "r":
+            if kind == "r":
                 k = op[2] if len(op) > 2 else 1
                 self.total_reads += k
-                batched += CYCLES_PER_REFERENCE * k
-                line = line_address(op[1])
-                entry = self.mshrs.lookup(line)
+                batched += cpr * k
+                line = op[1] & _LINE_MASK
+                entry = mshr_get(line)
                 if entry is not None:
                     # Secondary reference to an in-flight line.
                     self.read_merges += 1
                     if k > 1:
-                        self.cache.stats.read_hits += k - 1
+                        stats.read_hits += k - 1
                     batched = yield from self._flush(batched)
                     # The flush yielded: the miss may have completed already.
-                    if self.mshrs.lookup(line) is entry:
+                    if mshr_get(line) is entry:
                         yield from self._wait_for_entry(entry, is_read=True)
                     continue
-                state = self.cache.access(line, is_write=False)
-                if k > 1:
-                    self.cache.stats.read_hits += k - 1
-                if state == CacheState.INVALID:
+                cache_set = sets[(line >> line_shift) & set_mask]
+                tag = line >> tag_shift
+                state = cache_set.pop(tag, None)
+                if state is None:
+                    stats.read_misses += 1
+                    if k > 1:
+                        stats.read_hits += k - 1
                     batched = yield from self._flush(batched)
                     yield from self._read_miss(line)
-                elif batched >= self.quantum:
-                    batched = yield from self._flush(batched)
+                else:
+                    cache_set[tag] = state  # MRU
+                    stats.read_hits += k
+                    if batched >= quantum:
+                        batched = yield from self._flush(batched)
             elif kind == "w":
                 k = op[2] if len(op) > 2 else 1
                 self.total_writes += k
-                batched += CYCLES_PER_REFERENCE * k
-                line = line_address(op[1])
-                entry = self.mshrs.lookup(line)
+                batched += cpr * k
+                line = op[1] & _LINE_MASK
+                entry = mshr_get(line)
                 if entry is not None:
                     # Write-merge into the outstanding miss: no stall.
                     self.mshrs.merge_write(line)
                     if k > 1:
-                        self.cache.stats.write_hits += k - 1
+                        stats.write_hits += k - 1
                     if not entry.is_write:
                         entry.needs_upgrade = True
                     continue
-                state = self.cache.access(line, is_write=True)
-                if k > 1:
-                    self.cache.stats.write_hits += k - 1
-                if state in (CacheState.INVALID, CacheState.SHARED):
+                cache_set = sets[(line >> line_shift) & set_mask]
+                tag = line >> tag_shift
+                state = cache_set.pop(tag, None)
+                if state is None:
+                    stats.write_misses += 1
+                    if k > 1:
+                        stats.write_hits += k - 1
                     batched = yield from self._flush(batched)
-                    yield from self._write_miss(line, state)
-                elif batched >= self.quantum:
+                    yield from self._write_miss(line, CacheState.INVALID)
+                elif state == SHARED:
+                    cache_set[tag] = state  # MRU; upgrade required
+                    stats.write_misses += 1
+                    if k > 1:
+                        stats.write_hits += k - 1
+                    batched = yield from self._flush(batched)
+                    yield from self._write_miss(line, SHARED)
+                else:
+                    cache_set[tag] = state  # MRU
+                    stats.write_hits += k
+                    if batched >= quantum:
+                        batched = yield from self._flush(batched)
+            elif kind == "c":
+                batched += op[1]
+                if batched >= quantum:
                     batched = yield from self._flush(batched)
             elif kind == "b":
                 batched = yield from self._flush(batched)

@@ -136,6 +136,9 @@ class NodeProtocolEngine:
         self.miss_classes: Dict[str, int] = {cls: 0 for cls in MissClass.ALL}
         self.messages_processed = 0
         self.deferred_count = 0
+        # Message-type dispatch, built once per node (``process`` runs once
+        # per protocol message).
+        self._dispatch = self._build_dispatch()
 
     # -- helpers ---------------------------------------------------------------
 
@@ -157,12 +160,8 @@ class NodeProtocolEngine:
 
     # -- entry point -------------------------------------------------------------
 
-    def process(self, msg: Message) -> List[Action]:
-        """Process one message; returns the handler actions that ran (the
-        first for ``msg`` itself, the rest for any replayed deferred
-        messages)."""
-        self.messages_processed += 1
-        dispatch = {
+    def _build_dispatch(self) -> Dict[str, Callable[[Message], List[Action]]]:
+        return {
             MT.GET: self._cpu_request,
             MT.GETX: self._cpu_request,
             MT.UPGRADE: self._cpu_request,
@@ -184,8 +183,14 @@ class NodeProtocolEngine:
             MT.OWNERSHIP_TRANSFER: self._ownership_transfer,
             MT.NAK: self._nak,
         }
+
+    def process(self, msg: Message) -> List[Action]:
+        """Process one message; returns the handler actions that ran (the
+        first for ``msg`` itself, the rest for any replayed deferred
+        messages)."""
+        self.messages_processed += 1
         try:
-            fn = dispatch[msg.mtype]
+            fn = self._dispatch[msg.mtype]
         except KeyError:
             raise ProtocolError(f"node {self.node_id}: unknown message {msg}")
         return fn(msg)

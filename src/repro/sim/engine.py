@@ -38,7 +38,7 @@ PENDING = object()
 _NO_ARG = object()
 
 # Timeout pooling relies on CPython reference-count semantics to prove that
-# nobody else can observe the recycled object (see Environment._run_heap_head).
+# nobody else can observe the recycled object (see Environment.run).
 _REFCOUNT_POOLING = sys.implementation.name == "cpython"
 #: getrefcount(event) when the run loop's local + getrefcount's own argument
 #: are the only remaining references.
@@ -79,15 +79,15 @@ class Event:
         return self._value
 
     def succeed(self, value: Any = None) -> "Event":
-        if self.triggered:
+        if self._value is not PENDING:
             raise SimulationError("event already triggered")
         self._value = value
         self._ok = True
-        self.env._queue_event(self)
+        self.env._ready.append(self)
         return self
 
     def fail(self, exception: BaseException) -> "Event":
-        if self.triggered:
+        if self._value is not PENDING:
             raise SimulationError("event already triggered")
         if not isinstance(exception, BaseException):
             raise SimulationError("fail() requires an exception instance")
@@ -141,14 +141,31 @@ class Timeout(Event):
         self._ok = True
         self.delay = delay
         self._pending_value = value
+        # _schedule_at, inlined (this is the hot timeout path).  Routing on
+        # ``when <= now`` (not ``delay == 0``) keeps the run loop's invariant
+        # airtight: the calendar never receives an entry due at the current
+        # time.
         env = self.env
-        env._schedule_at(env._now + delay, self)
+        when = env._now + delay
+        if when <= env._now:
+            env._ready.append(self)
+        else:
+            buckets = env._buckets
+            bucket = buckets.get(when)
+            if bucket is None:
+                buckets[when] = [self]
+                heapq.heappush(env._whens, when)
+            else:
+                bucket.append(self)
 
     def _dispatch(self) -> None:
+        # Fused Event._dispatch: one call saved per fired timeout.
         if self._value is PENDING:
             self._value = self._pending_value
             self._ok = True
-        super()._dispatch()
+        callbacks, self.callbacks = self.callbacks, None
+        for callback in callbacks or ():
+            callback(self)
 
 
 class Process(Event):
@@ -156,15 +173,16 @@ class Process(Event):
     generator finishes.  The process is itself an event other processes can
     wait on."""
 
-    __slots__ = ("_generator", "name", "_waiting_on")
+    __slots__ = ("_generator", "_send", "_resume", "name")
 
     def __init__(self, env: "Environment", generator: Generator, name: str = ""):
         super().__init__(env)
         if not hasattr(generator, "send"):
             raise SimulationError(f"process target must be a generator, got {generator!r}")
         self._generator = generator
+        self._send = generator.send  # bound once; called every resume
+        self._resume = self._on_event  # bound once; appended once per yield
         self.name = name or getattr(generator, "__name__", "process")
-        self._waiting_on: Optional[Event] = None
         # Kick off at the current time.
         env._queue_callback(self._resume_initial)
 
@@ -172,18 +190,44 @@ class Process(Event):
         self._step(None, None)
 
     def _on_event(self, event: Event) -> None:
-        self._waiting_on = None
-        if event.ok:
-            self._step(event.value, None)
+        # Single-frame resume: runs once per yield in every process, so the
+        # success path unpacks the event and advances the generator without
+        # going through _step.  Failures take the cold _step path.
+        if not event._ok:
+            self._step(None, event._value)
+            return
+        try:
+            target = self._send(event._value)
+        except StopIteration as stop:
+            if self._value is PENDING:
+                self.succeed(stop.value)
+            return
+        except BaseException as error:
+            if isinstance(error, (KeyboardInterrupt, SystemExit)):
+                raise
+            if self._value is PENDING:
+                self.fail(error)
+                return
+            raise
+        cls = target.__class__
+        if cls is not Timeout and cls is not Event and not isinstance(target, Event):
+            self._generator.throw(
+                SimulationError(f"process {self.name!r} yielded non-event {target!r}")
+            )
+            return
+        # target.add_callback(self._resume), inlined (hot resume path).
+        callbacks = target.callbacks
+        if callbacks is None:
+            self.env._ready.append((self._resume, target))
         else:
-            self._step(None, event.value)
+            callbacks.append(self._resume)
 
     def _step(self, value: Any, exc: Optional[BaseException]) -> None:
         try:
             if exc is not None:
                 target = self._generator.throw(exc)
             else:
-                target = self._generator.send(value)
+                target = self._send(value)
         except StopIteration as stop:
             if not self.triggered:
                 self.succeed(stop.value)
@@ -195,13 +239,17 @@ class Process(Event):
                 self.fail(error)
                 return
             raise
-        if not isinstance(target, Event):
+        cls = target.__class__
+        if cls is not Timeout and cls is not Event and not isinstance(target, Event):
             self._generator.throw(
                 SimulationError(f"process {self.name!r} yielded non-event {target!r}")
             )
             return
-        self._waiting_on = target
-        target.add_callback(self._on_event)
+        callbacks = target.callbacks
+        if callbacks is None:
+            self.env._ready.append((self._resume, target))
+        else:
+            callbacks.append(self._resume)
 
 
 class AllOf(Event):
@@ -264,19 +312,30 @@ class Environment:
       (event triggers, process resumes, zero-delay timeouts).  This is the
       dominant traffic, and a deque append/popleft is O(1) where the old
       single-heap scheduler paid O(log n) tuple-comparison churn per event.
-    * ``_heap`` — a binary heap of strictly-future timeouts.
+    * ``_buckets``/``_whens`` — a calendar of strictly-future timeouts:
+      a dict mapping each distinct firing time to the list of events due
+      then (in scheduling order), plus a heap of the distinct times.  Heap
+      traffic is one push/pop per *timestamp* instead of per event, and the
+      heap compares bare floats instead of ``(when, seq, event)`` tuples.
 
-    Both carry a global sequence number, so interleaved same-time work still
-    fires in exactly the order it was scheduled — observable behaviour
-    (including tie-breaking) is identical to the single-heap scheduler.
+    No explicit sequence numbers are needed for determinism: same-time work
+    fires in exactly the order it was scheduled because every structure is
+    FIFO, the scheduling paths route anything due now to ``_ready``
+    (so nothing ever joins a bucket at the current time), and the clock only
+    advances when ``_ready`` is empty — hence a due bucket always predates
+    (and fully fires before) anything in ``_ready``.  Observable behaviour,
+    including every tie-break, is identical to the single-heap scheduler.
     """
 
     def __init__(self) -> None:
         self._now: float = 0
-        self._heap: List = []        # (when, seq, event) — future work only
-        self._sequence = 0
-        self._ready: deque = deque()  # (seq, event, callback, arg) at current time
+        self._buckets: dict = {}     # when -> [event, ...] in scheduling order
+        self._whens: List[float] = []  # heap of distinct future times
+        self._ready: deque = deque()  # events / (callback, arg) at current time
         self._timeout_pool: List[Timeout] = []
+        # Dead plain Events recycled by the run loop (same refcount proof as
+        # the timeout pool); drawn on by the queue/memory hot paths.
+        self._event_pool: List[Event] = []
 
     @property
     def now(self) -> float:
@@ -285,29 +344,52 @@ class Environment:
     # -- scheduling internals ------------------------------------------------
 
     def _schedule_at(self, when: float, event: Event) -> None:
-        self._sequence += 1
         if when <= self._now:
-            # Zero-delay fast path: current-time work never touches the heap.
-            self._ready.append((self._sequence, event, None, None))
+            # Zero-delay fast path: current-time work never joins the calendar.
+            self._ready.append(event)
         else:
-            heapq.heappush(self._heap, (when, self._sequence, event))
+            buckets = self._buckets
+            bucket = buckets.get(when)
+            if bucket is None:
+                buckets[when] = [event]
+                heapq.heappush(self._whens, when)
+            else:
+                bucket.append(event)
 
     def _queue_event(self, event: Event) -> None:
         """Schedule a just-triggered event's dispatch at the current time."""
-        self._sequence += 1
-        self._ready.append((self._sequence, event, None, None))
+        self._ready.append(event)
 
     def _queue_callback(self, callback: Callable[..., None], arg: Any = _NO_ARG) -> None:
-        self._sequence += 1
-        self._ready.append((self._sequence, None, callback, arg))
+        self._ready.append((callback, arg))
 
     # -- public API ----------------------------------------------------------
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         pool = self._timeout_pool
         if pool:
+            # Timeout._reinit, inlined: one call saved per recycled timeout,
+            # and this is the single hottest allocation site in a run.
+            if delay < 0:
+                raise SimulationError(f"negative timeout delay: {delay}")
+            # Pooled objects arrive with an empty callbacks list (see the
+            # run-loop recycle sites), so only value/state need resetting.
             timeout = pool.pop()
-            timeout._reinit(delay, value)
+            timeout._value = PENDING
+            timeout._ok = True
+            timeout.delay = delay
+            timeout._pending_value = value
+            when = self._now + delay
+            if when <= self._now:
+                self._ready.append(timeout)
+            else:
+                buckets = self._buckets
+                bucket = buckets.get(when)
+                if bucket is None:
+                    buckets[when] = [timeout]
+                    heapq.heappush(self._whens, when)
+                else:
+                    bucket.append(timeout)
             return timeout
         return Timeout(self, delay, value)
 
@@ -330,50 +412,124 @@ class Environment:
         ``until``, the clock still advances to ``until`` (callers rely on
         ``now == until`` for rate and occupancy computations).
         """
-        heap = self._heap
         ready = self._ready
+        whens = self._whens
+        buckets = self._buckets
         pool = self._timeout_pool
+        event_pool = self._event_pool
         heappop = heapq.heappop
         refcount = sys.getrefcount if _REFCOUNT_POOLING else None
-        while ready or heap:
-            # Same-time FIFO fast path: fire ready work unless a heap entry
-            # at the current time carries an earlier sequence number.
-            if ready and not (
-                heap and heap[0][0] <= self._now and heap[0][1] < ready[0][0]
-            ):
-                _seq, event, callback, arg = ready.popleft()
-                if callback is not None:
+        # A ready entry is either an Event itself or a ``(callback, arg)``
+        # tuple for queued callbacks — the event-as-entry form saves a tuple
+        # allocation and unpack on the dominant trigger path.
+        #
+        # Ordering needs no sequence numbers.  The scheduling paths route
+        # anything due at the current time to the ready deque, so while the
+        # clock stands still no calendar bucket can become due; and the clock
+        # only advances once ``ready`` is empty, so everything in the due
+        # bucket was scheduled before anything the bucket's own dispatches
+        # push onto ``ready``.  Draining the bucket FIFO and then the deque
+        # FIFO therefore reproduces global scheduling order exactly.
+        while True:
+            # Fast drain: fire current-time work back to back.  Dispatch is
+            # inlined per concrete class (exact-type checks, so subclasses
+            # with custom _dispatch still take the generic branch), and dead
+            # Timeouts/Events are recycled into their pools when the
+            # refcount proves nobody else can see them.
+            while ready:
+                event = ready.popleft()
+                cls = event.__class__
+                if cls is tuple:
+                    callback, arg = event
                     if arg is _NO_ARG:
                         callback()
                     else:
                         callback(arg)
                     continue
+                if cls is Timeout:
+                    # Timeout._dispatch, inlined.
+                    if event._value is PENDING:
+                        event._value = event._pending_value
+                        event._ok = True
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    for callback in callbacks:
+                        callback(event)
+                    if (
+                        refcount is not None
+                        and refcount(event) == _FREE_REFCOUNT
+                    ):
+                        # Pool invariant: a pooled object carries an empty
+                        # callbacks list, so reuse spares consumers a fresh
+                        # allocation per draw.
+                        if callbacks:
+                            callbacks.clear()
+                        event.callbacks = callbacks
+                        pool.append(event)
+                    continue
+                if cls is Event:
+                    # Event._dispatch, inlined.
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    for callback in callbacks:
+                        callback(event)
+                    if (
+                        refcount is not None
+                        and refcount(event) == _FREE_REFCOUNT
+                    ):
+                        if callbacks:
+                            callbacks.clear()
+                        event.callbacks = callbacks
+                        event_pool.append(event)
+                    continue
+                # Processes and composites (a died-process error check
+                # only applies here: plain Events and Timeouts can never
+                # satisfy isinstance(event, Process)).
                 if (
-                    isinstance(event, Process)
-                    and event.triggered
-                    and not event._ok
+                    not event._ok
                     and not event.callbacks
+                    and event._value is not PENDING
+                    and isinstance(event, Process)
                 ):
-                    # A process died with nobody waiting on it: surface the
-                    # error instead of silently swallowing it.
+                    # A process died with nobody waiting on it: surface
+                    # the error instead of silently swallowing it.
                     raise event._value
                 event._dispatch()
-            else:
-                when, _seq, event = heap[0]
-                if until is not None and when > until:
-                    self._now = until
-                    return until
-                heappop(heap)
-                self._now = when
-                event._dispatch()
-            if (
-                refcount is not None
-                and type(event) is Timeout
-                and refcount(event) == _FREE_REFCOUNT
-            ):
-                # Fired and provably unreferenced: recycle the object so the
-                # next env.timeout() call skips allocation entirely.
-                pool.append(event)
+            if not whens:
+                break
+            # Ready empty: advance the clock to the earliest future bucket
+            # and fire its entries in scheduling order.  Entries are popped
+            # off the (reversed) list so the run-loop local holds the only
+            # reference left when a dead timeout reaches the recycle check.
+            when = whens[0]
+            if until is not None and when > until:
+                self._now = until
+                return until
+            heappop(whens)
+            self._now = when
+            bucket = buckets.pop(when)
+            bucket.reverse()
+            while bucket:
+                event = bucket.pop()
+                if event.__class__ is Timeout:
+                    # Timeout._dispatch, inlined.
+                    if event._value is PENDING:
+                        event._value = event._pending_value
+                        event._ok = True
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    for callback in callbacks:
+                        callback(event)
+                    if (
+                        refcount is not None
+                        and refcount(event) == _FREE_REFCOUNT
+                    ):
+                        if callbacks:
+                            callbacks.clear()
+                        event.callbacks = callbacks
+                        pool.append(event)
+                else:
+                    event._dispatch()
         if until is not None and until > self._now:
             self._now = until
         return self._now

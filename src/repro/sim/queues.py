@@ -4,6 +4,13 @@ These model MAGIC's bounded queues (Table 3.1 of the paper): a full queue
 stalls the producer, an empty queue stalls the consumer.  ``capacity=None``
 gives an unbounded queue, which is how the ideal machine's "infinite depth
 for all network and memory system queues" is expressed.
+
+``put``/``get``/``acquire`` are on the per-message hot path, so the common
+no-stall cases trigger their events inline (the event is created pending and
+completed immediately, exactly as ``Event.succeed`` would, but without the
+extra calls), and event objects are drawn from the environment's recycled
+event pool when one is available.  Scheduling order is identical to the
+call-based form.
 """
 
 from __future__ import annotations
@@ -11,7 +18,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Deque, Optional
 
-from .engine import Environment, Event, SimulationError
+from .engine import PENDING, Environment, Event, SimulationError
 
 __all__ = ["BoundedQueue", "CountingResource"]
 
@@ -24,6 +31,11 @@ class BoundedQueue:
     is the item, firing once one is available.  Waiters are served in FIFO
     order, so the queue is fair and deterministic.
     """
+
+    __slots__ = (
+        "env", "capacity", "name", "_items", "_getters", "_putters",
+        "total_puts", "full_stalls", "peak_depth",
+    )
 
     def __init__(self, env: Environment, capacity: Optional[int] = None, name: str = ""):
         if capacity is not None and capacity < 1:
@@ -47,17 +59,30 @@ class BoundedQueue:
         return self.capacity is not None and len(self._items) >= self.capacity
 
     def put(self, item: Any) -> Event:
-        event = Event(self.env)
+        env = self.env
+        pool = env._event_pool
+        if pool:
+            # Reset a recycled event (same fields Event.__init__ sets).
+            event = pool.pop()
+            event._value = PENDING
+            event._ok = True
+        else:
+            event = Event(env)
         self.total_puts += 1
-        if self._getters and not self._items:
+        items = self._items
+        getters = self._getters
+        if getters and not items:
             # Hand the item straight to the oldest waiting consumer.
-            getter = self._getters.popleft()
+            getter = getters.popleft()
             getter.succeed(item)
-            event.succeed(None)
-        elif not self.is_full:
-            self._items.append(item)
-            self.peak_depth = max(self.peak_depth, len(self._items))
-            event.succeed(None)
+            event._value = None  # succeed(None), inlined
+            env._ready.append(event)
+        elif self.capacity is None or len(items) < self.capacity:
+            items.append(item)
+            if len(items) > self.peak_depth:
+                self.peak_depth = len(items)
+            event._value = None  # succeed(None), inlined
+            env._ready.append(event)
         else:
             self.full_stalls += 1
             self._putters.append((event, item))
@@ -71,11 +96,29 @@ class BoundedQueue:
         return True
 
     def get(self) -> Event:
-        event = Event(self.env)
-        if self._items:
-            item = self._items.popleft()
-            self._admit_waiting_putter()
-            event.succeed(item)
+        env = self.env
+        pool = env._event_pool
+        if pool:
+            event = pool.pop()
+            event._value = PENDING
+            event._ok = True
+        else:
+            event = Event(env)
+        items = self._items
+        if items:
+            item = items.popleft()
+            # A waiting putter is admitted (and its event triggered) before
+            # the getter's own event, exactly as in the call-based form
+            # (_admit_waiting_putter, inlined: put stalls are rare, so the
+            # common case is a single falsy deque check).
+            if self._putters and not self.is_full:
+                putter, pitem = self._putters.popleft()
+                items.append(pitem)
+                if len(items) > self.peak_depth:
+                    self.peak_depth = len(items)
+                putter.succeed(None)
+            event._value = item  # succeed(item), inlined
+            env._ready.append(event)
         else:
             self._getters.append(event)
         return event
@@ -94,6 +137,11 @@ class CountingResource:
     ``acquire()`` yields an event that fires when a unit is available;
     ``release()`` returns a unit to the pool.  FIFO granting order.
     """
+
+    __slots__ = (
+        "env", "count", "name", "_in_use", "_waiters",
+        "total_acquires", "acquire_stalls", "peak_in_use",
+    )
 
     def __init__(self, env: Environment, count: Optional[int], name: str = ""):
         if count is not None and count < 1:
@@ -118,12 +166,21 @@ class CountingResource:
         return self.count - self._in_use
 
     def acquire(self) -> Event:
-        event = Event(self.env)
+        env = self.env
+        pool = env._event_pool
+        if pool:
+            event = pool.pop()
+            event._value = PENDING
+            event._ok = True
+        else:
+            event = Event(env)
         self.total_acquires += 1
         if self.count is None or self._in_use < self.count:
             self._in_use += 1
-            self.peak_in_use = max(self.peak_in_use, self._in_use)
-            event.succeed(None)
+            if self._in_use > self.peak_in_use:
+                self.peak_in_use = self._in_use
+            event._value = None  # succeed(None), inlined
+            env._ready.append(event)
         else:
             self.acquire_stalls += 1
             self._waiters.append(event)

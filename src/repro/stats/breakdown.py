@@ -9,9 +9,22 @@ memory occupancy, speculation and MDC behaviour — everything Tables 4.1, 4.2,
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional
 
-__all__ = ["CpuTimes", "NodeStats", "merge_cpu_times"]
+from ..caches.setassoc import CacheStats
+
+__all__ = ["CacheStats", "CpuTimes", "NodeStats", "merge_cpu_times",
+           "merge_cache_stats"]
+
+
+def merge_cache_stats(stats: Iterable[CacheStats]) -> CacheStats:
+    """Fold per-node cache counters into one machine-wide
+    :class:`~repro.caches.setassoc.CacheStats` (see its ``to_dict``/``merge``;
+    used by the run report and the profile subcommand)."""
+    total = CacheStats()
+    for s in stats:
+        total.merge(s)
+    return total
 
 
 class CpuTimes:

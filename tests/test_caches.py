@@ -31,6 +31,20 @@ class TestGeometry:
         with pytest.raises(ConfigError):
             CacheConfig(size_bytes=1000, associativity=2)
 
+    def test_non_power_of_two_line_rejected(self):
+        # Shift/mask indexing requires power-of-two line size.
+        with pytest.raises(ConfigError):
+            CacheConfig(size_bytes=4 * KB, associativity=2, line_bytes=96)
+
+    def test_non_power_of_two_set_count_rejected(self):
+        # 3KB / (128B * 1 way) = 24 sets: not a power of two.
+        with pytest.raises(ConfigError):
+            CacheConfig(size_bytes=3 * KB, associativity=1)
+
+    def test_power_of_two_geometry_accepted(self):
+        config = CacheConfig(size_bytes=8 * KB, associativity=4)
+        assert config.n_sets == 16
+
     def test_same_set_different_tags(self):
         cache = make_cache(size=4 * KB, assoc=2)
         span = LINE * cache.n_sets

@@ -85,6 +85,39 @@ class TestRunResultSerialization:
             RunResult.from_dict(state)
 
 
+class TestCacheStatsSnapshot:
+    def test_to_dict_from_dict_merge_round_trip(self):
+        from repro.caches.setassoc import CacheStats
+        from repro.stats.breakdown import merge_cache_stats
+
+        a = CacheStats()
+        a.read_hits, a.read_misses = 10, 3
+        a.write_hits, a.write_misses = 7, 2
+        a.evictions_clean, a.evictions_dirty = 4, 1
+        a.invalidations_received = 5
+        # to_dict/from_dict is a lossless snapshot.
+        restored = CacheStats.from_dict(a.to_dict())
+        assert restored.to_dict() == a.to_dict()
+        # merge accumulates counter-wise; merge_cache_stats folds many.
+        b = CacheStats.from_dict(a.to_dict())
+        total = merge_cache_stats([a, b, CacheStats()])
+        assert total.to_dict() == {k: 2 * v for k, v in a.to_dict().items()}
+
+    def test_fresh_result_carries_machine_wide_totals(self):
+        result = tiny_run()
+        totals = result.cache_totals
+        assert totals["read_misses"] == result.read_misses
+        assert totals["write_misses"] == result.write_misses
+        cached_refs = totals["read_hits"] + totals["read_misses"] + \
+            totals["write_hits"] + totals["write_misses"]
+        # The CPU also counts synchronization references that bypass the
+        # data cache, so the cache sees a (large) subset.
+        assert 0 < cached_refs <= result.references
+        # The snapshot is diagnostic-only: it must not leak into the
+        # canonical serialized form (golden hashes depend on this).
+        assert "cache_totals" not in result.to_dict()
+
+
 class TestDiskCache:
     def test_run_app_populates_and_reuses_disk_cache(self, monkeypatch):
         result = tiny_run()

@@ -164,3 +164,57 @@ class TestFlashVsIdeal:
             machine = build(kind)
             times[kind] = run(machine, [list(s) for s in streams]).execution_time
         assert times["flash"] / times["ideal"] < 1.01
+
+
+class TestGoldenHashes:
+    """Byte-identical determinism across the full app/machine matrix.
+
+    Every (app, kind) combination at the fast workload sizes must serialize
+    to exactly the SHA-256 recorded from the pre-optimization tree.  Any
+    change to simulated timing, event ordering, or statistics — however
+    small — flips the hash.  Performance work must keep these green; a
+    legitimate model change must re-record them (and say so in the PR).
+    """
+
+    FAST_SIZES = {
+        "fft": dict(points=1024),
+        "lu": dict(matrix=64, block=16),
+        "radix": dict(keys=4096, radix=64, key_bits=12),
+        "ocean": dict(grid=18, n_grids=3, sweeps=1),
+        "barnes": dict(bodies=128, iterations=1),
+        "mp3d": dict(particles=1024, steps=2),
+        "os": dict(tasks_per_proc=1, syscalls_per_task=20),
+    }
+
+    GOLDEN = {
+        "barnes/flash": "58c64f2bc335fa4b06c9efc43c14e0ddcb776f013e93f6406b7b35714665a21d",
+        "barnes/ideal": "a9a854510852896a5f4de97b0813b7b3c1e0a1943a1f742dccab8cebd5a756dc",
+        "fft/flash": "6701b38b7f14234bdb29a8ed051fb8ec5fa3f67e235c7a8c730ad6030c5d8524",
+        "fft/ideal": "57d90c5ebcd0e18e29e24ea09bfe383fb842840018180d2209653821f2bd038b",
+        "lu/flash": "d51e3b4885fc2ffef0cb7e74a4c741051bc479d83e73e63f4c3e0c7be2af9832",
+        "lu/ideal": "0dbdd8ba0f1cf4c3bda45d38005d0ef3b78b6b64068eb6ef2b68f42075321836",
+        "mp3d/flash": "4a218854278ddd7c4483a3c4c3990749d16dba9745eef2191c9cde2191d14e54",
+        "mp3d/ideal": "e81e9e2816434347af6b78ee5f6f858102d6b05e9082ff0222bff4b00a289525",
+        "ocean/flash": "eb2e3a86afde7f5b2a06482a4210fbc378a4fd0d321262d44b5717fa511e5c5b",
+        "ocean/ideal": "001d2d48c0266ea22bfd613679216515c1447d2790e103ec3f076bac73214ca2",
+        "os/flash": "becb708f0b727a4038f85f9d64e5a6d3990819856d6f41f2746748aa86e3e67e",
+        "os/ideal": "cdf8f8df988f204475c8e3a14e419026237c620aedf0cd080ed33473f86e4f23",
+        "radix/flash": "146ebb977ae59ad7a9ff9daabcf95be0c93bc7ae661e45d3dc4cac582aeb2397",
+        "radix/ideal": "14ab174513678b6be0887c73c63c1b06eaf544ff37da0974026e40c69b7e0426",
+    }
+
+    @pytest.mark.parametrize("combo", sorted(GOLDEN))
+    def test_serialized_result_matches_golden(self, combo):
+        import hashlib
+
+        from repro.harness import experiments
+
+        app, kind = combo.split("/")
+        spec = experiments.normalize_spec(
+            app, kind=kind, regime="large",
+            workload_overrides=self.FAST_SIZES[app])
+        result = experiments._execute(spec)  # uncached: always simulate
+        digest = hashlib.sha256(result.to_json().encode()).hexdigest()
+        assert digest == self.GOLDEN[combo], (
+            f"{combo}: simulation output drifted from the golden hash -- "
+            "an optimization changed observable behavior")
