@@ -1,0 +1,5 @@
+"""Deterministic fault injection for the FLASH model (see ``plan.py``)."""
+
+from .plan import DROPPABLE_TYPES, FaultInjector, FaultPlan
+
+__all__ = ["DROPPABLE_TYPES", "FaultInjector", "FaultPlan"]

@@ -1,0 +1,253 @@
+"""Deterministic, seed-driven fault injection.
+
+The paper's FLASH results hinge on bounded MAGIC queues and PP occupancy:
+hot-spotting backs queues up and the real machine survives via NAKs and
+deadlock avoidance.  This package perturbs the simulated machine to probe
+exactly those regimes:
+
+* **Message delay spikes** — the outbound NI occasionally stalls for extra
+  cycles before launching a message (a link hiccup).  Injected at the serial
+  per-node outbound link so point-to-point ordering — which the protocol's
+  requester side relies on — is preserved.
+* **Dropped-then-NAKed requests** — a request message is refused at the NI
+  and bounced back to its sender as a :data:`MessageType.BOUNCE`; the
+  protocol layer retries it after an exponential backoff, and after
+  ``max_retries`` drops of the same message delivery is forced, so forward
+  progress is guaranteed.
+* **PP handler slowdowns** — a handler occasionally takes ``pp_slow_factor``
+  times its normal occupancy (an MDC burst, a pathological handler path).
+* **Transient queue-capacity squeezes** — a bounded queue's capacity is
+  halved for ``squeeze_duration`` cycles, backing traffic up exactly as the
+  paper's contention scenarios do.
+
+Two invariants the rest of the tree depends on:
+
+* **Off is free.**  Every hook in the timing layers is gated on
+  ``faults is None`` (or ``Action.send_delay == 0``); with no injector
+  attached the instruction-by-instruction behaviour of a run is unchanged,
+  which the golden SHA-256 matrix in ``tests/test_integration.py`` enforces.
+* **Deterministic.**  Every decision comes from a per-site
+  ``random.Random(f"{seed}:{site}")`` stream (string seeding is independent
+  of ``PYTHONHASHSEED``), and sites are queried in simulation order — so the
+  same :class:`FaultPlan` against the same workload yields byte-identical
+  results, including the injected faults.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import asdict, dataclass, fields
+from typing import Any, Dict, Generator, Iterable, Optional
+
+from ..common.errors import ConfigError
+from ..protocol.messages import Message, MessageType as MT
+from ..sim.engine import Environment, Event
+from ..sim.queues import BoundedQueue
+
+__all__ = ["FaultPlan", "FaultInjector", "DROPPABLE_TYPES"]
+
+#: Only idempotent *request* messages may be dropped: they carry no data,
+#: touch no directory state until delivered, and the requester is blocked
+#: waiting for the reply, so a bounce-and-retry is always safe.  Dropping
+#: replies, invalidations, or data-bearing messages would require protocol
+#: machinery FLASH implements in handler code we do not model.
+DROPPABLE_TYPES = frozenset({
+    MT.REMOTE_GET, MT.REMOTE_GETX, MT.REMOTE_UPGRADE,
+})
+
+_RATE_FIELDS = ("delay_rate", "drop_rate", "pp_slow_rate", "squeeze_rate")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One reproducible fault-injection configuration.
+
+    All rates are per-opportunity probabilities in ``[0, 1]``; the plan (via
+    ``to_dict``) is part of the normalized run spec, so fault-injected runs
+    cache and farm exactly like clean ones.
+    """
+
+    seed: int = 0
+    #: Outbound-NI delay spike: probability per message, and the maximum
+    #: extra cycles (uniform in ``[1, delay_cycles]``).
+    delay_rate: float = 0.0
+    delay_cycles: int = 64
+    #: Request drop -> BOUNCE -> protocol retry.
+    drop_rate: float = 0.0
+    max_retries: int = 3
+    retry_backoff: float = 16.0      # cycles; doubles per drop of one message
+    #: PP handler slowdown.
+    pp_slow_rate: float = 0.0
+    pp_slow_factor: float = 4.0
+    #: Transient queue-capacity squeeze (capacity halved, min 1).
+    squeeze_rate: float = 0.0
+    squeeze_period: float = 2048.0   # cycles between squeeze lotteries
+    squeeze_duration: float = 512.0  # cycles a squeeze lasts
+
+    def __post_init__(self) -> None:
+        for name in _RATE_FIELDS:
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(f"{name} must be in [0, 1], got {value}")
+        if self.delay_cycles < 1:
+            raise ConfigError(f"delay_cycles must be >= 1, got {self.delay_cycles}")
+        if self.max_retries < 0:
+            raise ConfigError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.retry_backoff < 0:
+            raise ConfigError(f"retry_backoff must be >= 0, got {self.retry_backoff}")
+        if self.pp_slow_factor < 1.0:
+            raise ConfigError(
+                f"pp_slow_factor must be >= 1, got {self.pp_slow_factor}")
+        if self.squeeze_period <= 0 or self.squeeze_duration <= 0:
+            raise ConfigError("squeeze_period and squeeze_duration must be > 0")
+
+    @property
+    def any_enabled(self) -> bool:
+        return any(getattr(self, name) > 0 for name in _RATE_FIELDS)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, state: Dict[str, Any]) -> "FaultPlan":
+        known = {f.name for f in fields(cls)}
+        unknown = set(state) - known
+        if unknown:
+            raise ConfigError(f"unknown FaultPlan fields: {sorted(unknown)}")
+        return cls(**state)
+
+    @classmethod
+    def uniform(cls, rate: float, seed: int = 0, **overrides) -> "FaultPlan":
+        """All four fault classes at the same per-opportunity rate."""
+        merged = dict(delay_rate=rate, drop_rate=rate, pp_slow_rate=rate,
+                      squeeze_rate=rate, seed=seed)
+        merged.update(overrides)
+        return cls(**merged)
+
+
+class FaultInjector:
+    """Runtime state for one machine's fault plan: per-site RNG streams,
+    per-message drop counts, and the counters the harness reports."""
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._rngs: Dict[str, random.Random] = {}
+        self._drop_counts: Dict[int, int] = {}  # message uid -> times dropped
+        # Counters (diagnostic; surfaced as RunResult.fault_counters).
+        self.delays = 0
+        self.delay_cycles_total = 0
+        self.drops = 0
+        self.forced_deliveries = 0
+        self.pp_slowdowns = 0
+        self.squeezes = 0
+
+    def _rng(self, site: str) -> random.Random:
+        rng = self._rngs.get(site)
+        if rng is None:
+            # String seeds hash via SHA-512 internally: stable across
+            # processes regardless of PYTHONHASHSEED.
+            rng = self._rngs[site] = random.Random(f"{self.plan.seed}:{site}")
+        return rng
+
+    def counters(self) -> Dict[str, int]:
+        return {
+            "delays": self.delays,
+            "delay_cycles_total": self.delay_cycles_total,
+            "drops": self.drops,
+            "forced_deliveries": self.forced_deliveries,
+            "pp_slowdowns": self.pp_slowdowns,
+            "squeezes": self.squeezes,
+        }
+
+    # -- network hooks (called from NetworkPort._outbound) ---------------------
+
+    def transit_delay(self, node_id: int, message: Message) -> int:
+        """Extra cycles the outbound NI stalls before launching ``message``
+        (0 for no spike)."""
+        plan = self.plan
+        if plan.delay_rate <= 0:
+            return 0
+        rng = self._rng(f"net[{node_id}]")
+        if rng.random() >= plan.delay_rate:
+            return 0
+        extra = rng.randint(1, plan.delay_cycles)
+        self.delays += 1
+        self.delay_cycles_total += extra
+        return extra
+
+    def should_drop(self, node_id: int, message: Message) -> bool:
+        """Whether the NI refuses ``message`` (bouncing it to its sender).
+        Bounded: after ``max_retries`` drops of one message, delivery is
+        forced so the requester cannot starve."""
+        plan = self.plan
+        if plan.drop_rate <= 0 or message.mtype not in DROPPABLE_TYPES:
+            return False
+        if self._rng(f"drop[{node_id}]").random() >= plan.drop_rate:
+            return False
+        dropped = self._drop_counts.get(message.uid, 0)
+        if dropped >= plan.max_retries:
+            self.forced_deliveries += 1
+            return False
+        self._drop_counts[message.uid] = dropped + 1
+        self.drops += 1
+        return True
+
+    def retry_backoff(self, message: Message) -> float:
+        """Cycles the retry of a bounced message waits before re-sending:
+        exponential in how many times that message has been dropped."""
+        dropped = max(1, self._drop_counts.get(message.uid, 1))
+        return self.plan.retry_backoff * (2 ** (dropped - 1))
+
+    # -- PP hook (called from MagicChip._execute) -----------------------------
+
+    def pp_cost(self, node_id: int, cost: float) -> float:
+        """Handler occupancy after a possible slowdown spike."""
+        plan = self.plan
+        if plan.pp_slow_rate <= 0:
+            return cost
+        if self._rng(f"pp[{node_id}]").random() < plan.pp_slow_rate:
+            self.pp_slowdowns += 1
+            return cost * plan.pp_slow_factor
+        return cost
+
+    # -- queue-squeeze process (spawned by Machine.run) -----------------------
+
+    def squeezer(self, env: Environment, queues: Iterable[Any],
+                 stop: Event) -> Generator:
+        """Simulation process: every ``squeeze_period`` cycles, each bounded
+        queue independently risks a transient capacity squeeze (halved, min
+        1) lasting ``squeeze_duration`` cycles.  Returns once ``stop`` (the
+        machine's completion event) triggers, so a finished run drains."""
+        plan = self.plan
+        eligible = [
+            q for q in queues
+            if isinstance(q, BoundedQueue)
+            and q.capacity is not None and q.capacity >= 2
+        ]
+        if plan.squeeze_rate <= 0 or not eligible:
+            return
+        rng = self._rng("squeeze")
+        squeezed: set = set()
+        while True:
+            yield env.timeout(plan.squeeze_period)
+            if stop.triggered:
+                return
+            for queue in eligible:
+                if id(queue) in squeezed:
+                    continue
+                if rng.random() < plan.squeeze_rate:
+                    self.squeezes += 1
+                    squeezed.add(id(queue))
+                    env.process(self._squeeze_one(env, queue, squeezed),
+                                name="faults.squeeze")
+
+    def _squeeze_one(self, env: Environment, queue: BoundedQueue,
+                     squeezed: set) -> Generator:
+        original = queue.capacity
+        queue.capacity = max(1, original // 2)
+        yield env.timeout(self.plan.squeeze_duration)
+        queue.capacity = original
+        squeezed.discard(id(queue))
+        # Admit producers that blocked against the squeezed capacity.
+        while queue._putters and not queue.is_full:
+            queue._admit_waiting_putter()

@@ -9,6 +9,7 @@ Usage::
     python -m repro.harness suite                # Figure 4.1 sweep
     python -m repro.harness --jobs 4 suite       # ... farmed over 4 workers
     python -m repro.harness profile mp3d         # per-subsystem time attribution
+    python -m repro.harness faults fft           # slowdown vs injected-fault rate
     python -m repro.harness clear                # wipe the on-disk result cache
 
 Results persist in ``.repro_cache/`` (disable with ``REPRO_CACHE=off``), so
@@ -24,11 +25,18 @@ import argparse
 import sys
 
 from ..common.params import flash_config, ideal_config
+from ..faults import FaultPlan
 from . import diskcache, runfarm
-from .experiments import APP_ORDER, REGIMES, run_flash_ideal, slowdown
+from .experiments import (
+    APP_ORDER, REGIMES, run_app, run_flash_ideal, slowdown,
+)
 from .micro import PAPER_TABLE_3_3, measure_latencies
 from .tables import render_table
 from ..protocol.coherence import MissClass
+
+
+def _farm_policy(args) -> runfarm.FarmPolicy:
+    return runfarm.FarmPolicy(timeout=args.timeout, max_retries=args.retries)
 
 
 def cmd_list(_args) -> int:
@@ -71,7 +79,7 @@ def cmd_run(args) -> int:
         runfarm.run_specs(
             runfarm.sweep_specs(apps=[args.app], regime=args.regime,
                                 n_procs=args.procs),
-            jobs=args.jobs,
+            jobs=args.jobs, policy=_farm_policy(args),
         )
     flash, ideal = run_flash_ideal(args.app, regime=args.regime,
                                    n_procs=args.procs)
@@ -123,13 +131,24 @@ def cmd_profile(args) -> int:
 
 
 def cmd_suite(args) -> int:
+    report = None
     if args.jobs > 1:
         # Farm the whole sweep up front; the loop below then hits the memo.
-        runfarm.run_specs(runfarm.sweep_specs(regime=args.regime),
-                          jobs=args.jobs)
+        # Resilient mode: a crashing/hanging configuration degrades to a
+        # FAILED row instead of sinking the whole suite.
+        report = runfarm.run_specs_resilient(
+            runfarm.sweep_specs(regime=args.regime),
+            jobs=args.jobs, policy=_farm_policy(args))
+        for failure in report.failures:
+            print(f"  FAILED {failure.describe()}", file=sys.stderr)
     rows = []
     for app in APP_ORDER:
-        flash, ideal = run_flash_ideal(app, regime=args.regime)
+        try:
+            flash, ideal = run_flash_ideal(app, regime=args.regime)
+        except Exception as exc:  # noqa: BLE001 — degrade to a FAILED row
+            rows.append((app, "FAILED", "FAILED", f"{type(exc).__name__}"))
+            print(f"  {app}: FAILED ({exc})", file=sys.stderr)
+            continue
         rows.append((app, f"{flash.execution_time:.0f}",
                      f"{ideal.execution_time:.0f}",
                      f"{slowdown(flash, ideal):.1%}"))
@@ -138,6 +157,36 @@ def cmd_suite(args) -> int:
         f"FLASH vs ideal, regime={args.regime} (paper: 2-12% optimized,"
         " ~25% MP3D)",
         ["app", "FLASH", "ideal", "slowdown"], rows,
+    ))
+    if report is not None and not report.ok:
+        return 1
+    return 0
+
+
+def cmd_faults(args) -> int:
+    """Robustness sweep: one app under increasing uniform fault rates."""
+    rates = [float(r) for r in args.rates.split(",") if r.strip()]
+    clean = run_app(args.app, regime=args.regime, n_procs=args.procs)
+    rows = [("0 (clean)", f"{clean.execution_time:.0f}", "-", "-", "-", "-")]
+    for rate in rates:
+        plan = FaultPlan.uniform(rate, seed=args.seed)
+        result = run_app(args.app, regime=args.regime, n_procs=args.procs,
+                         faults=plan)
+        counters = getattr(result, "fault_counters", None)
+        # A run served from the cache carries no live counters (they are
+        # diagnostic, not part of the serialized result).
+        delays = str(counters["delays"]) if counters else "?"
+        drops = str(counters["drops"]) if counters else "?"
+        slows = str(counters["pp_slowdowns"]) if counters else "?"
+        rows.append((
+            f"{rate:g}", f"{result.execution_time:.0f}",
+            f"{result.execution_time / clean.execution_time - 1.0:+.1%}",
+            delays, drops, slows,
+        ))
+    print(render_table(
+        f"{args.app} @ {args.regime} under injected faults (seed={args.seed})",
+        ["fault rate", "exec time", "slowdown", "delays", "drops", "PP slow"],
+        rows,
     ))
     return 0
 
@@ -148,6 +197,15 @@ def main(argv=None) -> int:
         "--jobs", "-j", type=int, default=runfarm.default_jobs(),
         metavar="N",
         help="worker processes for independent runs (default: $REPRO_JOBS or 1)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-run wall-clock budget on farmed runs (worker is killed and"
+             " the run retried; default: unlimited)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=1, metavar="N",
+        help="retries per failing farmed run before giving up (default: 1)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list").set_defaults(fn=cmd_list)
@@ -175,6 +233,18 @@ def main(argv=None) -> int:
     profile.add_argument("--pstats", metavar="FILE", default=None,
                          help="also dump raw pstats data to FILE")
     profile.set_defaults(fn=cmd_profile)
+    faults = sub.add_parser(
+        "faults", help="sweep one app under increasing injected-fault rates")
+    faults.add_argument("app", choices=APP_ORDER)
+    faults.add_argument("--rates", default="0.01,0.05,0.1", metavar="R,R,...",
+                        help="comma-separated uniform fault rates"
+                             " (default: 0.01,0.05,0.1)")
+    faults.add_argument("--seed", type=int, default=0,
+                        help="fault-plan seed (default: 0)")
+    faults.add_argument("--regime", default="large",
+                        choices=["large", "medium", "small"])
+    faults.add_argument("--procs", type=int, default=None)
+    faults.set_defaults(fn=cmd_faults)
     args = parser.parse_args(argv)
     return args.fn(args)
 

@@ -18,11 +18,14 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import shutil
 import tempfile
 from pathlib import Path
 from typing import Any, Dict, Optional
+
+logger = logging.getLogger(__name__)
 
 from ..stats.report import RunResult
 
@@ -57,6 +60,12 @@ def canonical_key(obj: Any) -> str:
     unhashable) configuration object.  Shared by the in-process memo table
     and the on-disk cache."""
     return hashlib.sha256(canonical_json(obj).encode("utf-8")).hexdigest()
+
+
+def _result_checksum(result_dict: Any) -> str:
+    """Integrity digest stored alongside each cache entry's result."""
+    return hashlib.sha256(
+        canonical_json(result_dict).encode("utf-8")).hexdigest()
 
 
 # -- source fingerprint ----------------------------------------------------------------
@@ -117,26 +126,53 @@ class DiskCache:
                 / f"{canonical_key(spec)}.json")
 
     def load(self, spec: Dict[str, Any]) -> Optional[RunResult]:
-        """Return the cached result for ``spec``, or None on miss/disabled."""
+        """Return the cached result for ``spec``, or None on miss/disabled.
+
+        A present-but-unusable entry (truncated write, bit rot detected by
+        the checksum, schema drift) is *evicted* — logged and unlinked — so
+        the slot is rewritten by the live run that follows instead of
+        producing the same parse failure on every load."""
         if not cache_enabled():
             return None
         path = self.entry_path(spec)
         try:
-            payload = json.loads(path.read_text())
-            return RunResult.from_dict(payload["result"])
-        except (OSError, ValueError, KeyError):
-            # Missing, truncated, or schema-incompatible entry: treat as miss.
+            text = path.read_text()
+        except FileNotFoundError:
+            return None   # plain miss
+        except OSError:
+            return None   # unreadable (permissions, I/O error): miss, keep it
+        try:
+            payload = json.loads(text)
+            result_dict = payload["result"]
+            checksum = payload.get("checksum")
+            if checksum is not None and checksum != _result_checksum(result_dict):
+                raise ValueError("checksum mismatch (corrupt or tampered entry)")
+            return RunResult.from_dict(result_dict)
+        except (ValueError, KeyError, TypeError) as error:
+            self._evict(path, error)
             return None
+
+    @staticmethod
+    def _evict(path: Path, error: Exception) -> None:
+        logger.warning("evicting corrupt cache entry %s: %s", path, error)
+        try:
+            path.unlink()
+        except OSError:
+            pass   # a concurrent reader may have evicted it first
 
     def store(self, spec: Dict[str, Any], result: RunResult) -> Optional[Path]:
         """Persist ``result`` for ``spec``; atomic against concurrent writers."""
         if not cache_enabled():
             return None
         path = self.entry_path(spec)
+        result_dict = result.to_dict()
         payload = canonical_json({
             "fingerprint": source_fingerprint(),
             "spec": spec,
-            "result": result.to_dict(),
+            "result": result_dict,
+            # Integrity check over the result alone: a torn or bit-rotted
+            # entry is detected (and evicted) on load rather than served.
+            "checksum": _result_checksum(result_dict),
         })
         try:
             path.parent.mkdir(parents=True, exist_ok=True)

@@ -28,7 +28,8 @@ from . import diskcache
 
 __all__ = [
     "APP_ORDER", "REGIMES", "app_workload", "regime_cache_bytes",
-    "normalize_spec", "run_app", "run_flash_ideal", "clear_cache", "memoize",
+    "normalize_spec", "run_app", "run_spec", "run_flash_ideal",
+    "clear_cache", "memoize",
 ]
 
 APP_ORDER = ["barnes", "fft", "lu", "mp3d", "ocean", "os", "radix"]
@@ -114,12 +115,19 @@ def normalize_spec(
     workload_overrides: Optional[dict] = None,
     config_overrides: Optional[dict] = None,
     pp_backend: Optional[str] = None,
+    faults=None,
 ) -> Dict:
     """The fully-defaulted description of one run — the unit of caching and
-    of run-farm dispatch.  Includes everything that can change the result."""
+    of run-farm dispatch.  Includes everything that can change the result.
+
+    ``faults`` is a :class:`~repro.faults.FaultPlan` (or its dict form);
+    fault-injected runs are deterministic, so they cache and farm exactly
+    like clean ones, under a distinct key."""
     cache_bytes = regime_cache_bytes(app, regime)
     if cache_bytes is None:
         raise ValueError(f"{app} is not run at the {regime} regime (paper N/A)")
+    if faults is not None:
+        faults = faults.to_dict() if hasattr(faults, "to_dict") else dict(faults)
     return {
         "app": app,
         "kind": kind,
@@ -130,7 +138,32 @@ def normalize_spec(
         "config_overrides": dict(config_overrides or {}),
         "pp_backend": pp_backend,
         "paper_scale": _PAPER_SCALE,
+        "faults": faults,
     }
+
+
+def _watchdog_from_env():
+    """Stall detection for harness runs, from ``REPRO_WATCHDOG``: unset/off
+    disables, ``on`` uses defaults, or ``events=N,time=T,interval=I`` tunes
+    the budgets (see :class:`repro.sim.watchdog.Watchdog`)."""
+    raw = os.environ.get("REPRO_WATCHDOG", "").strip().lower()
+    if raw in ("", "0", "off", "no", "false"):
+        return None
+    if raw in ("1", "on", "yes", "true", "default"):
+        return True
+    spec: Dict[str, float] = {}
+    keys = {"events": ("event_budget", int), "time": ("time_budget", float),
+            "interval": ("check_interval", int)}
+    for part in raw.split(","):
+        key, _, value = part.partition("=")
+        try:
+            name, convert = keys[key.strip()]
+        except KeyError:
+            raise ValueError(
+                f"REPRO_WATCHDOG: unknown key {key.strip()!r} "
+                f"(expected {sorted(keys)})")
+        spec[name] = convert(value.strip())
+    return spec or True
 
 
 def _execute(spec: Dict) -> RunResult:
@@ -144,10 +177,14 @@ def _execute(spec: Dict) -> RunResult:
         config = config.with_changes(pp_backend="emulator")
         cost_model = EmulatedCostModel(config)
     workload = app_workload(spec["app"], **spec["workload_overrides"])
-    machine = Machine(config, cost_model=cost_model)
+    machine = Machine(config, cost_model=cost_model,
+                      faults=spec.get("faults"),
+                      watchdog=_watchdog_from_env())
     result = machine.run(workload.build(config))
     if cost_model is not None:
         result.pp_dynamic = cost_model.dynamic_totals()
+    if machine.fault_injector is not None:
+        result.fault_counters = machine.fault_injector.counters()
     return result
 
 
@@ -165,6 +202,7 @@ def run_app(
     workload_overrides: Optional[dict] = None,
     config_overrides: Optional[dict] = None,
     pp_backend: Optional[str] = None,
+    faults=None,
 ) -> RunResult:
     """Run one application on one machine; memoized in-process and cached
     on disk (see ``harness/diskcache.py``; ``REPRO_CACHE=off`` disables)."""
@@ -172,6 +210,7 @@ def run_app(
         app, kind=kind, regime=regime, n_procs=n_procs,
         workload_overrides=workload_overrides,
         config_overrides=config_overrides, pp_backend=pp_backend,
+        faults=faults,
     )
     key = diskcache.canonical_key(spec)
     if key in _cache:
@@ -182,6 +221,18 @@ def run_app(
         diskcache.default_cache.store(spec, result)
     _cache[key] = result
     return result
+
+
+def run_spec(spec: Dict) -> RunResult:
+    """``run_app`` for an already-normalized spec (the run farm's entry
+    point inside worker processes)."""
+    return run_app(
+        spec["app"], kind=spec["kind"], regime=spec["regime"],
+        n_procs=spec["n_procs"],
+        workload_overrides=spec["workload_overrides"],
+        config_overrides=spec["config_overrides"],
+        pp_backend=spec["pp_backend"], faults=spec.get("faults"),
+    )
 
 
 def run_flash_ideal(app: str, regime: str = "large", **kwargs

@@ -13,20 +13,30 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 
 from .common.errors import ConfigError
 from .common.params import MachineConfig, flash_config, ideal_config
+from .faults import FaultInjector, FaultPlan
 from .msgpass.transfer import TransferDomain
 from .network.mesh import Network
 from .node import Node
 from .processor.sync import SyncDomain
 from .sim.engine import Environment
+from .sim.watchdog import Watchdog
 from .stats.report import RunResult
 
 __all__ = ["Machine", "run_pair"]
 
 
 class Machine:
-    """An N-node FLASH or ideal machine."""
+    """An N-node FLASH or ideal machine.
 
-    def __init__(self, config: MachineConfig, cost_model=None):
+    ``faults`` (a :class:`~repro.faults.FaultPlan` or its dict form) attaches
+    deterministic fault injection; ``watchdog`` (True, a kwargs dict for
+    :class:`~repro.sim.watchdog.Watchdog`, or an instance) attaches stall
+    detection.  Both default to off, in which case behaviour is bit-identical
+    to a machine built without them.
+    """
+
+    def __init__(self, config: MachineConfig, cost_model=None, faults=None,
+                 watchdog=None):
         self.config = config
         self.env = Environment()
         self.network = Network(self.env, config)
@@ -37,6 +47,43 @@ class Machine:
                  cost_model=cost_model, transfers=self.transfers)
             for node_id in range(config.n_procs)
         ]
+        self.fault_plan: Optional[FaultPlan] = None
+        self.fault_injector: Optional[FaultInjector] = None
+        if faults is not None:
+            plan = faults if isinstance(faults, FaultPlan) \
+                else FaultPlan.from_dict(dict(faults))
+            if plan.any_enabled:
+                self._attach_faults(plan)
+        self.watchdog: Optional[Watchdog] = None
+        if watchdog:
+            if isinstance(watchdog, Watchdog):
+                self.watchdog = watchdog
+            else:
+                kwargs = {} if watchdog is True else dict(watchdog)
+                kwargs.setdefault("progress_fn", self._progress)
+                self.watchdog = Watchdog(self.env, **kwargs)
+
+    def _attach_faults(self, plan: FaultPlan) -> None:
+        if self.config.kind != "flash":
+            raise ConfigError(
+                "fault injection targets the FLASH machine (the ideal "
+                "machine has no bounded queues or PP to perturb)")
+        if self.config.pp_backend == "emulator":
+            raise ConfigError(
+                "fault injection requires the table cost backend (the PP "
+                "emulator has no assembly for the retry handler)")
+        self.fault_plan = plan
+        injector = FaultInjector(plan)
+        self.fault_injector = injector
+        self.network.faults = injector
+        for node in self.nodes:
+            node.engine.faults = injector
+            node.controller.faults = injector
+
+    def _progress(self) -> int:
+        """Forward-progress counter for the watchdog: total references
+        retired across all processors."""
+        return sum(n.cpu.total_reads + n.cpu.total_writes for n in self.nodes)
 
     @classmethod
     def flash(cls, n_procs: int = 16, **kwargs) -> "Machine":
@@ -58,6 +105,14 @@ class Machine:
             node.cpu.run(ops) for node, ops in zip(self.nodes, workload)
         ]
         finished = self.env.all_of(processes)
+        if (
+            self.fault_injector is not None
+            and self.fault_plan.squeeze_rate > 0
+        ):
+            self.env.process(
+                self.fault_injector.squeezer(self.env, self.env._queues,
+                                             finished),
+                name="faults.squeezer")
         # The event loop allocates millions of short-lived cyclic objects
         # (processes -> generators -> frames -> events); cyclic-GC passes over
         # that churn cost ~10% of a run and free almost nothing that refcounts
@@ -72,6 +127,10 @@ class Machine:
             if gc_was_enabled:
                 gc.enable()
         if not finished.triggered:
+            if self.watchdog is not None:
+                # The schedule drained with processors still blocked — a
+                # cyclic wait.  Diagnose instead of the bare RuntimeError.
+                self.watchdog.check_complete(finished, "all processors")
             raise RuntimeError("simulation ended before all processors finished")
         if not finished.ok:
             raise finished.value

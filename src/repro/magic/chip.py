@@ -99,6 +99,7 @@ class MagicChip:
         self._cpu_deliver: Callable[[Message], None] = lambda msg: None
         self._cache_busy: Callable[[float], None] = lambda cycles: None
         self.transfers = None  # TransferDomain, attached by the Node
+        self.faults = None     # FaultInjector (repro.faults), attached by the Machine
         env.process(self._inbox(), name=f"inbox[{node_id}]")
         env.process(self._pp(), name=f"pp[{node_id}]")
         env.process(self._pi_out(), name=f"pi.out[{node_id}]")
@@ -210,6 +211,8 @@ class MagicChip:
             stats.pp_mdc_stall += env._now - mdc_stall_start
         # Handler execution.
         cost = self.cost_model.cost(action)
+        if self.faults is not None:
+            cost = self.faults.pp_cost(self.node_id, cost)
         stats.note_handler(action.handler, cost)
         yield timeout(cost)
         # Resolve the data source for any outgoing data-bearing message.
@@ -248,6 +251,9 @@ class MagicChip:
                 incoming_buffer = False
             else:
                 self._submit_after(wreq, data_ready)
+        if action.send_delay:
+            # Fault-injected retry backoff (repro.faults); always 0 otherwise.
+            yield timeout(action.send_delay)
         # Outgoing messages leave through the outbox into interface queues.
         for out in action.sends:
             yield timeout(lat.outbox)

@@ -68,6 +68,9 @@ class TableCostModel:
             Handler.HINT_LOCAL: c.local_replacement_hint,
             Handler.NAK_HOME: 4,
             Handler.DEFERRED: 3,
+            # Fault-injected retry (repro.faults): re-issue the request, same
+            # work as the original requester-side forward.
+            Handler.RETRY_BOUNCE: c.forward_to_home,
         }
         self._flat = {
             handler: max(1, int(round(base * scale)))

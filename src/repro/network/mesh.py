@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional
 
 from ..common.params import MachineConfig
-from ..protocol.messages import Message
+from ..protocol.messages import Message, MessageType as MT
 from ..sim.engine import Environment, PENDING
 from ..sim.queues import BoundedQueue
 
@@ -61,6 +61,7 @@ class NetworkPort:
         get = self.out_queue.get
         launch = self._network._launch
         ni_outbound = self._ni_outbound
+        network = self._network
         while True:
             message, data_ready, done = yield get()
             if data_ready is not None and data_ready._value is PENDING:
@@ -68,9 +69,34 @@ class NetworkPort:
                 # line data has begun streaming into the data buffer.
                 yield data_ready
             yield timeout(ni_outbound)
+            faults = network.faults
+            if faults is not None:
+                # Delay spikes live on the serial outbound link (not in
+                # transit) so point-to-point ordering survives injection.
+                extra = faults.transit_delay(self.node_id, message)
+                if extra:
+                    yield timeout(extra)
+                if faults.should_drop(self.node_id, message):
+                    network.env.process(self._bounce(message),
+                                        name=f"ni.bounce[{self.node_id}]")
+                    if done is not None and done._value is PENDING:
+                        done.succeed()
+                    continue
             launch(message)
             if done is not None and done._value is PENDING:
                 done.succeed()
+
+    def _bounce(self, message: Message):
+        """Fault injection: a dropped request comes back to its sender as a
+        BOUNCE after a round trip, modelling the far node's input controller
+        refusing it.  The original rides along so the protocol layer can
+        re-send the identical message (same uid)."""
+        network = self._network
+        bounce = Message(MT.BOUNCE, message.line_addr, message.dst,
+                         message.src, message.requester,
+                         is_write=message.is_write, orig=message)
+        yield network.env.timeout(2 * network.transit_cycles)
+        yield self._wire.put(bounce)
 
     def _inbound(self):
         timeout = self._network.env.timeout
@@ -98,6 +124,7 @@ class Network:
         self.messages_sent = 0
         self.peak_in_flight = 0
         self._in_flight = 0
+        self.faults = None  # FaultInjector (repro.faults), attached by the Machine
 
     def port(self, node_id: int) -> NetworkPort:
         return self.ports[node_id]

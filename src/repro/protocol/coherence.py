@@ -72,6 +72,7 @@ class Handler:
     HINT_FORWARD = "hint_forward"
     NAK_HOME = "nak_home"                      # forward missed; retry request
     DEFERRED = "deferred"                      # request queued behind pending
+    RETRY_BOUNCE = "retry_bounce"              # fault-injected drop: re-send
 
 
 @dataclass
@@ -92,6 +93,9 @@ class Action:
     cpu_deliver: Optional[Message] = None  # reply handed to the local processor
     miss_class: Optional[str] = None      # set when a read miss is classified
     deferred: bool = False
+    #: Extra cycles the timing layer waits before emitting ``sends`` — only
+    #: ever nonzero for fault-injected retry backoff (repro.faults).
+    send_delay: float = 0.0
 
 
 @dataclass
@@ -132,6 +136,9 @@ class NodeProtocolEngine:
         # Optional per-node performance monitor (repro.stats.monitor); fed
         # with every classified miss when attached.
         self.monitor = None
+        # Optional fault injector (repro.faults), attached by the Machine;
+        # consulted only when a BOUNCE arrives, so clean runs never touch it.
+        self.faults = None
         # Counters.
         self.miss_classes: Dict[str, int] = {cls: 0 for cls in MissClass.ALL}
         self.messages_processed = 0
@@ -182,6 +189,7 @@ class NodeProtocolEngine:
             MT.SHARING_WRITEBACK: self._sharing_writeback,
             MT.OWNERSHIP_TRANSFER: self._ownership_transfer,
             MT.NAK: self._nak,
+            MT.BOUNCE: self._bounce_retry,
         }
 
     def process(self, msg: Message) -> List[Action]:
@@ -481,6 +489,19 @@ class NodeProtocolEngine:
         retry = Message(retry_type, line, msg.requester, self.node_id,
                         msg.requester, is_write=msg.is_write)
         return [action] + self._home_request(retry) + self._replay(line)
+
+    def _bounce_retry(self, msg: Message) -> List[Action]:
+        """A fault-injected drop (repro.faults) bounced one of our requests
+        back: re-send the *same* message object — its uid must survive so
+        the injector's per-message drop count bounds the retries — after an
+        exponential backoff charged by the timing layer."""
+        original = msg.orig
+        if original is None:
+            raise ProtocolError(f"node {self.node_id}: BOUNCE without original: {msg}")
+        action = Action(Handler.RETRY_BOUNCE, msg, sends=[original])
+        if self.faults is not None:
+            action.send_delay = self.faults.retry_backoff(original)
+        return [action]
 
     # -- requester-side replies ----------------------------------------------------
 

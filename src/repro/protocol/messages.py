@@ -57,6 +57,10 @@ class MessageType:
     XFER_DATA = "XFER_DATA"          # one line of payload on the network
     XFER_DONE = "XFER_DONE"          # completion notification to receiver CPU
 
+    # Fault injection (repro.faults): a dropped request returned to its
+    # sender, which retries it after a backoff.  Never sent in clean runs.
+    BOUNCE = "BOUNCE"
+
 
 #: Message types whose payload includes a full cache line (these need a MAGIC
 #: data buffer and a memory or cache data source).
@@ -93,6 +97,7 @@ class Message:
     n_invals: int = 0                 # acks the requester must collect (PUTX/UPGRADE_ACK)
     data_stale: bool = False          # memory copy is stale (speculation is useless)
     nbytes: int = 0                   # block-transfer payload size (XFER_*)
+    orig: Optional["Message"] = None  # dropped original carried by a BOUNCE
     uid: int = field(default_factory=lambda: next(_sequence))
 
     def __post_init__(self) -> None:

@@ -2,6 +2,8 @@
 
 from .engine import AllOf, AnyOf, Environment, Event, Process, SimulationError, Timeout
 from .queues import BoundedQueue, CountingResource
+from .watchdog import SimStalledError, StallDiagnosis, Watchdog
 
 __all__ = ["AllOf", "AnyOf", "Environment", "Event", "Process",
-           "SimulationError", "Timeout", "BoundedQueue", "CountingResource"]
+           "SimulationError", "Timeout", "BoundedQueue", "CountingResource",
+           "SimStalledError", "StallDiagnosis", "Watchdog"]

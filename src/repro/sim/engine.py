@@ -336,6 +336,11 @@ class Environment:
         # Dead plain Events recycled by the run loop (same refcount proof as
         # the timeout pool); drawn on by the queue/memory hot paths.
         self._event_pool: List[Event] = []
+        # Robustness hooks (repro.sim.watchdog): every BoundedQueue /
+        # CountingResource registers itself here for stall diagnosis, and an
+        # attached watchdog routes run() through the instrumented loop.
+        self._queues: List[Any] = []
+        self._watchdog = None
 
     @property
     def now(self) -> float:
@@ -405,6 +410,12 @@ class Environment:
     def any_of(self, events: Iterable[Event]) -> AnyOf:
         return AnyOf(self, events)
 
+    def attach_watchdog(self, watchdog) -> None:
+        """Route ``run()`` through the instrumented loop that ticks
+        ``watchdog`` (see :class:`repro.sim.watchdog.Watchdog`); pass None
+        to detach and return to the fast loop."""
+        self._watchdog = watchdog
+
     def run(self, until: Optional[float] = None) -> float:
         """Run until the schedule drains or the clock reaches ``until``.
 
@@ -412,6 +423,8 @@ class Environment:
         ``until``, the clock still advances to ``until`` (callers rely on
         ``now == until`` for rate and occupancy computations).
         """
+        if self._watchdog is not None:
+            return self._run_watched(until)
         ready = self._ready
         whens = self._whens
         buckets = self._buckets
@@ -530,6 +543,68 @@ class Environment:
                         pool.append(event)
                 else:
                     event._dispatch()
+        if until is not None and until > self._now:
+            self._now = until
+        return self._now
+
+    def _run_watched(self, until: Optional[float] = None) -> float:
+        """``run()`` with a watchdog attached: dispatches every event
+        generically (no inlining, no object pooling) and ticks the watchdog
+        every ``check_interval`` events.
+
+        Dispatch *order* is identical to the fast loop — same ready-deque /
+        calendar-bucket structure, same died-process check — so observable
+        results are byte-identical; only wall-clock speed differs.  Pools
+        are never refilled here, which is safe: ``timeout()``/queue draws
+        degrade to plain allocation when the pools are empty.
+        """
+        ready = self._ready
+        whens = self._whens
+        buckets = self._buckets
+        heappop = heapq.heappop
+        watchdog = self._watchdog
+        interval = watchdog.check_interval
+        countdown = interval
+        while True:
+            while ready:
+                countdown -= 1
+                if countdown <= 0:
+                    countdown = interval
+                    watchdog.events_dispatched += interval
+                    watchdog.check()
+                event = ready.popleft()
+                if event.__class__ is tuple:
+                    callback, arg = event
+                    if arg is _NO_ARG:
+                        callback()
+                    else:
+                        callback(arg)
+                    continue
+                if (
+                    not event._ok
+                    and not event.callbacks
+                    and event._value is not PENDING
+                    and isinstance(event, Process)
+                ):
+                    raise event._value
+                event._dispatch()
+            if not whens:
+                break
+            when = whens[0]
+            if until is not None and when > until:
+                self._now = until
+                return until
+            heappop(whens)
+            self._now = when
+            bucket = buckets.pop(when)
+            bucket.reverse()
+            while bucket:
+                countdown -= 1
+                if countdown <= 0:
+                    countdown = interval
+                    watchdog.events_dispatched += interval
+                    watchdog.check()
+                bucket.pop()._dispatch()
         if until is not None and until > self._now:
             self._now = until
         return self._now

@@ -50,6 +50,7 @@ class BoundedQueue:
         self.total_puts = 0
         self.full_stalls = 0  # puts that had to wait for space
         self.peak_depth = 0
+        env._queues.append(self)  # registry for stall diagnosis (watchdog)
 
     def __len__(self) -> int:
         return len(self._items)
@@ -154,6 +155,7 @@ class CountingResource:
         self.total_acquires = 0
         self.acquire_stalls = 0
         self.peak_in_use = 0
+        env._queues.append(self)  # registry for stall diagnosis (watchdog)
 
     @property
     def in_use(self) -> int:

@@ -72,6 +72,9 @@ class RunResult:
         #: Machine-wide processor-cache counters (not serialized — present
         #: only on freshly simulated results; the profile report prints it).
         self.cache_totals = cache_stats.to_dict()
+        #: Fault-injection counters (not serialized — set by the harness on
+        #: freshly simulated fault-injected runs; see ``repro.faults``).
+        self.fault_counters: Optional[Dict[str, int]] = None
         # Read-miss classification (summed over homes).
         self.miss_classes: Dict[str, int] = {cls: 0 for cls in MissClass.ALL}
         for node in machine.nodes:

@@ -140,14 +140,16 @@ class TestDiskCache:
         assert cache.store(spec, result) is None
         assert cache.load(spec) is None
 
-    def test_corrupt_entry_is_a_miss(self):
+    def test_corrupt_entry_is_a_miss_and_is_evicted(self):
         tiny_run()
         spec = exp.normalize_spec("fft", n_procs=4, workload_overrides=TINY_FFT)
         path = diskcache.default_cache.entry_path(spec)
         path.write_text("{not json")
         assert diskcache.default_cache.load(spec) is None
+        # The unusable file is gone, not left to fail every future load.
+        assert not path.exists()
 
-    def test_schema_drift_is_a_miss(self):
+    def test_schema_drift_is_a_miss_and_is_evicted(self):
         tiny_run()
         spec = exp.normalize_spec("fft", n_procs=4, workload_overrides=TINY_FFT)
         path = diskcache.default_cache.entry_path(spec)
@@ -155,6 +157,44 @@ class TestDiskCache:
         payload["result"]["schema"] = 999
         path.write_text(json.dumps(payload))
         assert diskcache.default_cache.load(spec) is None
+        assert not path.exists()
+
+    def test_checksum_tamper_detected_and_evicted(self):
+        result = tiny_run()
+        spec = exp.normalize_spec("fft", n_procs=4, workload_overrides=TINY_FFT)
+        path = diskcache.default_cache.entry_path(spec)
+        payload = json.loads(path.read_text())
+        assert payload["checksum"] == \
+            diskcache._result_checksum(payload["result"])
+        # Flip one measured value without updating the checksum: the entry
+        # still parses and matches the schema, but must not be served.
+        payload["result"]["execution_time"] = result.execution_time + 1.0
+        path.write_text(json.dumps(payload))
+        assert diskcache.default_cache.load(spec) is None
+        assert not path.exists()
+
+    def test_truncated_entry_falls_through_to_live_run(self):
+        first = tiny_run()
+        spec = exp.normalize_spec("fft", n_procs=4, workload_overrides=TINY_FFT)
+        path = diskcache.default_cache.entry_path(spec)
+        # A torn write: the file ends mid-JSON.
+        path.write_text(path.read_text()[: path.stat().st_size // 2])
+        exp.clear_cache()
+        rerun = tiny_run()   # must re-simulate, not crash or serve garbage
+        assert rerun.to_json() == first.to_json()
+        # The live run repopulated the slot with a valid entry.
+        assert diskcache.default_cache.load(spec) is not None
+
+    def test_pre_checksum_entries_still_load(self):
+        # Forward compatibility with entries written before the checksum
+        # field existed: absent checksum means no integrity check, not a miss.
+        tiny_run()
+        spec = exp.normalize_spec("fft", n_procs=4, workload_overrides=TINY_FFT)
+        path = diskcache.default_cache.entry_path(spec)
+        payload = json.loads(path.read_text())
+        del payload["checksum"]
+        path.write_text(json.dumps(payload))
+        assert diskcache.default_cache.load(spec) is not None
 
     def test_entry_path_depends_on_source_fingerprint(self, monkeypatch):
         spec = exp.normalize_spec("fft", n_procs=4, workload_overrides=TINY_FFT)

@@ -1,0 +1,204 @@
+"""Deterministic fault injection (``repro.faults``).
+
+The two invariants everything rests on:
+
+* off is free — a machine built without a plan is byte-identical to the
+  pre-fault-layer machine (enforced globally by the golden SHA-256 matrix in
+  ``tests/test_integration.py``);
+* on is deterministic — the same plan + seed against the same workload gives
+  byte-identical results, so fault-injected runs cache and farm like clean
+  ones.
+"""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.params import flash_config, ideal_config
+from repro.faults import DROPPABLE_TYPES, FaultPlan
+from repro.harness import diskcache, experiments as exp
+from repro.machine import Machine
+from repro.protocol.messages import MessageType as MT
+
+TINY_FFT = {"points": 256}
+TINY_MP3D = {"particles": 200, "steps": 1}
+
+
+def tiny_spec(app="fft", faults=None, **kwargs):
+    overrides = {"fft": TINY_FFT, "mp3d": TINY_MP3D}[app]
+    return exp.normalize_spec(app, n_procs=4, workload_overrides=overrides,
+                              faults=faults, **kwargs)
+
+
+def run_machine(app="fft", faults=None, n_procs=4, **config_changes):
+    spec = tiny_spec(app)
+    config = flash_config(n_procs=n_procs, cache_size=spec["cache_bytes"],
+                          **config_changes)
+    workload = exp.app_workload(app, **spec["workload_overrides"])
+    machine = Machine(config, faults=faults)
+    result = machine.run(workload.build(config))
+    return machine, result
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.delenv("REPRO_CACHE", raising=False)
+    exp.clear_cache()
+    yield
+    exp.clear_cache()
+
+
+class TestFaultPlan:
+    def test_round_trip(self):
+        plan = FaultPlan(seed=3, delay_rate=0.1, drop_rate=0.05,
+                         pp_slow_rate=0.2, squeeze_rate=0.1)
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultPlan.from_dict({"drop_rate": 0.1, "typo_field": 1})
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(delay_rate=1.5)
+        with pytest.raises(ConfigError):
+            FaultPlan(drop_rate=-0.1)
+        with pytest.raises(ConfigError):
+            FaultPlan(pp_slow_rate=0.1, pp_slow_factor=0.5)
+        with pytest.raises(ConfigError):
+            FaultPlan(delay_rate=0.1, delay_cycles=0)
+
+    def test_uniform_and_any_enabled(self):
+        plan = FaultPlan.uniform(0.05, seed=9)
+        assert plan.any_enabled
+        assert plan.delay_rate == plan.drop_rate == 0.05
+        assert plan.seed == 9
+        assert not FaultPlan().any_enabled
+
+    def test_only_request_types_droppable(self):
+        assert MT.REMOTE_GET in DROPPABLE_TYPES
+        assert MT.PUT not in DROPPABLE_TYPES
+        assert MT.INVAL not in DROPPABLE_TYPES
+
+
+class TestDeterminism:
+    def test_same_seed_is_byte_identical(self):
+        plan = FaultPlan.uniform(0.05, seed=11)
+        first = exp._execute(tiny_spec(faults=plan))
+        second = exp._execute(tiny_spec(faults=plan))
+        assert first.to_json() == second.to_json()
+        assert first.fault_counters == second.fault_counters
+
+    def test_different_seed_diverges(self):
+        a = exp._execute(tiny_spec(faults=FaultPlan.uniform(0.05, seed=1)))
+        b = exp._execute(tiny_spec(faults=FaultPlan.uniform(0.05, seed=2)))
+        assert a.to_json() != b.to_json()
+
+    def test_faults_perturb_and_slow_the_run(self):
+        clean = exp._execute(tiny_spec())
+        faulted = exp._execute(tiny_spec(faults=FaultPlan.uniform(0.05)))
+        assert faulted.to_json() != clean.to_json()
+        assert faulted.execution_time > clean.execution_time
+        counters = faulted.fault_counters
+        assert counters["delays"] > 0
+        assert counters["drops"] > 0
+        assert counters["pp_slowdowns"] > 0
+        # Clean runs carry no counters at all.
+        assert clean.fault_counters is None
+
+
+class TestFaultClasses:
+    def test_directory_consistent_after_faulted_run(self):
+        machine, _result = run_machine(
+            "mp3d", faults=FaultPlan.uniform(0.1, seed=5))
+        machine.check_directory_invariants()
+
+    def test_certain_drop_completes_via_forced_delivery(self):
+        # drop_rate=1 drops every droppable request max_retries times; the
+        # bounded-retry rule must then force delivery so the run finishes.
+        machine, result = run_machine(
+            faults=FaultPlan(drop_rate=1.0, max_retries=2, retry_backoff=4.0))
+        counters = machine.fault_injector.counters()
+        assert counters["forced_deliveries"] > 0
+        assert counters["drops"] > 0
+        assert result.execution_time > 0
+
+    def test_pp_slowdown_strictly_increases_execution_time(self):
+        _machine, clean = run_machine()
+        _machine, slowed = run_machine(
+            faults=FaultPlan(pp_slow_rate=1.0, pp_slow_factor=4.0))
+        assert slowed.execution_time > clean.execution_time
+
+    def test_queue_squeeze_run_completes_and_restores_capacity(self):
+        spec = tiny_spec()
+        config = flash_config(n_procs=4, cache_size=spec["cache_bytes"])
+        workload = exp.app_workload("fft", **spec["workload_overrides"])
+        machine = Machine(config, faults=FaultPlan(
+            squeeze_rate=1.0, squeeze_period=256.0, squeeze_duration=128.0))
+        from repro.sim import BoundedQueue
+        original = {id(q): q.capacity for q in machine.env._queues
+                    if isinstance(q, BoundedQueue)}
+        result = machine.run(workload.build(config))
+        assert machine.fault_injector.counters()["squeezes"] > 0
+        assert result.execution_time > 0
+        # Every squeezed queue's capacity was restored by run end.
+        restored = {id(q): q.capacity for q in machine.env._queues
+                    if isinstance(q, BoundedQueue)}
+        assert restored == original
+
+    def test_delay_spikes_preserve_completion(self):
+        machine, result = run_machine(
+            faults=FaultPlan(delay_rate=0.5, delay_cycles=32))
+        assert machine.fault_injector.counters()["delays"] > 0
+        assert result.execution_time > 0
+
+
+class TestGating:
+    def test_ideal_machine_rejects_faults(self):
+        config = ideal_config(n_procs=4, cache_size=64 * 1024)
+        with pytest.raises(ConfigError):
+            Machine(config, faults=FaultPlan(drop_rate=0.1))
+
+    def test_emulator_backend_rejects_faults(self):
+        config = flash_config(n_procs=4, cache_size=64 * 1024).with_changes(
+            pp_backend="emulator")
+        with pytest.raises(ConfigError):
+            Machine(config, faults=FaultPlan(drop_rate=0.1))
+
+    def test_all_zero_plan_attaches_nothing(self):
+        config = flash_config(n_procs=4, cache_size=64 * 1024)
+        machine = Machine(config, faults=FaultPlan())
+        assert machine.fault_injector is None
+        assert machine.network.faults is None
+
+
+class TestHarnessIntegration:
+    def test_fault_plan_is_part_of_the_cache_key(self):
+        plan = FaultPlan.uniform(0.05)
+        clean_key = diskcache.canonical_key(tiny_spec())
+        fault_key = diskcache.canonical_key(tiny_spec(faults=plan))
+        other_seed = diskcache.canonical_key(
+            tiny_spec(faults=FaultPlan.uniform(0.05, seed=1)))
+        assert len({clean_key, fault_key, other_seed}) == 3
+
+    def test_faulted_run_caches_and_reloads(self, monkeypatch):
+        plan = FaultPlan.uniform(0.05)
+        first = exp.run_app("fft", n_procs=4, workload_overrides=TINY_FFT,
+                            faults=plan)
+        exp.clear_cache()
+        monkeypatch.setattr(
+            exp, "_execute",
+            lambda _spec: pytest.fail("cached faulted run re-simulated"))
+        reloaded = exp.run_app("fft", n_procs=4, workload_overrides=TINY_FFT,
+                               faults=plan)
+        assert reloaded.to_json() == first.to_json()
+        # Counters are diagnostic-only: absent from the serialized form.
+        assert "fault_counters" not in first.to_dict()
+
+    def test_run_spec_round_trips_faults(self):
+        plan = FaultPlan.uniform(0.05)
+        spec = tiny_spec(faults=plan)
+        result = exp.run_spec(spec)
+        direct = exp.run_app("fft", n_procs=4, workload_overrides=TINY_FFT,
+                             faults=plan)
+        assert result.to_json() == direct.to_json()

@@ -1,14 +1,23 @@
-"""The parallel run farm: spec fan-out, determinism, memo seeding.
+"""The parallel run farm: spec fan-out, determinism, memo seeding, and the
+crash-tolerance layer.
 
 The core guarantee: a farmed sweep (worker processes + serialized results +
 disk cache) is *byte-identical* to a serial in-process sweep.  The sweep here
 is the Figure 4.1 shape (every app, FLASH and ideal) at tiny problem sizes so
 the double run stays fast.
+
+Crash tolerance is drilled with ``__selftest__`` specs (gated behind
+``REPRO_FARM_SELFTEST=1``): workers that sleep past the timeout, die by
+SIGKILL, raise, or fail exactly once — exercising retry, resubmission after a
+broken pool, suspect serialization, and quarantine.
 """
+
+import json
 
 import pytest
 
 from repro.harness import experiments as exp, runfarm
+from repro.harness.runfarm import FarmError, FarmPolicy
 
 #: Figure 4.1 sweep at tiny problem sizes (seconds, not minutes, per run).
 TINY_SIZES = {
@@ -37,8 +46,10 @@ def isolated_cache(tmp_path, monkeypatch):
     monkeypatch.delenv("REPRO_CACHE", raising=False)
     monkeypatch.delenv("REPRO_JOBS", raising=False)
     exp.clear_cache()
+    runfarm.clear_quarantine()
     yield
     exp.clear_cache()
+    runfarm.clear_quarantine()
 
 
 class TestSweepSpecs:
@@ -95,3 +106,143 @@ class TestDeterminism:
         # Second invocation loads from disk; serialized forms must match.
         (reloaded,) = runfarm.run_specs([spec], jobs=1)
         assert reloaded.to_json() == farmed.to_json()
+
+
+# -- crash tolerance ---------------------------------------------------------------------
+
+
+def selftest_spec(tag, **behavior):
+    """A farm drill spec; ``tag`` keeps canonical keys (and so quarantine
+    entries) distinct between scenarios."""
+    behavior["tag"] = tag
+    return {
+        "app": "__selftest__", "kind": "flash", "regime": "large",
+        "n_procs": 1, "cache_bytes": 0, "workload_overrides": behavior,
+        "config_overrides": {}, "pp_backend": None, "paper_scale": False,
+        "faults": None,
+    }
+
+
+def ok_payload(result):
+    return json.loads(result) == {"schema": "selftest", "ok": True}
+
+
+@pytest.fixture(autouse=True)
+def selftest_enabled(monkeypatch):
+    monkeypatch.setenv("REPRO_FARM_SELFTEST", "1")
+    monkeypatch.setenv("REPRO_START_METHOD", "fork")
+
+
+FAST = dict(backoff=0.05, quarantine_after=3)
+
+
+class TestResilientFarm:
+    def test_selftest_specs_require_the_env_gate(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FARM_SELFTEST")
+        report = runfarm.run_specs_resilient(
+            [selftest_spec("gated")], jobs=1,
+            policy=FarmPolicy(max_retries=0, **FAST))
+        (failure,) = report.failures
+        assert "REPRO_FARM_SELFTEST" in failure.error
+
+    def test_timeout_kills_worker_and_keeps_partial_results(self):
+        specs = [selftest_spec("sleeper", sleep=30), selftest_spec("quick")]
+        report = runfarm.run_specs_resilient(
+            specs, jobs=2, policy=FarmPolicy(timeout=1.0, max_retries=0, **FAST))
+        assert report.results[0] is None
+        assert ok_payload(report.results[1])   # graceful degradation
+        (failure,) = report.failures
+        assert failure.kind == "timeout"
+        assert failure.spec["workload_overrides"]["tag"] == "sleeper"
+        assert "wall-clock" in failure.error
+
+    def test_sigkilled_worker_is_identified_and_innocents_rerun(self):
+        specs = [
+            selftest_spec("killer", die="sigkill"),
+            selftest_spec("bystander-1"),
+            selftest_spec("bystander-2"),
+        ]
+        report = runfarm.run_specs_resilient(
+            specs, jobs=2, policy=FarmPolicy(max_retries=1, **FAST))
+        # Both innocents complete despite sharing a pool with the killer.
+        assert ok_payload(report.results[1])
+        assert ok_payload(report.results[2])
+        (failure,) = report.failures
+        assert failure.kind == "crash"
+        assert failure.spec["workload_overrides"]["tag"] == "killer"
+        # The suspect-serialization rerun crashed alone: blame is certain.
+        assert failure.killed_worker
+
+    def test_flaky_spec_succeeds_on_retry(self, tmp_path):
+        marker = tmp_path / "flaky-once"
+        spec = selftest_spec("flaky", flaky_marker=str(marker))
+        report = runfarm.run_specs_resilient(
+            [spec], jobs=2, policy=FarmPolicy(max_retries=1, **FAST))
+        assert report.ok
+        assert ok_payload(report.results[0])
+        assert marker.exists()   # the failing first attempt did run
+
+    def test_flaky_sigkill_succeeds_on_resubmission(self, tmp_path):
+        marker = tmp_path / "flaky-kill"
+        spec = selftest_spec("flaky-kill", flaky_marker=str(marker),
+                             flaky_mode="sigkill")
+        report = runfarm.run_specs_resilient(
+            [spec], jobs=2, policy=FarmPolicy(max_retries=1, **FAST))
+        assert report.ok
+        assert ok_payload(report.results[0])
+
+    def test_worker_exception_is_surfaced(self):
+        spec = selftest_spec("raiser", **{"raise": "controlled failure"})
+        report = runfarm.run_specs_resilient(
+            [spec], jobs=2, policy=FarmPolicy(max_retries=0, **FAST))
+        (failure,) = report.failures
+        assert failure.kind == "error"
+        assert "RuntimeError" in failure.error
+        assert "controlled failure" in failure.error
+        assert failure.attempts == 1
+
+    def test_repeat_failures_quarantine_the_spec(self):
+        spec = selftest_spec("poison", **{"raise": "always fails"})
+        policy = FarmPolicy(max_retries=0, backoff=0.01, quarantine_after=2)
+        first = runfarm.run_specs_resilient([spec], jobs=1, policy=policy)
+        second = runfarm.run_specs_resilient([spec], jobs=1, policy=policy)
+        assert first.failures[0].kind == "error"
+        assert not first.failures[0].quarantined
+        assert second.failures[0].quarantined   # hit the threshold
+        # Third sweep skips the spec without running it at all.
+        third = runfarm.run_specs_resilient([spec], jobs=1, policy=policy)
+        (failure,) = third.failures
+        assert failure.kind == "quarantined" and failure.attempts == 0
+        # The quarantine is keyed by spec: other work is unaffected.
+        clean = runfarm.run_specs_resilient(
+            [selftest_spec("innocent")], jobs=1, policy=policy)
+        assert clean.ok
+
+    def test_strict_run_specs_raises_naming_the_spec(self):
+        spec = selftest_spec("strict", **{"raise": "boom"})
+        with pytest.raises(FarmError, match="__selftest__/flash@large"):
+            runfarm.run_specs([spec], jobs=2,
+                              policy=FarmPolicy(max_retries=0, **FAST))
+
+    def test_report_to_dict_is_machine_readable(self):
+        specs = [selftest_spec("mixed-ok"),
+                 selftest_spec("mixed-bad", **{"raise": "nope"})]
+        report = runfarm.run_specs_resilient(
+            specs, jobs=2, policy=FarmPolicy(max_retries=0, **FAST))
+        summary = report.to_dict()
+        assert summary["completed"] == 1
+        assert summary["failed"] == 1
+        assert "mixed" not in summary["failures"][0]  # describe() is app-level
+        assert "__selftest__" in summary["failures"][0]
+        assert report.failures[0].to_dict()["kind"] == "error"
+
+    def test_real_specs_mix_with_failures(self):
+        # One real simulation plus one failing drill: the simulation's
+        # result must come back intact (graceful degradation end-to-end).
+        real = tiny_sweep_specs()[0]
+        bad = selftest_spec("mixed-real", **{"raise": "nope"})
+        report = runfarm.run_specs_resilient(
+            [real, bad], jobs=2, policy=FarmPolicy(max_retries=0, **FAST))
+        assert report.results[0] is not None
+        assert report.results[0].execution_time > 0
+        assert len(report.failures) == 1
