@@ -9,6 +9,9 @@ Usage::
     python -m repro.harness suite                # Figure 4.1 sweep
     python -m repro.harness --jobs 4 suite       # ... farmed over 4 workers
     python -m repro.harness profile mp3d         # per-subsystem time attribution
+    python -m repro.harness profile mp3d --json  # ... machine-readable
+    python -m repro.harness trace fft --summary  # latency decomposition table
+    python -m repro.harness trace fft --out fft.json   # Chrome trace_event JSON
     python -m repro.harness faults fft           # slowdown vs injected-fault rate
     python -m repro.harness clear                # wipe the on-disk result cache
 
@@ -104,13 +107,16 @@ def cmd_run(args) -> int:
 def cmd_profile(args) -> int:
     """Profile one uncached run and attribute time per subsystem."""
     import cProfile
+    import json
     import time
 
     from . import experiments
     from ..stats.report import attribute_profile, render_profile
 
+    overrides = experiments.SMOKE_SIZES[args.app] if args.fast else None
     spec = experiments.normalize_spec(
-        args.app, kind=args.kind, regime=args.regime, n_procs=args.procs)
+        args.app, kind=args.kind, regime=args.regime, n_procs=args.procs,
+        workload_overrides=overrides)
     profile = cProfile.Profile()
     start = time.perf_counter()
     profile.enable()
@@ -118,15 +124,86 @@ def cmd_profile(args) -> int:
     profile.disable()
     elapsed = time.perf_counter() - start
     attribution = attribute_profile(profile)
-    title = (f"{args.app}/{args.kind} regime={args.regime} "
-             f"({result.references} refs, {elapsed:.1f}s under cProfile)")
-    print(render_profile(attribution, title, top_n=args.top,
-                         cache_totals=result.cache_totals))
-    print(f"\nreferences/sec (profiled; cProfile adds ~2-3x overhead): "
-          f"{result.references / elapsed:,.0f}")
+    if args.json:
+        print(json.dumps({
+            "app": args.app,
+            "kind": args.kind,
+            "regime": args.regime,
+            "references": result.references,
+            "elapsed_seconds": elapsed,
+            "references_per_second": result.references / elapsed,
+            "total_seconds": attribution["total"],
+            "subsystems": attribution["subsystems"],
+            "top": {
+                label: [
+                    {"where": where, "seconds": tt, "calls": nc}
+                    for where, tt, nc in frames[:args.top]
+                ]
+                for label, frames in attribution["top"].items()
+            },
+            "cache_totals": result.cache_totals,
+        }, sort_keys=True, indent=2))
+    else:
+        title = (f"{args.app}/{args.kind} regime={args.regime} "
+                 f"({result.references} refs, {elapsed:.1f}s under cProfile)")
+        print(render_profile(attribution, title, top_n=args.top,
+                             cache_totals=result.cache_totals))
+        print(f"\nreferences/sec (profiled; cProfile adds ~2-3x overhead): "
+              f"{result.references / elapsed:,.0f}")
     if args.pstats:
         profile.dump_stats(args.pstats)
         print(f"raw pstats written to {args.pstats}")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """One traced (uncached) run: latency decomposition and/or Chrome JSON."""
+    import json
+
+    from . import experiments
+    from ..stats import timeseries
+    from ..stats.trace import (
+        parse_nodes, render_decomposition, validate_trace_events,
+    )
+
+    trace_spec = {}
+    if args.buf is not None:
+        trace_spec["buf"] = args.buf
+    if args.nodes is not None:
+        trace_spec["nodes"] = parse_nodes(args.nodes)
+    if args.sample is not None:
+        trace_spec["sample"] = args.sample
+    overrides = experiments.SMOKE_SIZES[args.app] if args.fast else None
+    spec = experiments.normalize_spec(
+        args.app, kind=args.kind, regime=args.regime, n_procs=args.procs,
+        workload_overrides=overrides, trace=trace_spec or True)
+    result, tracer = experiments.run_traced(spec)
+    if args.summary or not args.out:
+        title = (f"{args.app}/{args.kind} regime={args.regime} "
+                 f"latency decomposition "
+                 f"({result.references} refs, T={result.execution_time:.0f})")
+        print(render_decomposition(result.latency_decomposition, result,
+                                   title=title))
+        hot = timeseries.hot_windows(tracer)
+        if any(hot.values()):
+            print("\nhottest sampling windows:")
+            for metric, windows in sorted(hot.items()):
+                cells = ", ".join(
+                    f"t={row['t']:.0f} node{row['node']}={row['value']:.3g}"
+                    for row in windows)
+                print(f"  {metric:17} {cells}")
+    if args.out:
+        categories = None
+        if args.filter:
+            categories = [part.strip()
+                          for part in args.filter.replace("+", ",").split(",")
+                          if part.strip()]
+        payload = tracer.to_trace_events(categories=categories)
+        count = validate_trace_events(payload)
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh)
+        print(f"wrote {count} trace events to {args.out}"
+              f" (chrome://tracing or https://ui.perfetto.dev)")
     return 0
 
 
@@ -228,11 +305,42 @@ def main(argv=None) -> int:
     profile.add_argument("--regime", default="large",
                          choices=["large", "medium", "small"])
     profile.add_argument("--procs", type=int, default=None)
+    profile.add_argument("--fast", action="store_true",
+                         help="seconds-scale smoke problem sizes")
     profile.add_argument("--top", type=int, default=3,
                          help="hottest frames listed per subsystem")
     profile.add_argument("--pstats", metavar="FILE", default=None,
                          help="also dump raw pstats data to FILE")
+    profile.add_argument("--json", action="store_true",
+                         help="machine-readable attribution on stdout")
     profile.set_defaults(fn=cmd_profile)
+    trace = sub.add_parser(
+        "trace", help="trace one run: latency decomposition, occupancy"
+                      " timelines, Chrome trace_event JSON export")
+    trace.add_argument("app", choices=APP_ORDER)
+    trace.add_argument("--kind", default="flash", choices=["flash", "ideal"])
+    trace.add_argument("--regime", default="large",
+                       choices=["large", "medium", "small"])
+    trace.add_argument("--procs", type=int, default=None)
+    trace.add_argument("--fast", action="store_true",
+                       help="seconds-scale smoke problem sizes")
+    trace.add_argument("--summary", action="store_true",
+                       help="print the latency-decomposition table (default"
+                            " unless --out is given)")
+    trace.add_argument("--out", metavar="FILE", default=None,
+                       help="write Chrome trace_event JSON to FILE")
+    trace.add_argument("--filter", metavar="CAT,...", default=None,
+                       help="span categories to export (cpu,inbox,pp,memory,"
+                            "net,pi); default: all")
+    trace.add_argument("--nodes", metavar="SPEC", default=None,
+                       help="record spans for these nodes only, e.g. 0+3"
+                            " or 0-3 (component totals stay machine-wide)")
+    trace.add_argument("--buf", type=int, default=None, metavar="N",
+                       help="span ring-buffer capacity (default: 200000)")
+    trace.add_argument("--sample", type=float, default=None, metavar="CYCLES",
+                       help="occupancy/queue-depth sampling interval"
+                            " (default: 2048 cycles)")
+    trace.set_defaults(fn=cmd_trace)
     faults = sub.add_parser(
         "faults", help="sweep one app under increasing injected-fault rates")
     faults.add_argument("app", choices=APP_ORDER)

@@ -24,12 +24,13 @@ from ..common.units import KB, MB
 from ..machine import Machine
 from ..pp.costmodel import EmulatedCostModel
 from ..stats.report import RunResult
+from ..stats.trace import parse_trace_spec
 from . import diskcache
 
 __all__ = [
-    "APP_ORDER", "REGIMES", "app_workload", "regime_cache_bytes",
-    "normalize_spec", "run_app", "run_spec", "run_flash_ideal",
-    "clear_cache", "memoize",
+    "APP_ORDER", "REGIMES", "SMOKE_SIZES", "app_workload",
+    "regime_cache_bytes", "normalize_spec", "run_app", "run_spec",
+    "run_flash_ideal", "run_traced", "clear_cache", "memoize",
 ]
 
 APP_ORDER = ["barnes", "fft", "lu", "mp3d", "ocean", "os", "radix"]
@@ -54,6 +55,18 @@ REGIMES: Dict[str, Dict[str, Optional[int]]] = {
 
 #: regime label -> the paper's cache size, for table headers.
 PAPER_REGIME_LABEL = {"large": "1 MB", "medium": "64 KB", "small": "4 KB"}
+
+#: Per-app workload overrides for seconds-scale smoke runs (CI trace smoke,
+#: ``harness trace --fast``); same shapes the integration tests use.
+SMOKE_SIZES: Dict[str, Dict[str, int]] = {
+    "barnes": dict(bodies=128, iterations=1),
+    "fft": dict(points=1024),
+    "lu": dict(matrix=64, block=16),
+    "mp3d": dict(particles=1024, steps=2),
+    "ocean": dict(grid=18, n_grids=3, sweeps=1),
+    "os": dict(tasks_per_proc=1, syscalls_per_task=20),
+    "radix": dict(keys=4096, radix=64, key_bits=12),
+}
 
 _PAPER_SCALE = os.environ.get("REPRO_SCALE", "quick") == "paper"
 
@@ -116,18 +129,27 @@ def normalize_spec(
     config_overrides: Optional[dict] = None,
     pp_backend: Optional[str] = None,
     faults=None,
+    trace=None,
 ) -> Dict:
     """The fully-defaulted description of one run — the unit of caching and
     of run-farm dispatch.  Includes everything that can change the result.
 
     ``faults`` is a :class:`~repro.faults.FaultPlan` (or its dict form);
     fault-injected runs are deterministic, so they cache and farm exactly
-    like clean ones, under a distinct key."""
+    like clean ones, under a distinct key.  ``trace`` is a
+    ``parse_trace_spec`` dict (or True for defaults; None defers to the
+    ``REPRO_TRACE`` environment variable); traced runs are deterministic
+    too, and cache under a distinct key because their serialized result
+    additionally carries the latency decomposition."""
     cache_bytes = regime_cache_bytes(app, regime)
     if cache_bytes is None:
         raise ValueError(f"{app} is not run at the {regime} regime (paper N/A)")
     if faults is not None:
         faults = faults.to_dict() if hasattr(faults, "to_dict") else dict(faults)
+    if trace is None:
+        trace = _trace_from_env()
+    elif trace is True:
+        trace = parse_trace_spec("on")
     return {
         "app": app,
         "kind": kind,
@@ -139,6 +161,7 @@ def normalize_spec(
         "pp_backend": pp_backend,
         "paper_scale": _PAPER_SCALE,
         "faults": faults,
+        "trace": trace,
     }
 
 
@@ -166,8 +189,19 @@ def _watchdog_from_env():
     return spec or True
 
 
-def _execute(spec: Dict) -> RunResult:
-    """Run the simulation described by a normalized spec (no caching)."""
+def _trace_from_env():
+    """Transaction tracing for harness runs, from ``REPRO_TRACE``: unset/off
+    disables, ``on`` uses defaults, or ``buf=N,nodes=...,sample=T`` tunes
+    the ring buffer, span node filter and time-series sampling interval
+    (see :mod:`repro.stats.trace`)."""
+    return parse_trace_spec(os.environ.get("REPRO_TRACE"))
+
+
+def build_machine(spec: Dict):
+    """Construct the (un-run) machine and workload for a normalized spec.
+    Returns ``(machine, ops, cost_model)``; callers that need the live
+    machine afterwards (the trace CLI, tests) run ``machine.run(ops)``
+    themselves."""
     make = flash_config if spec["kind"] == "flash" else ideal_config
     config = make(n_procs=spec["n_procs"], cache_size=spec["cache_bytes"])
     if spec["config_overrides"]:
@@ -179,13 +213,35 @@ def _execute(spec: Dict) -> RunResult:
     workload = app_workload(spec["app"], **spec["workload_overrides"])
     machine = Machine(config, cost_model=cost_model,
                       faults=spec.get("faults"),
-                      watchdog=_watchdog_from_env())
-    result = machine.run(workload.build(config))
+                      watchdog=_watchdog_from_env(),
+                      trace=spec.get("trace"))
+    return machine, workload.build(config), cost_model
+
+
+def _execute(spec: Dict) -> RunResult:
+    """Run the simulation described by a normalized spec (no caching)."""
+    machine, ops, cost_model = build_machine(spec)
+    result = machine.run(ops)
     if cost_model is not None:
         result.pp_dynamic = cost_model.dynamic_totals()
     if machine.fault_injector is not None:
         result.fault_counters = machine.fault_injector.counters()
     return result
+
+
+def run_traced(spec: Dict):
+    """Uncached traced run returning ``(result, tracer)`` — the live tracer
+    holds the span ring buffer and time series for export (only the
+    decomposition travels on the serialized result)."""
+    if not spec.get("trace"):
+        spec = dict(spec, trace=parse_trace_spec("on"))
+    machine, ops, cost_model = build_machine(spec)
+    result = machine.run(ops)
+    if cost_model is not None:
+        result.pp_dynamic = cost_model.dynamic_totals()
+    if machine.fault_injector is not None:
+        result.fault_counters = machine.fault_injector.counters()
+    return result, machine.tracer
 
 
 def memoize(spec: Dict, result: RunResult) -> None:
@@ -203,6 +259,7 @@ def run_app(
     config_overrides: Optional[dict] = None,
     pp_backend: Optional[str] = None,
     faults=None,
+    trace=None,
 ) -> RunResult:
     """Run one application on one machine; memoized in-process and cached
     on disk (see ``harness/diskcache.py``; ``REPRO_CACHE=off`` disables)."""
@@ -210,7 +267,7 @@ def run_app(
         app, kind=kind, regime=regime, n_procs=n_procs,
         workload_overrides=workload_overrides,
         config_overrides=config_overrides, pp_backend=pp_backend,
-        faults=faults,
+        faults=faults, trace=trace,
     )
     key = diskcache.canonical_key(spec)
     if key in _cache:
@@ -232,6 +289,7 @@ def run_spec(spec: Dict) -> RunResult:
         workload_overrides=spec["workload_overrides"],
         config_overrides=spec["config_overrides"],
         pp_backend=spec["pp_backend"], faults=spec.get("faults"),
+        trace=spec.get("trace"),
     )
 
 

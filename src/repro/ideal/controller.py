@@ -56,6 +56,7 @@ class IdealController:
         self._cpu_deliver: Callable[[Message], None] = lambda msg: None
         self._cache_busy: Callable[[float], None] = lambda cycles: None
         self.transfers = None  # TransferDomain, attached by the Node
+        self.tracer = None     # Tracer (repro.stats.trace), attached by the Machine
         env.process(self._pi_loop(), name=f"ideal.pi[{node_id}]")
         env.process(self._ni_loop(), name=f"ideal.ni[{node_id}]")
         env.process(self._pi_out(), name=f"ideal.piout[{node_id}]")
@@ -130,6 +131,15 @@ class IdealController:
     def _execute(self, action: Action) -> None:
         env = self.env
         self.stats.note_handler(action.handler, 0.0)
+        tracer = self.tracer
+        trace_ctx = (action.message.requester, action.message.line_addr) \
+            if tracer is not None else None
+        if tracer is not None:
+            # Zero-occupancy handler: the span is instantaneous but keeps
+            # the lifecycle visible (and the decomposition rows populated)
+            # on the ideal machine too.
+            tracer.pp_span(self.node_id, action.handler, action.message,
+                           env._now, env._now)
         data_ready: Optional[Event] = None
         if action.cache_retrieve:
             data_ready = env.timeout(self.lat.intervention_data)
@@ -139,10 +149,12 @@ class IdealController:
             self._cache_busy(self.lat.cache_state_retrieve)
         if action.needs_memory_data:
             request = self.memory.read(action.message.line_addr)
+            request.trace_ctx = trace_ctx
             self.memory.submit(request)  # unbounded queue: never blocks
             data_ready = request.data_event
         if action.writes_memory:
             wreq = self.memory.write(action.message.line_addr)
+            wreq.trace_ctx = trace_ctx
             if data_ready is None:
                 self.memory.submit(wreq)
             else:
@@ -170,10 +182,15 @@ class IdealController:
         replay_stable = self.engine.replay_stable
         while True:
             message, data_ready, done = yield get()
+            tracer = self.tracer
+            pi_start = self.env._now if tracer is not None else 0.0
             if data_ready is not None and not data_ready.triggered:
                 yield data_ready
             yield timeout(pi_outbound)
             yield timeout(bus_transit)
+            if tracer is not None:
+                tracer.pi_out_span(self.node_id, message, pi_start,
+                                   self.env._now)
             self._cpu_deliver(message)
             if done is not None and not done.triggered:
                 done.succeed()

@@ -21,6 +21,7 @@ from .processor.sync import SyncDomain
 from .sim.engine import Environment
 from .sim.watchdog import Watchdog
 from .stats.report import RunResult
+from .stats.trace import Tracer
 
 __all__ = ["Machine", "run_pair"]
 
@@ -31,12 +32,14 @@ class Machine:
     ``faults`` (a :class:`~repro.faults.FaultPlan` or its dict form) attaches
     deterministic fault injection; ``watchdog`` (True, a kwargs dict for
     :class:`~repro.sim.watchdog.Watchdog`, or an instance) attaches stall
-    detection.  Both default to off, in which case behaviour is bit-identical
-    to a machine built without them.
+    detection; ``trace`` (True, a ``parse_trace_spec`` dict, or a
+    :class:`~repro.stats.trace.Tracer`) attaches transaction tracing.  All
+    default to off, in which case behaviour is bit-identical to a machine
+    built without them.
     """
 
     def __init__(self, config: MachineConfig, cost_model=None, faults=None,
-                 watchdog=None):
+                 watchdog=None, trace=None):
         self.config = config
         self.env = Environment()
         self.network = Network(self.env, config)
@@ -62,6 +65,22 @@ class Machine:
                 kwargs = {} if watchdog is True else dict(watchdog)
                 kwargs.setdefault("progress_fn", self._progress)
                 self.watchdog = Watchdog(self.env, **kwargs)
+        self.tracer: Optional[Tracer] = None
+        if trace:
+            tracer = trace if isinstance(trace, Tracer) \
+                else Tracer.from_spec(trace)
+            self._attach_tracer(tracer)
+
+    def _attach_tracer(self, tracer: Tracer) -> None:
+        tracer.env = self.env
+        self.tracer = tracer
+        self.env._tracer = tracer      # watchdog/stall-diagnosis pickup
+        self.network.tracer = tracer
+        for node in self.nodes:
+            node.cpu.tracer = tracer
+            node.controller.tracer = tracer
+            node.engine.tracer = tracer
+            node.memory.tracer = tracer
 
     def _attach_faults(self, plan: FaultPlan) -> None:
         if self.config.kind != "flash":
@@ -113,6 +132,10 @@ class Machine:
                 self.fault_injector.squeezer(self.env, self.env._queues,
                                              finished),
                 name="faults.squeezer")
+        if self.tracer is not None and self.tracer.sample_interval:
+            from .stats.timeseries import TimeseriesSampler
+            sampler = TimeseriesSampler(self, self.tracer)
+            self.env.process(sampler.process(finished), name="trace.sampler")
         # The event loop allocates millions of short-lived cyclic objects
         # (processes -> generators -> frames -> events); cyclic-GC passes over
         # that churn cost ~10% of a run and free almost nothing that refcounts

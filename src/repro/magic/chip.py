@@ -100,6 +100,7 @@ class MagicChip:
         self._cache_busy: Callable[[float], None] = lambda cycles: None
         self.transfers = None  # TransferDomain, attached by the Node
         self.faults = None     # FaultInjector (repro.faults), attached by the Machine
+        self.tracer = None     # Tracer (repro.stats.trace), attached by the Machine
         env.process(self._inbox(), name=f"inbox[{node_id}]")
         env.process(self._pp(), name=f"pp[{node_id}]")
         env.process(self._pi_out(), name=f"pi.out[{node_id}]")
@@ -143,6 +144,8 @@ class MagicChip:
                 yield _EitherReady(env, get_pi, get_ni)
                 continue
             stats.messages_in += 1
+            tracer = self.tracer
+            inbox_start = env._now if tracer is not None else 0.0
             if from_pi:
                 yield timeout(lat.pi_inbound)
             if message.carries_data:
@@ -156,6 +159,8 @@ class MagicChip:
                 and self.engine.home_of(message.line_addr) == self.node_id
             ):
                 request = self.memory.read(message.line_addr)
+                if tracer is not None:
+                    request.trace_ctx = (message.requester, message.line_addr)
                 yield self.data_buffers.acquire()
                 yield self.memory.submit(request)  # full queue stalls the inbox
                 self._spec[message.uid] = request
@@ -163,6 +168,9 @@ class MagicChip:
                 self._release_buffer_after([request.done_event])
             yield timeout(lat.jump_table_lookup)
             yield self.pp_q.put(message)
+            if tracer is not None:
+                tracer.inbox_span(self.node_id, message, inbox_start, env._now)
+                tracer.pp_enqueue(message.uid, env._now)
 
     # -- protocol processor ----------------------------------------------------------
 
@@ -173,6 +181,8 @@ class MagicChip:
         execute = self._execute
         while True:
             message = yield get()
+            if self.tracer is not None:
+                self.tracer.pp_dequeue(self.node_id, message, self.env._now)
             spec = spec_pop(message.uid, None)
             if message.mtype in TRANSFER_TYPES:
                 yield from self._execute_transfer(message)
@@ -191,6 +201,9 @@ class MagicChip:
         lat = self.lat
         stats = self.stats
         memory = self.memory
+        tracer = self.tracer
+        trace_ctx = (action.message.requester, action.message.line_addr) \
+            if tracer is not None else None
         start = env._now
         self.icache.fetch(action.handler)
         # Directory accesses go through the MDC; misses stall the PP and
@@ -198,11 +211,13 @@ class MagicChip:
         mdc_misses, mdc_writebacks = self.mdc.access_sequence(action.dir_addrs)
         for _ in range(mdc_writebacks):
             victim = memory.write(action.message.line_addr)
+            victim.trace_ctx = trace_ctx
             yield memory.submit(victim)
         if mdc_misses:
             mdc_stall_start = env._now
             for _ in range(mdc_misses):
                 fill = memory.read(action.message.line_addr)
+                fill.trace_ctx = trace_ctx
                 yield memory.submit(fill)
                 yield fill.data_event
                 extra = lat.mdc_miss_penalty - lat.memory_access
@@ -231,6 +246,7 @@ class MagicChip:
                 spec = None
             else:
                 request = memory.read(action.message.line_addr)
+                request.trace_ctx = trace_ctx
                 yield self.data_buffers.acquire()
                 self._release_buffer_after([request.done_event])
                 yield memory.submit(request)
@@ -243,6 +259,7 @@ class MagicChip:
             stats.spec_useless += 1
         if action.writes_memory:
             wreq = memory.write(action.message.line_addr)
+            wreq.trace_ctx = trace_ctx
             if data_ready is None and not incoming_buffer:
                 yield memory.submit(wreq)
             elif data_ready is None:
@@ -281,6 +298,9 @@ class MagicChip:
             # deferred writeback): free its buffer now.
             self.data_buffers.release()
         stats.pp_busy += env._now - start
+        if tracer is not None:
+            tracer.pp_span(self.node_id, action.handler, action.message,
+                           start, env._now)
 
     # -- processor interface, outbound ------------------------------------------------
 
@@ -292,10 +312,14 @@ class MagicChip:
         bus_transit = self.lat.pi_outbound_bus_transit
         while True:
             message, data_ready, done = yield get()
+            tracer = self.tracer
+            pi_start = env._now if tracer is not None else 0.0
             if data_ready is not None and data_ready._value is PENDING:
                 yield data_ready
             yield timeout(pi_outbound)
             yield timeout(bus_transit)
+            if tracer is not None:
+                tracer.pi_out_span(self.node_id, message, pi_start, env._now)
             self._cpu_deliver(message)
             if done is not None and done._value is PENDING:
                 done.succeed()
@@ -349,6 +373,8 @@ class MagicChip:
                 yield env.timeout(XFER_DONE_COST)
                 self.transfers.complete(self.node_id, message.src)
         self.stats.pp_busy += env.now - start
+        if self.tracer is not None:
+            self.tracer.pp_span(self.node_id, "xfer", message, start, env.now)
 
     # -- helpers ----------------------------------------------------------------------
 

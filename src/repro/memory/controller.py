@@ -22,11 +22,14 @@ __all__ = ["MemoryRequest", "MemoryController"]
 class MemoryRequest:
     """One read or write of a full cache line."""
 
-    __slots__ = ("is_read", "line_addr", "data_event", "done_event", "useless")
+    __slots__ = ("is_read", "line_addr", "data_event", "done_event", "useless",
+                 "trace_ctx", "trace_submit")
 
     def __init__(self, env: Environment, is_read: bool, line_addr: int):
         self.is_read = is_read
         self.line_addr = line_addr
+        self.trace_ctx = None     # (requester, line) of the owning transaction
+        self.trace_submit = 0.0   # submit timestamp (traced runs only)
         # Draw from the recycled event pool when available (two events per
         # memory request; reset mirrors Event.__init__).
         pool = env._event_pool
@@ -48,9 +51,11 @@ class MemoryRequest:
 class MemoryController:
     """Serial memory controller with a bounded entry queue."""
 
-    def __init__(self, env: Environment, config: MachineConfig, name: str = "mem"):
+    def __init__(self, env: Environment, config: MachineConfig, name: str = "mem",
+                 node_id: int = -1):
         self.env = env
         self.config = config
+        self.node_id = node_id
         self.access_cycles = config.latencies.memory_access
         self.busy_cycles_per_access = config.memory_busy_cycles
         self.queue = BoundedQueue(env, config.limits.memory_controller_queue,
@@ -59,11 +64,14 @@ class MemoryController:
         self.reads = 0
         self.writes = 0
         self.useless_reads = 0
+        self.tracer = None  # Tracer (repro.stats.trace), attached by the Machine
         env.process(self._serve(), name=f"{name}.serve")
 
     def submit(self, request: MemoryRequest) -> Event:
         """Enqueue a request.  The returned event fires when the controller
         queue accepted it — yielding on it models the PP/inbox stall."""
+        if self.tracer is not None:
+            request.trace_submit = self.env._now
         return self.queue.put(request)
 
     def read(self, line_addr: int) -> MemoryRequest:
@@ -89,6 +97,8 @@ class MemoryController:
         remainder = busy_per_access - access_cycles
         while True:
             request = yield get()
+            tracer = self.tracer
+            serve_start = env._now if tracer is not None else 0.0
             yield timeout(access_cycles)
             data_event = request.data_event
             if data_event._value is PENDING:
@@ -101,3 +111,6 @@ class MemoryController:
             done_event = request.done_event
             if done_event._value is PENDING:
                 done_event.succeed(env._now)
+            if tracer is not None:
+                tracer.memory_span(self.node_id, request, serve_start,
+                                   env._now, busy_per_access)

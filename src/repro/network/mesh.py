@@ -57,18 +57,29 @@ class NetworkPort:
         return self.out_queue.put(bundle)
 
     def _outbound(self):
-        timeout = self._network.env.timeout
+        env = self._network.env
+        timeout = env.timeout
         get = self.out_queue.get
         launch = self._network._launch
         ni_outbound = self._ni_outbound
         network = self._network
         while True:
             message, data_ready, done = yield get()
+            tracer = network.tracer
+            t0 = env._now if tracer is not None else 0.0
             if data_ready is not None and data_ready._value is PENDING:
                 # Pipelined data transfer: the header leaves only once the
                 # line data has begun streaming into the data buffer.
                 yield data_ready
+            if tracer is not None and env._now > t0:
+                # Waiting for the data source is not network time; it shows
+                # on the timeline but charges no component.
+                tracer.net_span(self.node_id, "data_wait", message,
+                                t0, env._now, charge=False)
+                t0 = env._now
             yield timeout(ni_outbound)
+            if tracer is not None:
+                tracer.net_span(self.node_id, "ni_out", message, t0, env._now)
             faults = network.faults
             if faults is not None:
                 # Delay spikes live on the serial outbound link (not in
@@ -99,13 +110,19 @@ class NetworkPort:
         yield self._wire.put(bounce)
 
     def _inbound(self):
-        timeout = self._network.env.timeout
+        env = self._network.env
+        timeout = env.timeout
         get = self._wire.get
         put = self.in_queue.put
         ni_inbound = self._ni_inbound
+        network = self._network
         while True:
             message = yield get()
+            tracer = network.tracer
+            t0 = env._now if tracer is not None else 0.0
             yield timeout(ni_inbound)
+            if tracer is not None:
+                tracer.net_span(self.node_id, "ni_in", message, t0, env._now)
             # A full incoming queue backs subsequent traffic up into the
             # network (this put blocks the inbound path).
             yield put(message)
@@ -125,6 +142,7 @@ class Network:
         self.peak_in_flight = 0
         self._in_flight = 0
         self.faults = None  # FaultInjector (repro.faults), attached by the Machine
+        self.tracer = None  # Tracer (repro.stats.trace), attached by the Machine
 
     def port(self, node_id: int) -> NetworkPort:
         return self.ports[node_id]
@@ -138,6 +156,13 @@ class Network:
         self.env.process(self._transit(message), name="net.transit")
 
     def _transit(self, message: Message):
+        tracer = self.tracer
+        t0 = self.env._now if tracer is not None else 0.0
         yield self.env.timeout(self.transit_cycles)
         self._in_flight -= 1
+        if tracer is not None:
+            # Attributed to the destination node's timeline (the hop "ends"
+            # there); the component charge is node-agnostic either way.
+            tracer.net_span(message.dst, "transit", message, t0,
+                            self.env._now)
         yield self.ports[message.dst]._wire.put(message)

@@ -42,7 +42,8 @@ class Node:
         self.node_id = node_id
         self.config = config
         self.stats = NodeStats()
-        self.memory = MemoryController(env, config, name=f"mem[{node_id}]")
+        self.memory = MemoryController(env, config, name=f"mem[{node_id}]",
+                                       node_id=node_id)
         self.directory = Directory(
             node_id, config.memory_bytes_per_node, config.directory_links_per_node
         )

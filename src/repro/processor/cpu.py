@@ -84,6 +84,7 @@ class CPU:
         controller.set_cpu_deliver(self.deliver)
         controller.set_cache_busy(self.note_cache_busy)
         self.transfers = getattr(controller, "transfers", None)
+        self.tracer = None  # Tracer (repro.stats.trace), attached by the Machine
         self._done = Event(env)
 
     # -- controller-facing callbacks --------------------------------------------
@@ -113,6 +114,8 @@ class CPU:
         """A reply crossed the processor bus: fill the cache, retire the
         MSHR, and wake any stalled references."""
         line = message.line_addr
+        if self.tracer is not None:
+            self.tracer.txn_retire(self.node_id, line, self.env.now)
         entry = self.mshrs.complete(line)
         state = CacheState.SHARED if message.mtype == MT.PUT else CacheState.DIRTY
         victim = self.cache.fill(line, state)
@@ -310,6 +313,8 @@ class CPU:
 
     def _read_miss(self, line: int):
         start = self.env.now
+        if self.tracer is not None:
+            self.tracer.txn_issue(self.node_id, line, False, start)
         while self.mshrs.is_full:
             yield self._any_completion()
         entry = self.mshrs.allocate(line, False, self.env.now)
@@ -324,6 +329,8 @@ class CPU:
 
     def _write_miss(self, line: int, state: str):
         start = self.env.now
+        if self.tracer is not None:
+            self.tracer.txn_issue(self.node_id, line, True, start)
         # A write to a line that maps to the same index as, but a different
         # tag than, an outstanding miss stalls the processor.
         while self.mshrs.index_conflict(line):
@@ -349,6 +356,8 @@ class CPU:
         state = self.cache.state_of(line)
         if state == CacheState.DIRTY:
             return
+        if self.tracer is not None:
+            self.tracer.txn_issue(self.node_id, line, True, self.env.now)
         self.mshrs.allocate(line, True, self.env.now)
         mtype = MT.UPGRADE if state == CacheState.SHARED else MT.GETX
         message = Message(mtype, line, self.node_id, self.node_id,

@@ -139,6 +139,10 @@ class NodeProtocolEngine:
         # Optional fault injector (repro.faults), attached by the Machine;
         # consulted only when a BOUNCE arrives, so clean runs never touch it.
         self.faults = None
+        # Optional tracer (repro.stats.trace), attached by the Machine; told
+        # the class of every classified read miss so the latency
+        # decomposition can bucket transactions like Table 4.1 does.
+        self.tracer = None
         # Counters.
         self.miss_classes: Dict[str, int] = {cls: 0 for cls in MissClass.ALL}
         self.messages_processed = 0
@@ -249,6 +253,8 @@ class NodeProtocolEngine:
             # sitting in the PI queue: defer until the state settles.
             entry.deferred.append(msg)
             self.deferred_count += 1
+            if self.tracer is not None:
+                self.tracer.deferred(self.node_id, msg)
             return [Action(Handler.DEFERRED, msg, deferred=True)]
         is_read = msg.mtype in (MT.GET, MT.REMOTE_GET)
         if is_read:
@@ -264,6 +270,8 @@ class NodeProtocolEngine:
         self.miss_classes[cls] += 1
         if self.monitor is not None:
             self.monitor.note_miss(cls, line, msg.requester)
+        if self.tracer is not None:
+            self.tracer.classify(msg.requester, line, cls)
         if not entry.dirty:
             # Clean (or uncached): data comes from local memory.
             added, addrs = self.directory.add_sharer(line, msg.requester)

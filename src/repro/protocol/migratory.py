@@ -127,6 +127,8 @@ class MigratoryProtocolEngine(NodeProtocolEngine):
         self.upgrades_saved += 1
         cls = self._classify_read(msg, entry.dirty, entry.owner)
         self.miss_classes[cls] += 1
+        if self.tracer is not None:
+            self.tracer.classify(msg.requester, line, cls)
         # Record the hand-off as a completed migratory step.
         history = self._hist(line)
         history.last_reader = msg.requester

@@ -341,6 +341,10 @@ class Environment:
         # attached watchdog routes run() through the instrumented loop.
         self._queues: List[Any] = []
         self._watchdog = None
+        # Observability anchor (repro.stats.trace): the Machine parks its
+        # Tracer here so stall diagnosis can attach the trace tail of the
+        # oldest in-flight transactions.  The run loop never consults it.
+        self._tracer = None
 
     @property
     def now(self) -> float:

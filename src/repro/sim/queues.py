@@ -15,12 +15,23 @@ call-based form.
 
 from __future__ import annotations
 
+import re
 from collections import deque
 from typing import Any, Deque, Optional
 
 from .engine import PENDING, Environment, Event, SimulationError
 
-__all__ = ["BoundedQueue", "CountingResource"]
+__all__ = ["BoundedQueue", "CountingResource", "node_of_queue"]
+
+_NODE_SUFFIX = re.compile(r"\[(\d+)\]")
+
+
+def node_of_queue(queue) -> Optional[int]:
+    """Owning node id parsed from a queue/resource name (``pi.in[3]`` -> 3);
+    None for machine-global queues.  Used by stall diagnosis and the
+    time-series sampler — never on the put/get hot path."""
+    match = _NODE_SUFFIX.search(queue.name or "")
+    return int(match.group(1)) if match is not None else None
 
 
 class BoundedQueue:

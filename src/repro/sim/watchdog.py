@@ -74,6 +74,9 @@ class StallDiagnosis:
     #: Per node: the oldest (lowest-uid) message sitting in any of its
     #: queues — usually the transaction the machine is wedged on.
     oldest_messages: List[Dict[str, Any]] = field(default_factory=list)
+    #: When the stalled run was traced (``env._tracer`` attached): the
+    #: oldest in-flight transactions with their recent span tails.
+    trace_tail: List[Dict[str, Any]] = field(default_factory=list)
     artifact_path: Optional[str] = None
 
     @property
@@ -96,6 +99,7 @@ class StallDiagnosis:
             "queues": self.queues,
             "wait_edges": self.wait_edges,
             "oldest_messages": self.oldest_messages,
+            "trace_tail": self.trace_tail,
         }
 
     def render(self) -> str:
@@ -114,6 +118,12 @@ class StallDiagnosis:
             lines.append(
                 f"  node {entry['node']}: oldest in-flight message "
                 f"{entry['message']} (uid={entry['uid']}, in {entry['queue']})")
+        for txn in self.trace_tail:
+            lines.append(
+                f"  traced txn: node {txn['node']} {txn['kind']} "
+                f"{txn['line']} (age {txn['age']:g} cycles)")
+            for label in txn.get("tail", ()):
+                lines.append(f"    {label}")
         if self.artifact_path:
             lines.append(f"  full diagnosis written to {self.artifact_path}")
         return "\n".join(lines)
@@ -200,6 +210,9 @@ def diagnose(env: Environment, reason: str, events_dispatched: int = 0,
     diagnosis.oldest_messages = [
         oldest_per_node[node] for node in sorted(oldest_per_node)
     ]
+    tracer = getattr(env, "_tracer", None)
+    if tracer is not None:
+        diagnosis.trace_tail = tracer.in_flight_tail()
     return diagnosis
 
 
@@ -322,6 +335,13 @@ class Watchdog:
                 path = os.path.join(directory, f"{base}-{suffix}.json")
             with open(path, "w") as fh:
                 json.dump(diagnosis.to_dict(), fh, indent=2, sort_keys=True)
+            tracer = getattr(self.env, "_tracer", None)
+            if tracer is not None:
+                # A traced stall also dumps the Chrome trace next to the
+                # diagnosis, so "why is it wedged" opens in a timeline.
+                trace_path = path[:-5] + "-trace.json"
+                with open(trace_path, "w") as fh:
+                    json.dump(tracer.to_trace_events(), fh)
             return path
         except OSError:  # diagnosis must never mask the stall itself
             return None

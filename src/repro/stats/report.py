@@ -55,6 +55,15 @@ class RunResult:
     #: Optional Table 5.2 totals, attached only for emulator-backend runs.
     pp_dynamic: Optional[Dict[str, float]] = None
 
+    #: Class-level defaults for attributes set conditionally: deserialized
+    #: or stripped-down results fall back to None instead of AttributeError.
+    cache_totals: Optional[Dict[str, int]] = None
+    fault_counters: Optional[Dict[str, int]] = None
+    #: Per-miss-class latency decomposition (``Tracer.decomposition()``);
+    #: present — and serialized — only for traced runs, so untraced results
+    #: (including the golden-hash matrix) are byte-identical to the seed.
+    latency_decomposition: Optional[Dict[str, Any]] = None
+
     def __init__(self, machine, execution_time: float):
         config = machine.config
         self.kind = config.kind
@@ -104,6 +113,10 @@ class RunResult:
             n.stats.pp_handler_cycles for n in machine.nodes
         )
         self.network_messages = machine.network.messages_sent
+        # Latency decomposition (traced runs only; see repro.stats.trace).
+        tracer = getattr(machine, "tracer", None)
+        if tracer is not None:
+            self.latency_decomposition = tracer.decomposition()
 
     # -- serialization ------------------------------------------------------------
 
@@ -112,6 +125,10 @@ class RunResult:
         for name in self._PLAIN_FIELDS:
             state[name] = getattr(self, name)
         state["cpu_times"] = [times.to_state() for times in self.cpu_times]
+        if self.latency_decomposition is not None:
+            # Only traced runs carry (and serialize) a decomposition, so the
+            # canonical JSON of untraced runs is unchanged.
+            state["latency_decomposition"] = self.latency_decomposition
         return state
 
     @classmethod
@@ -125,6 +142,9 @@ class RunResult:
         for name in cls._PLAIN_FIELDS:
             setattr(result, name, state[name])
         result.cpu_times = [CpuTimes.from_state(s) for s in state["cpu_times"]]
+        decomposition = state.get("latency_decomposition")
+        if decomposition is not None:
+            result.latency_decomposition = decomposition
         return result
 
     def to_json(self) -> str:

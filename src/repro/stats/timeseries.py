@@ -1,0 +1,90 @@
+"""Windowed time-series sampling of occupancies and queue depths.
+
+The paper's Section 4.3 hot-spot analysis needs occupancy *over time*, not
+just the end-of-run average: a home node that saturates for one phase of
+Ocean looks unremarkable in the aggregate.  :class:`TimeseriesSampler` is a
+pure-observer simulation process: every ``interval`` cycles it snapshots the
+per-node ``pp_busy`` / memory ``busy_cycles`` deltas (giving windowed
+occupancy in [0, 1]) and the total bounded-queue depth per node, and appends
+the row to the owning :class:`~repro.stats.trace.Tracer`.
+
+The sampler only reads counters and schedules its own timeouts, so simulated
+results are byte-identical with or without it (asserted by the trace test
+suite).  It exits when the workload's completion event fires — the machine
+runs the environment until the schedule drains, so an unconditional loop
+would keep the run alive forever.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from ..sim.queues import BoundedQueue, node_of_queue
+
+__all__ = ["TimeseriesSampler", "DEFAULT_SAMPLE_INTERVAL", "hot_windows"]
+
+#: Default sampling interval in cycles (~1000 windows on a typical app run).
+DEFAULT_SAMPLE_INTERVAL = 2048.0
+
+
+class TimeseriesSampler:
+    """Samples one machine's occupancies into ``tracer.timeseries``."""
+
+    def __init__(self, machine, tracer, interval: float = None):
+        self.machine = machine
+        self.tracer = tracer
+        self.interval = float(
+            interval if interval is not None
+            else tracer.sample_interval or DEFAULT_SAMPLE_INTERVAL)
+
+    def process(self, finished):
+        """The sampling process; ``finished`` is the workload's completion
+        event (sampling stops at the first wake-up after it fires)."""
+        machine = self.machine
+        env = machine.env
+        interval = self.interval
+        nodes = machine.nodes
+        n = len(nodes)
+        last_pp = [0.0] * n
+        last_mem = [0.0] * n
+        # Bounded queues grouped by owning node (name-derived, fixed set).
+        per_node_queues: List[List[BoundedQueue]] = [[] for _ in range(n)]
+        for queue in env._queues:
+            if not isinstance(queue, BoundedQueue):
+                continue
+            node = node_of_queue(queue)
+            if node is not None and node < n:
+                per_node_queues[node].append(queue)
+        while not finished.triggered:
+            yield env.timeout(interval)
+            now = env._now
+            pp_occ = []
+            mem_occ = []
+            depths = []
+            for index, node in enumerate(nodes):
+                pp = node.stats.pp_busy
+                mem = node.memory.busy_cycles
+                pp_occ.append((pp - last_pp[index]) / interval)
+                mem_occ.append((mem - last_mem[index]) / interval)
+                last_pp[index] = pp
+                last_mem[index] = mem
+                depths.append(sum(len(q) for q in per_node_queues[index]))
+            self.tracer.sample(now, pp_occ, mem_occ, depths)
+
+
+def hot_windows(tracer, top: int = 3) -> Dict[str, List[Dict[str, Any]]]:
+    """The hottest sampled windows per metric — the Section 4.3 question
+    ("which home saturated, and when?") as data.  Returns up to ``top``
+    ``{"t", "node", "value"}`` rows per metric, hottest first."""
+    ranked: Dict[str, List[Dict[str, Any]]] = {}
+    for key, column in (("pp_occupancy", 1), ("memory_occupancy", 2),
+                        ("queue_depth", 3)):
+        rows = []
+        for sample in tracer.timeseries:
+            ts = sample[0]
+            for node, value in enumerate(sample[column]):
+                if value > 0:
+                    rows.append({"t": ts, "node": node, "value": value})
+        rows.sort(key=lambda r: (-r["value"], r["t"], r["node"]))
+        ranked[key] = rows[:top]
+    return ranked

@@ -1,0 +1,541 @@
+"""Transaction-level tracing and latency decomposition.
+
+The paper's central quantities — PP occupancy, memory occupancy, network
+latency (Tables 4.1/4.2, the Section 4.3 hot-spot study) — are end-of-run
+aggregates.  :class:`Tracer` records *where inside each miss* that time went:
+every component hooks the tracer with a ``tracer is None``-gated call, so a
+traced run produces per-transaction lifecycle spans (issue → inbox → queue
+wait → PP handler → memory → outbox → network hops → retire) and an untraced
+run executes exactly the seed code path (the golden-hash matrix stays
+byte-identical).
+
+Three consumers sit on top:
+
+* **Latency decomposition** — per read-miss-class (and write) sums of the
+  queue-wait / PP / memory / network cycles charged to each transaction,
+  with log2 latency histograms.  Component totals mirror the aggregate
+  counters exactly: every ``stats.pp_busy +=`` site emits a matching
+  ``pp_span``, every served memory request a ``memory_span`` of
+  ``busy_cycles_per_access``, so the machine-wide sums reconcile with
+  ``RunResult.pp_occupancy`` / ``memory_occupancy`` to float rounding.
+* **Chrome ``trace_event`` export** — :meth:`Tracer.to_trace_events` emits
+  complete ("X") events (pid = node, tid = component) plus counter ("C")
+  events from the windowed time series, loadable in ``chrome://tracing`` or
+  Perfetto.  Raw message uids never appear in the export (the uid counter is
+  process-global, so uids differ between two runs in one process; everything
+  exported is a pure function of the run).
+* **Stall diagnosis** — :meth:`Tracer.in_flight_tail` summarizes the oldest
+  in-flight transactions (with their recent span tails) for the watchdog's
+  :class:`~repro.sim.watchdog.StallDiagnosis`.
+
+Transactions are keyed ``(requester, line_addr)``: the MSHR file allows one
+outstanding miss per line per node, and every protocol message carries both
+fields, so no transaction id needs threading through
+:class:`~repro.protocol.messages.Message`.  Span memory is ring-buffer
+bounded (``REPRO_TRACE=on`` or ``buf=N,nodes=...,sample=T``); aggregates are
+exact regardless of buffer size.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..protocol.coherence import MissClass
+
+__all__ = [
+    "Tracer", "parse_trace_spec", "validate_trace_events",
+    "render_decomposition", "COMPONENTS", "DEFAULT_BUFFER_SPANS",
+]
+
+#: Latency components, in presentation order.
+COMPONENTS = ("queue", "pp", "memory", "network")
+
+#: Default ring-buffer capacity (spans); aggregates are unaffected by it.
+DEFAULT_BUFFER_SPANS = 200_000
+
+#: Decomposition rows beyond the read-miss classes.
+WRITE_CLASS = "write"
+
+#: Chrome trace_event tids per node (one "thread" per pipeline stage).
+_TRACK_IDS = {
+    "cpu": 0, "inbox": 1, "pp": 2, "memory": 3, "net": 4, "pi": 5,
+}
+
+#: Recent span labels kept per in-flight transaction for stall diagnosis.
+_TAIL_SPANS = 6
+
+
+def parse_trace_spec(raw: Optional[str]):
+    """Parse a ``REPRO_TRACE``-style value: unset/off-ish disables (None);
+    ``on`` uses defaults; otherwise ``buf=N,nodes=0+3,sample=T`` tunes the
+    ring buffer, the span node filter (``+``-separated ids or ``a-b``
+    ranges), and the time-series sampling interval (cycles)."""
+    if raw is None:
+        return None
+    raw = raw.strip().lower()
+    if raw in ("", "0", "off", "no", "false"):
+        return None
+    if raw in ("1", "on", "yes", "true", "default"):
+        return {"buf": DEFAULT_BUFFER_SPANS, "nodes": None, "sample": None}
+    spec: Dict[str, Any] = {"buf": DEFAULT_BUFFER_SPANS, "nodes": None,
+                            "sample": None}
+    for part in raw.split(","):
+        key, _, value = part.partition("=")
+        key = key.strip()
+        value = value.strip()
+        if key == "buf":
+            spec["buf"] = int(value)
+        elif key == "nodes":
+            spec["nodes"] = parse_nodes(value)
+        elif key == "sample":
+            spec["sample"] = float(value)
+        else:
+            raise ValueError(
+                f"REPRO_TRACE: unknown key {key!r} "
+                "(expected buf, nodes, sample)")
+    return spec
+
+
+def parse_nodes(text: str) -> List[int]:
+    """``"0+3+7"`` or ``"0-3"`` (inclusive range) -> sorted node ids."""
+    nodes = set()
+    for token in text.split("+"):
+        token = token.strip()
+        if not token:
+            continue
+        lo, dash, hi = token.partition("-")
+        if dash:
+            nodes.update(range(int(lo), int(hi) + 1))
+        else:
+            nodes.add(int(token))
+    if not nodes:
+        raise ValueError(f"REPRO_TRACE: empty node filter {text!r}")
+    return sorted(nodes)
+
+
+class _Txn:
+    """One in-flight miss transaction."""
+
+    __slots__ = ("node", "line", "is_write", "start", "cls", "comp", "tail")
+
+    def __init__(self, node: int, line: int, is_write: bool, start: float):
+        self.node = node
+        self.line = line
+        self.is_write = is_write
+        self.start = start
+        self.cls: Optional[str] = None   # read-miss class, set by the home
+        self.comp = {c: 0.0 for c in COMPONENTS}
+        self.tail: deque = deque(maxlen=_TAIL_SPANS)
+
+
+class _ClassAgg:
+    """Aggregate decomposition for one miss class."""
+
+    __slots__ = ("count", "latency", "comp", "hist")
+
+    def __init__(self):
+        self.count = 0
+        self.latency = 0.0
+        self.comp = {c: 0.0 for c in COMPONENTS}
+        self.hist: Dict[int, int] = {}   # upper-power-of-two latency buckets
+
+
+def _hist_bucket(latency: float) -> int:
+    n = max(1, int(latency))
+    return 1 << (n - 1).bit_length()
+
+
+class Tracer:
+    """Per-run trace collector.  One instance per :class:`~repro.machine.Machine`;
+    the machine attaches it to every component (``component.tracer = self``)
+    and to ``env._tracer`` for watchdog pickup.
+
+    All hook methods are only ever reached behind a ``tracer is not None``
+    check at the call site, so a machine built without a tracer pays nothing.
+    """
+
+    def __init__(self, buffer_spans: int = DEFAULT_BUFFER_SPANS,
+                 nodes: Optional[Iterable[int]] = None,
+                 sample_interval: Optional[float] = None):
+        self.env = None                     # attached by the Machine
+        self.buffer_spans = buffer_spans
+        self.node_filter = frozenset(nodes) if nodes is not None else None
+        self.sample_interval = sample_interval
+        #: Ring buffer of (t0, dur, node, track, name, args) span tuples.
+        self.spans: deque = deque(maxlen=buffer_spans or None)
+        self.spans_dropped = 0
+        self._active: Dict[Tuple[int, int], _Txn] = {}
+        self._classes: Dict[str, _ClassAgg] = {}
+        #: Component cycles charged to transactions no longer (or never)
+        #: tracked: transfer handlers, writebacks, evictions, MDC traffic.
+        self.untracked = {c: 0.0 for c in COMPONENTS}
+        #: Machine-wide component cycles (tracked + untracked + in-flight);
+        #: this is what reconciles against the aggregate occupancies.
+        self.totals = {c: 0.0 for c in COMPONENTS}
+        self.txns_started = 0
+        self.txns_retired = 0
+        self._pp_enqueue: Dict[int, float] = {}   # message uid -> enqueue ts
+        #: (t, [pp_occ per node], [mem_occ per node], [queue depth per node])
+        self.timeseries: List[Tuple] = []
+
+    @classmethod
+    def from_spec(cls, spec) -> "Tracer":
+        """Build from ``parse_trace_spec`` output (or ``True`` for defaults)."""
+        if spec is True or spec is None:
+            return cls()
+        return cls(buffer_spans=spec.get("buf", DEFAULT_BUFFER_SPANS),
+                   nodes=spec.get("nodes"),
+                   sample_interval=spec.get("sample"))
+
+    # -- span recording ----------------------------------------------------------
+
+    def _span(self, node: int, track: str, name: str, t0: float, t1: float,
+              msg=None) -> None:
+        if msg is not None:
+            args = (msg.mtype, msg.line_addr, msg.requester)
+            txn = self._active.get((msg.requester, msg.line_addr))
+            if txn is not None:
+                txn.tail.append((t1, f"{track}:{name}@node{node}"))
+        else:
+            args = None
+        if self.node_filter is not None and node not in self.node_filter:
+            return
+        spans = self.spans
+        if spans.maxlen is not None and len(spans) == spans.maxlen:
+            self.spans_dropped += 1
+        spans.append((t0, t1 - t0, node, track, name, args))
+
+    def _charge(self, component: str, requester, line, cycles: float) -> None:
+        if cycles <= 0.0:
+            return
+        self.totals[component] += cycles
+        txn = self._active.get((requester, line))
+        if txn is not None:
+            txn.comp[component] += cycles
+        else:
+            self.untracked[component] += cycles
+
+    # -- transaction lifecycle (CPU side) ---------------------------------------
+
+    def txn_issue(self, node: int, line: int, is_write: bool, ts: float) -> None:
+        self.txns_started += 1
+        txn = _Txn(node, line, is_write, ts)
+        txn.tail.append((ts, f"issue@node{node}"))
+        self._active[(node, line)] = txn
+        if self.node_filter is None or node in self.node_filter:
+            name = "issue:GETX" if is_write else "issue:GET"
+            spans = self.spans
+            if spans.maxlen is not None and len(spans) == spans.maxlen:
+                self.spans_dropped += 1
+            spans.append((ts, 0.0, node, "cpu", name, (None, line, node)))
+
+    def txn_retire(self, node: int, line: int, ts: float) -> None:
+        txn = self._active.pop((node, line), None)
+        if txn is None:
+            return   # e.g. a replayed grant for an already-retired miss
+        self.txns_retired += 1
+        cls = txn.cls if txn.cls is not None else (
+            WRITE_CLASS if txn.is_write else "read_unclassified")
+        agg = self._classes.get(cls)
+        if agg is None:
+            agg = self._classes[cls] = _ClassAgg()
+        latency = ts - txn.start
+        agg.count += 1
+        agg.latency += latency
+        bucket = _hist_bucket(latency)
+        agg.hist[bucket] = agg.hist.get(bucket, 0) + 1
+        comp = agg.comp
+        for key, value in txn.comp.items():
+            comp[key] += value
+        if self.node_filter is None or node in self.node_filter:
+            spans = self.spans
+            if spans.maxlen is not None and len(spans) == spans.maxlen:
+                self.spans_dropped += 1
+            spans.append((txn.start, latency, node, "cpu",
+                          f"miss:{cls}", (None, line, node)))
+
+    def classify(self, requester: int, line: int, cls: str) -> None:
+        """The home classified a read miss (Table 4.1 classes); writes keep
+        their own row.  A NAK-replayed request may classify again — the
+        latest classification wins, matching what actually served the miss."""
+        txn = self._active.get((requester, line))
+        if txn is not None and not txn.is_write:
+            txn.cls = cls
+
+    # -- MAGIC / ideal controller -------------------------------------------------
+
+    def inbox_span(self, node: int, msg, t0: float, t1: float) -> None:
+        self._span(node, "inbox", msg.mtype, t0, t1, msg)
+
+    def pp_enqueue(self, uid: int, ts: float) -> None:
+        self._pp_enqueue[uid] = ts
+
+    def pp_dequeue(self, node: int, msg, ts: float) -> None:
+        t0 = self._pp_enqueue.pop(msg.uid, None)
+        if t0 is not None and ts > t0:
+            self._charge("queue", msg.requester, msg.line_addr, ts - t0)
+            self._span(node, "pp", "queue_wait", t0, ts, msg)
+
+    def pp_span(self, node: int, handler: str, msg, t0: float, t1: float) -> None:
+        """Mirrors one ``stats.pp_busy +=`` site exactly."""
+        self._charge("pp", msg.requester, msg.line_addr, t1 - t0)
+        self._span(node, "pp", handler, t0, t1, msg)
+
+    def pi_out_span(self, node: int, msg, t0: float, t1: float) -> None:
+        self._span(node, "pi", msg.mtype, t0, t1, msg)
+
+    def deferred(self, node: int, msg) -> None:
+        ts = self.env._now if self.env is not None else 0.0
+        self._span(node, "pp", "deferred", ts, ts, msg)
+
+    # -- memory ------------------------------------------------------------------
+
+    def memory_span(self, node: int, request, t0: float, t1: float,
+                    busy: float) -> None:
+        """One served request: ``busy`` mirrors the controller's
+        ``busy_cycles += busy_cycles_per_access``; time between submit and
+        service start is queue wait."""
+        ctx = request.trace_ctx
+        requester, line = ctx if ctx is not None else (None, None)
+        self._charge("memory", requester, line, busy)
+        wait = t0 - request.trace_submit
+        if wait > 0.0:
+            self._charge("queue", requester, line, wait)
+        if self.node_filter is None or node in self.node_filter:
+            name = "read" if request.is_read else "write"
+            spans = self.spans
+            if spans.maxlen is not None and len(spans) == spans.maxlen:
+                self.spans_dropped += 1
+            spans.append((t0, t1 - t0, node, "memory", name,
+                          (None, request.line_addr, requester)))
+
+    # -- network -----------------------------------------------------------------
+
+    def net_span(self, node: int, name: str, msg, t0: float, t1: float,
+                 charge: bool = True) -> None:
+        if charge:
+            self._charge("network", msg.requester, msg.line_addr, t1 - t0)
+        self._span(node, "net", name, t0, t1, msg)
+
+    # -- time series ---------------------------------------------------------------
+
+    def sample(self, ts: float, pp_occ: Sequence[float],
+               mem_occ: Sequence[float], depths: Sequence[int]) -> None:
+        self.timeseries.append((ts, list(pp_occ), list(mem_occ), list(depths)))
+
+    # -- outputs -------------------------------------------------------------------
+
+    def decomposition(self) -> Dict[str, Any]:
+        """JSON-able latency decomposition: per-class counts, mean latency,
+        component sums, log2 histograms, plus the untracked / in-flight
+        remainders and machine-wide totals."""
+        classes: Dict[str, Any] = {}
+        for cls in sorted(self._classes):
+            agg = self._classes[cls]
+            classes[cls] = {
+                "count": agg.count,
+                "latency_total": agg.latency,
+                "latency_mean": agg.latency / agg.count if agg.count else 0.0,
+                "components": {c: agg.comp[c] for c in COMPONENTS},
+                "latency_hist": {str(k): v
+                                 for k, v in sorted(agg.hist.items())},
+            }
+        in_flight = {c: 0.0 for c in COMPONENTS}
+        for txn in self._active.values():
+            for key, value in txn.comp.items():
+                in_flight[key] += value
+        return {
+            "classes": classes,
+            "untracked": dict(self.untracked),
+            "in_flight": in_flight,
+            "totals": dict(self.totals),
+            "txns": {"started": self.txns_started,
+                     "retired": self.txns_retired,
+                     "in_flight": len(self._active)},
+            "spans": {"recorded": len(self.spans),
+                      "dropped": self.spans_dropped},
+        }
+
+    def in_flight_tail(self, limit: int = 4) -> List[Dict[str, Any]]:
+        """The oldest in-flight transactions with their recent span tails —
+        attached to :class:`~repro.sim.watchdog.StallDiagnosis` when a traced
+        run stalls."""
+        now = self.env._now if self.env is not None else 0.0
+        oldest = sorted(self._active.values(), key=lambda t: (t.start, t.node))
+        return [
+            {
+                "node": txn.node,
+                "line": f"{txn.line:#x}",
+                "kind": "write" if txn.is_write else "read",
+                "class": txn.cls,
+                "age": now - txn.start,
+                "tail": [f"t={ts:g} {label}" for ts, label in txn.tail],
+            }
+            for txn in oldest[:limit]
+        ]
+
+    def to_trace_events(self, categories: Optional[Iterable[str]] = None,
+                        nodes: Optional[Iterable[int]] = None
+                        ) -> Dict[str, Any]:
+        """Chrome ``trace_event`` JSON (the ``{"traceEvents": [...]}`` dict
+        form): one process per node, one thread per pipeline stage, counter
+        tracks from the time series.  Deterministic for a given run — no
+        wall-clock, no process-global ids."""
+        cat_filter = frozenset(categories) if categories else None
+        node_filter = frozenset(nodes) if nodes else None
+        events: List[Dict[str, Any]] = []
+        seen: set = set()
+        for t0, dur, node, track, name, args in self.spans:
+            if cat_filter is not None and track not in cat_filter:
+                continue
+            if node_filter is not None and node not in node_filter:
+                continue
+            seen.add((node, track))
+            event = {
+                "name": name, "cat": track, "ph": "X",
+                "ts": t0, "dur": dur,
+                "pid": node, "tid": _TRACK_IDS[track],
+            }
+            if args is not None:
+                mtype, line, requester = args
+                arg_map: Dict[str, Any] = {"line": f"{line:#x}"}
+                if mtype is not None:
+                    arg_map["type"] = mtype
+                if requester is not None:
+                    arg_map["requester"] = requester
+                event["args"] = arg_map
+            events.append(event)
+        for ts, pp_occ, mem_occ, depths in self.timeseries:
+            for node, value in enumerate(pp_occ):
+                if node_filter is not None and node not in node_filter:
+                    continue
+                events.append({"name": "pp_occupancy", "ph": "C", "ts": ts,
+                               "pid": node, "tid": 0,
+                               "args": {"busy": value}})
+                events.append({"name": "memory_occupancy", "ph": "C",
+                               "ts": ts, "pid": node, "tid": 0,
+                               "args": {"busy": mem_occ[node]}})
+                events.append({"name": "queue_depth", "ph": "C", "ts": ts,
+                               "pid": node, "tid": 0,
+                               "args": {"depth": depths[node]}})
+                seen.add((node, "cpu"))
+        metadata: List[Dict[str, Any]] = []
+        for node in sorted({node for node, _ in seen}):
+            metadata.append({"name": "process_name", "ph": "M", "pid": node,
+                             "tid": 0, "args": {"name": f"node {node}"}})
+        for node, track in sorted(seen):
+            metadata.append({"name": "thread_name", "ph": "M", "pid": node,
+                             "tid": _TRACK_IDS[track],
+                             "args": {"name": track}})
+        return {
+            "traceEvents": metadata + events,
+            "displayTimeUnit": "ns",
+            "otherData": {"generator": "repro.stats.trace",
+                          "clock": "10ns system cycles"},
+        }
+
+
+# ---------------------------------------------------------------------------
+# trace_event schema validation (CI smoke; keeps the export loadable)
+# ---------------------------------------------------------------------------
+
+_VALID_PHASES = frozenset("XBEiICM")
+
+
+def validate_trace_events(payload: Any) -> int:
+    """Validate the dict/JSON form against the Chrome ``trace_event``
+    contract this module emits (the subset every viewer accepts).  Returns
+    the event count; raises ``ValueError`` on the first violation."""
+    if not isinstance(payload, dict) or "traceEvents" not in payload:
+        raise ValueError("payload must be a dict with a 'traceEvents' list")
+    events = payload["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("'traceEvents' must be a list")
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            raise ValueError(f"{where}: not an object")
+        phase = event.get("ph")
+        if phase not in _VALID_PHASES:
+            raise ValueError(f"{where}: bad phase {phase!r}")
+        if not isinstance(event.get("name"), str):
+            raise ValueError(f"{where}: missing/non-string name")
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                raise ValueError(f"{where}: missing/non-integer {key}")
+        if phase == "M":
+            continue
+        if not isinstance(event.get("ts"), (int, float)):
+            raise ValueError(f"{where}: missing/non-numeric ts")
+        if phase == "X":
+            duration = event.get("dur")
+            if not isinstance(duration, (int, float)) or duration < 0:
+                raise ValueError(f"{where}: X event needs dur >= 0")
+        if phase == "C":
+            args = event.get("args")
+            if not isinstance(args, dict) or not args or not all(
+                    isinstance(v, (int, float)) for v in args.values()):
+                raise ValueError(f"{where}: C event needs numeric args")
+    return len(events)
+
+
+# ---------------------------------------------------------------------------
+# Summary rendering (``python -m repro.harness trace --summary``)
+# ---------------------------------------------------------------------------
+
+
+def render_decomposition(decomposition: Dict[str, Any],
+                         result=None, title: str = "latency decomposition"
+                         ) -> str:
+    """Per-class latency-decomposition table.  With ``result`` (a
+    :class:`~repro.stats.report.RunResult`) appended reconciliation lines
+    compare the traced component totals against the run's aggregate PP and
+    memory occupancies — they match to float rounding by construction."""
+    classes = decomposition["classes"]
+    order = [cls for cls in MissClass.ALL if cls in classes]
+    order += [cls for cls in sorted(classes) if cls not in order]
+    lines = [title, "=" * len(title)]
+    header = (f"{'class':<14} {'count':>7} {'avg lat':>9} "
+              + " ".join(f"{c:>9}" for c in COMPONENTS))
+    lines.append(header)
+    lines.append("-" * len(header))
+    totals_row = {c: 0.0 for c in COMPONENTS}
+    for cls in order:
+        entry = classes[cls]
+        comp = entry["components"]
+        for key in COMPONENTS:
+            totals_row[key] += comp[key]
+        count = entry["count"] or 1
+        lines.append(
+            f"{cls:<14} {entry['count']:>7} {entry['latency_mean']:>9.1f} "
+            + " ".join(f"{comp[c] / count:>9.1f}" for c in COMPONENTS))
+    untracked = decomposition["untracked"]
+    in_flight = decomposition["in_flight"]
+    lines.append("-" * len(header))
+    lines.append(f"{'tracked sum':<14} {'':>7} {'':>9} "
+                 + " ".join(f"{totals_row[c]:>9.0f}" for c in COMPONENTS))
+    lines.append(f"{'untracked':<14} {'':>7} {'':>9} "
+                 + " ".join(f"{untracked[c]:>9.0f}" for c in COMPONENTS))
+    if any(in_flight[c] for c in COMPONENTS):
+        lines.append(f"{'in flight':<14} {'':>7} {'':>9} "
+                     + " ".join(f"{in_flight[c]:>9.0f}" for c in COMPONENTS))
+    totals = decomposition["totals"]
+    lines.append(f"{'total':<14} {'':>7} {'':>9} "
+                 + " ".join(f"{totals[c]:>9.0f}" for c in COMPONENTS))
+    txns = decomposition["txns"]
+    spans = decomposition["spans"]
+    lines.append("")
+    lines.append(
+        f"transactions: {txns['started']} issued, {txns['retired']} retired, "
+        f"{txns['in_flight']} in flight; spans: {spans['recorded']} kept, "
+        f"{spans['dropped']} dropped (ring buffer)")
+    if result is not None:
+        elapsed = result.execution_time
+        agg_pp = sum(result.pp_occupancy) * elapsed
+        agg_mem = sum(result.memory_occupancy) * elapsed
+        lines.append(
+            f"reconciliation: PP {totals['pp']:.0f} traced vs "
+            f"{agg_pp:.0f} aggregate; memory {totals['memory']:.0f} traced "
+            f"vs {agg_mem:.0f} aggregate")
+    return "\n".join(lines)
