@@ -1,0 +1,173 @@
+"""Perf-history ledger: one JSONL record per perf_smoke run, keyed by git SHA.
+
+``perf_smoke.py`` appends raw measurements to ``BENCH_kernel.json`` and
+``BENCH_e2e.json``; this script folds the latest record of each into a
+single ``benchmarks/BENCH_history.jsonl`` line stamped with the current
+commit, then compares every throughput metric against the most recent
+prior entry that has it and exits nonzero when one regresses by more than
+the threshold (default 10 %).  CI runs it as a soft gate after the perf
+smoke steps and uploads the history as an artifact, so the bench
+trajectory accumulates commit over commit::
+
+    PYTHONPATH=src python benchmarks/perf_smoke.py
+    PYTHONPATH=src python benchmarks/perf_smoke.py --e2e
+    python benchmarks/history.py              # append + check
+    python benchmarks/history.py --check-only # check without appending
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from typing import Dict, List, Optional
+
+BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+KERNEL_FILE = os.path.join(BENCH_DIR, "BENCH_kernel.json")
+E2E_FILE = os.path.join(BENCH_DIR, "BENCH_e2e.json")
+HISTORY_FILE = os.path.join(BENCH_DIR, "BENCH_history.jsonl")
+
+#: Tracked metrics and which direction is better.
+METRICS: Dict[str, str] = {
+    "kernel_events_per_sec": "higher",
+    "references_per_sec": "higher",
+    "e2e_fft1k_seconds": "lower",
+    "sweep_seconds": "lower",
+}
+
+DEFAULT_THRESHOLD = 0.10
+
+
+def git_sha() -> str:
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"], capture_output=True, text=True,
+            cwd=BENCH_DIR, timeout=10)
+        if proc.returncode == 0:
+            return proc.stdout.strip()
+    except OSError:
+        pass
+    return "unknown"
+
+
+def latest_record(path: str) -> Optional[dict]:
+    """Last entry of a ``BENCH_*.json`` list file, or None."""
+    if not os.path.exists(path):
+        return None
+    try:
+        with open(path) as fh:
+            records = json.load(fh)
+    except ValueError:
+        return None
+    return records[-1] if records else None
+
+
+def build_record(sha: Optional[str] = None) -> dict:
+    """One history line: stamp + whatever tracked metrics the latest
+    perf_smoke records carry (a kernel-only CI run simply has no sweep
+    metrics; the regression check skips what is absent)."""
+    record = {
+        "sha": sha if sha is not None else git_sha(),
+        "utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+    }
+    for path in (KERNEL_FILE, E2E_FILE):
+        source = latest_record(path)
+        if source:
+            for metric in METRICS:
+                if metric in source:
+                    record[metric] = source[metric]
+    return record
+
+
+def load_history(path: str = HISTORY_FILE) -> List[dict]:
+    """All parseable history lines, oldest first (torn lines skipped)."""
+    records: List[dict] = []
+    if os.path.exists(path):
+        with open(path) as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except ValueError:
+                    continue
+    return records
+
+
+def append_record(record: dict, path: str = HISTORY_FILE) -> None:
+    with open(path, "a") as fh:
+        fh.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+def check_regressions(history: List[dict], record: dict,
+                      threshold: float = DEFAULT_THRESHOLD) -> List[str]:
+    """Compare ``record`` against the most recent prior entry carrying each
+    metric; return one message per metric whose *worsening* exceeds
+    ``threshold`` (improvements never flag)."""
+    flags: List[str] = []
+    for metric, direction in METRICS.items():
+        if metric not in record:
+            continue
+        baseline = None
+        for prior in reversed(history):
+            if metric in prior:
+                baseline = prior
+                break
+        if baseline is None:
+            continue
+        base = float(baseline[metric])
+        new = float(record[metric])
+        if base <= 0:
+            continue
+        change = (new - base) / base
+        worse = -change if direction == "higher" else change
+        if worse > threshold:
+            flags.append(
+                f"{metric}: {base:g} -> {new:g} ({change:+.1%};"
+                f" worse by {worse:.1%} > {threshold:.0%} threshold,"
+                f" baseline {baseline.get('sha', '?')[:12]})")
+    return flags
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="append the latest perf_smoke measurements to the"
+                    " perf-history ledger and flag throughput regressions")
+    parser.add_argument("--history", default=HISTORY_FILE, metavar="FILE",
+                        help=f"history ledger (default: {HISTORY_FILE})")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        metavar="R",
+                        help="relative worsening that flags a regression"
+                             " (default: 0.10)")
+    parser.add_argument("--check-only", action="store_true",
+                        help="compare without appending a new record")
+    args = parser.parse_args(argv)
+
+    record = build_record()
+    tracked = [m for m in METRICS if m in record]
+    if not tracked:
+        print("no perf_smoke records found (run benchmarks/perf_smoke.py"
+              " first); nothing to do", file=sys.stderr)
+        return 0
+    history = load_history(args.history)
+    flags = check_regressions(history, record, args.threshold)
+    if not args.check_only:
+        append_record(record, args.history)
+    print(json.dumps(record, sort_keys=True, indent=2))
+    action = "checked against" if args.check_only else "appended to"
+    print(f"{action} {args.history} ({len(history)} prior record(s))")
+    if flags:
+        for flag in flags:
+            print(f"REGRESSION {flag}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,6 +17,11 @@ app/machine combinations at the large regime) cold — no memo, no disk
 cache — and appends total wall clock plus aggregate references/second to
 ``benchmarks/BENCH_e2e.json``.  That is the headline end-to-end number the
 optimization PRs are judged on; expect it to take about a minute.
+
+After recording, ``benchmarks/history.py`` folds the latest measurements
+into the per-commit ledger ``BENCH_history.jsonl`` and flags >10 %
+throughput regressions against the previous entry (CI runs it as a soft
+gate).
 """
 
 from __future__ import annotations

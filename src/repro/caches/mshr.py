@@ -46,6 +46,7 @@ class MSHRFile:
     __slots__ = (
         "capacity", "_cache", "entries",
         "peak_outstanding", "total_allocations", "total_merges",
+        "full_stalls", "conflict_stalls",
     )
 
     def __init__(self, capacity: int, cache: SetAssocCache):
@@ -55,6 +56,10 @@ class MSHRFile:
         self.peak_outstanding = 0
         self.total_allocations = 0
         self.total_merges = 0
+        # Stall counters, incremented by the CPU when a reference actually
+        # blocks on a full file / an index conflict (Section 3.2).
+        self.full_stalls = 0
+        self.conflict_stalls = 0
 
     def __len__(self) -> int:
         return len(self.entries)

@@ -13,6 +13,10 @@ Usage::
     python -m repro.harness trace fft --summary  # latency decomposition table
     python -m repro.harness trace fft --out fft.json   # Chrome trace_event JSON
     python -m repro.harness faults fft           # slowdown vs injected-fault rate
+    python -m repro.harness summary fft --json   # RunResult.summary() scalars
+    python -m repro.harness compare fft --vs ideal --fast   # metric delta table
+    python -m repro.harness diff fft/flash fft/ideal --fast # same, explicit sides
+    python -m repro.harness diff old.json new.json --threshold 0.1  # regression gate
     python -m repro.harness clear                # wipe the on-disk result cache
 
 Results persist in ``.repro_cache/`` (disable with ``REPRO_CACHE=off``), so
@@ -29,7 +33,7 @@ import sys
 
 from ..common.params import flash_config, ideal_config
 from ..faults import FaultPlan
-from . import diskcache, runfarm
+from . import diskcache, envopts, runfarm
 from .experiments import (
     APP_ORDER, REGIMES, run_app, run_flash_ideal, slowdown,
 )
@@ -113,7 +117,7 @@ def cmd_profile(args) -> int:
     from . import experiments
     from ..stats.report import attribute_profile, render_profile
 
-    overrides = experiments.SMOKE_SIZES[args.app] if args.fast else None
+    overrides = envopts.smoke_overrides(args.app, args.fast)
     spec = experiments.normalize_spec(
         args.app, kind=args.kind, regime=args.regime, n_procs=args.procs,
         workload_overrides=overrides)
@@ -173,7 +177,7 @@ def cmd_trace(args) -> int:
         trace_spec["nodes"] = parse_nodes(args.nodes)
     if args.sample is not None:
         trace_spec["sample"] = args.sample
-    overrides = experiments.SMOKE_SIZES[args.app] if args.fast else None
+    overrides = envopts.smoke_overrides(args.app, args.fast)
     spec = experiments.normalize_spec(
         args.app, kind=args.kind, regime=args.regime, n_procs=args.procs,
         workload_overrides=overrides, trace=trace_spec or True)
@@ -243,12 +247,14 @@ def cmd_suite(args) -> int:
 def cmd_faults(args) -> int:
     """Robustness sweep: one app under increasing uniform fault rates."""
     rates = [float(r) for r in args.rates.split(",") if r.strip()]
-    clean = run_app(args.app, regime=args.regime, n_procs=args.procs)
+    overrides = envopts.smoke_overrides(args.app, args.fast)
+    clean = run_app(args.app, regime=args.regime, n_procs=args.procs,
+                    workload_overrides=overrides)
     rows = [("0 (clean)", f"{clean.execution_time:.0f}", "-", "-", "-", "-")]
     for rate in rates:
         plan = FaultPlan.uniform(rate, seed=args.seed)
         result = run_app(args.app, regime=args.regime, n_procs=args.procs,
-                         faults=plan)
+                         workload_overrides=overrides, faults=plan)
         counters = getattr(result, "fault_counters", None)
         # A run served from the cache carries no live counters (they are
         # diagnostic, not part of the serialized result).
@@ -266,6 +272,102 @@ def cmd_faults(args) -> int:
         rows,
     ))
     return 0
+
+
+def cmd_summary(args) -> int:
+    """One-screen (or JSON) ``RunResult.summary()`` for a single run."""
+    import json
+
+    overrides = envopts.smoke_overrides(args.app, args.fast)
+    result = run_app(args.app, kind=args.kind, regime=args.regime,
+                     n_procs=args.procs, workload_overrides=overrides)
+    summary = result.summary()
+    if args.json:
+        print(json.dumps(summary, sort_keys=True, indent=2))
+    else:
+        for key, value in summary.items():
+            text = f"{value:.6g}" if isinstance(value, float) else str(value)
+            print(f"{key:22} {text}")
+    return 0
+
+
+def _load_result(token: str, args):
+    """One side of a diff: a RunResult JSON file, a disk-cache entry file,
+    or an ``app[/kind][@regime]`` token run live (with metrics on)."""
+    import json
+    import os
+
+    from ..stats.report import RunResult
+
+    if os.path.exists(token):
+        with open(token) as fh:
+            payload = json.load(fh)
+        if isinstance(payload, dict) and "schema" not in payload \
+                and isinstance(payload.get("result"), dict):
+            payload = payload["result"]   # a ``.repro_cache`` entry
+        return RunResult.from_dict(payload)
+    name, _, regime = token.partition("@")
+    app, _, kind = name.partition("/")
+    if app not in APP_ORDER:
+        raise SystemExit(
+            f"diff: {token!r} is neither an existing file nor"
+            f" <app>[/kind][@regime] (apps: {', '.join(APP_ORDER)})")
+    return run_app(app, kind=kind or "flash", regime=regime or args.regime,
+                   n_procs=args.procs,
+                   workload_overrides=envopts.smoke_overrides(app, args.fast),
+                   metrics=True)
+
+
+def _render_run_diff(result_a, result_b, a_name: str, b_name: str,
+                     args) -> int:
+    """Shared body of ``diff`` and ``compare``: delta table, PP-occupancy
+    reconciliation, threshold gate (exit 1 on breach)."""
+    from ..stats.metrics import (
+        breaches, diff_rows, flatten_result, pp_reconciliation, render_diff,
+    )
+
+    per_node = getattr(args, "per_node", False)
+    rows = diff_rows(flatten_result(result_a, per_node=per_node),
+                     flatten_result(result_b, per_node=per_node))
+    print(render_diff(rows, f"run diff: A={a_name}  B={b_name}",
+                      changed_only=args.changed_only))
+    for side, result in (("A", result_a), ("B", result_b)):
+        reconciliation = pp_reconciliation(result)
+        if reconciliation is not None:
+            print(f"{side}: PP occupancy from per-handler busy cycles ="
+                  f" {reconciliation['pp_occupancy_from_metrics']:.4%}"
+                  f" (aggregate avg_pp_occupancy ="
+                  f" {reconciliation['avg_pp_occupancy']:.4%})")
+    bad = breaches(rows, args.threshold)
+    if bad:
+        print(f"\n{len(bad)} metric(s) exceed the"
+              f" {args.threshold:.0%} relative-change threshold:",
+              file=sys.stderr)
+        for name, a, b, _delta, rel in bad:
+            change = "new" if rel == float("inf") else f"{rel:+.1%}"
+            print(f"  {name}: {a:g} -> {b:g} ({change})", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_diff(args) -> int:
+    """Per-metric delta table between two runs (live, cached, or files)."""
+    result_a = _load_result(args.a, args)
+    result_b = _load_result(args.b, args)
+    return _render_run_diff(result_a, result_b, args.a, args.b, args)
+
+
+def cmd_compare(args) -> int:
+    """FLASH-vs-ideal (or vs a second FLASH config) metric diff for one app."""
+    overrides = envopts.smoke_overrides(args.app, args.fast)
+    flash = run_app(args.app, kind="flash", regime=args.regime,
+                    n_procs=args.procs, workload_overrides=overrides,
+                    metrics=True)
+    other = run_app(args.app, kind=args.vs, regime=args.regime,
+                    n_procs=args.procs, workload_overrides=overrides,
+                    metrics=True)
+    return _render_run_diff(flash, other, f"{args.app}/flash",
+                            f"{args.app}/{args.vs}", args)
 
 
 def main(argv=None) -> int:
@@ -352,7 +454,54 @@ def main(argv=None) -> int:
     faults.add_argument("--regime", default="large",
                         choices=["large", "medium", "small"])
     faults.add_argument("--procs", type=int, default=None)
+    faults.add_argument("--fast", action="store_true",
+                        help="seconds-scale smoke problem sizes")
     faults.set_defaults(fn=cmd_faults)
+    summary = sub.add_parser(
+        "summary", help="RunResult.summary() scalars for one run")
+    summary.add_argument("app", choices=APP_ORDER)
+    summary.add_argument("--kind", default="flash", choices=["flash", "ideal"])
+    summary.add_argument("--regime", default="large",
+                         choices=["large", "medium", "small"])
+    summary.add_argument("--procs", type=int, default=None)
+    summary.add_argument("--fast", action="store_true",
+                         help="seconds-scale smoke problem sizes")
+    summary.add_argument("--json", action="store_true",
+                         help="machine-readable summary on stdout")
+    summary.set_defaults(fn=cmd_summary)
+
+    def _diff_common(p) -> None:
+        p.add_argument("--regime", default="large",
+                       choices=["large", "medium", "small"])
+        p.add_argument("--procs", type=int, default=None)
+        p.add_argument("--fast", action="store_true",
+                       help="seconds-scale smoke problem sizes for live runs")
+        p.add_argument("--per-node", action="store_true", dest="per_node",
+                       help="keep per-node family labels instead of summing"
+                            " them machine-wide")
+        p.add_argument("--changed-only", action="store_true",
+                       dest="changed_only",
+                       help="hide metrics whose delta is zero")
+        p.add_argument("--threshold", type=float, default=None, metavar="R",
+                       help="exit nonzero when any |relative change| exceeds"
+                            " R (e.g. 0.1 = 10%%)")
+
+    diff = sub.add_parser(
+        "diff", help="per-metric delta table between two runs; each side is"
+                     " a RunResult/cache-entry JSON file or <app>[/kind]"
+                     "[@regime] run live with metrics on")
+    diff.add_argument("a", metavar="A")
+    diff.add_argument("b", metavar="B")
+    _diff_common(diff)
+    diff.set_defaults(fn=cmd_diff)
+    compare = sub.add_parser(
+        "compare", help="FLASH-vs-ideal metric diff for one app"
+                        " (the Table 4.2 view)")
+    compare.add_argument("app", choices=APP_ORDER)
+    compare.add_argument("--vs", default="ideal", choices=["ideal", "flash"],
+                         help="machine kind on the B side (default: ideal)")
+    _diff_common(compare)
+    compare.set_defaults(fn=cmd_compare)
     args = parser.parse_args(argv)
     return args.fn(args)
 

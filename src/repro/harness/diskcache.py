@@ -34,7 +34,7 @@ __all__ = [
     "cache_enabled", "cache_root", "DiskCache", "default_cache",
 ]
 
-_OFF_VALUES = ("off", "0", "no", "false", "disabled")
+from . import envopts
 
 
 def _jsonable(value: Any) -> Any:
@@ -96,7 +96,7 @@ def source_fingerprint(refresh: bool = False) -> str:
 
 
 def cache_enabled() -> bool:
-    return os.environ.get("REPRO_CACHE", "on").strip().lower() not in _OFF_VALUES
+    return envopts.cache_enabled()
 
 
 def cache_root() -> Path:

@@ -25,7 +25,7 @@ from ..machine import Machine
 from ..pp.costmodel import EmulatedCostModel
 from ..stats.report import RunResult
 from ..stats.trace import parse_trace_spec
-from . import diskcache
+from . import diskcache, envopts
 
 __all__ = [
     "APP_ORDER", "REGIMES", "SMOKE_SIZES", "app_workload",
@@ -130,6 +130,7 @@ def normalize_spec(
     pp_backend: Optional[str] = None,
     faults=None,
     trace=None,
+    metrics=None,
 ) -> Dict:
     """The fully-defaulted description of one run — the unit of caching and
     of run-farm dispatch.  Includes everything that can change the result.
@@ -140,16 +141,23 @@ def normalize_spec(
     ``parse_trace_spec`` dict (or True for defaults; None defers to the
     ``REPRO_TRACE`` environment variable); traced runs are deterministic
     too, and cache under a distinct key because their serialized result
-    additionally carries the latency decomposition."""
+    additionally carries the latency decomposition.  ``metrics`` (True, or
+    None to defer to ``REPRO_METRICS``) attaches the metrics registry;
+    metrics-on runs likewise cache under a distinct key because their
+    serialized result carries the registry snapshot."""
     cache_bytes = regime_cache_bytes(app, regime)
     if cache_bytes is None:
         raise ValueError(f"{app} is not run at the {regime} regime (paper N/A)")
     if faults is not None:
         faults = faults.to_dict() if hasattr(faults, "to_dict") else dict(faults)
     if trace is None:
-        trace = _trace_from_env()
+        trace = envopts.trace_from_env()
     elif trace is True:
         trace = parse_trace_spec("on")
+    if metrics is None:
+        metrics = envopts.metrics_from_env()
+    else:
+        metrics = True if metrics else None
     return {
         "app": app,
         "kind": kind,
@@ -162,39 +170,14 @@ def normalize_spec(
         "paper_scale": _PAPER_SCALE,
         "faults": faults,
         "trace": trace,
+        "metrics": metrics,
     }
 
 
-def _watchdog_from_env():
-    """Stall detection for harness runs, from ``REPRO_WATCHDOG``: unset/off
-    disables, ``on`` uses defaults, or ``events=N,time=T,interval=I`` tunes
-    the budgets (see :class:`repro.sim.watchdog.Watchdog`)."""
-    raw = os.environ.get("REPRO_WATCHDOG", "").strip().lower()
-    if raw in ("", "0", "off", "no", "false"):
-        return None
-    if raw in ("1", "on", "yes", "true", "default"):
-        return True
-    spec: Dict[str, float] = {}
-    keys = {"events": ("event_budget", int), "time": ("time_budget", float),
-            "interval": ("check_interval", int)}
-    for part in raw.split(","):
-        key, _, value = part.partition("=")
-        try:
-            name, convert = keys[key.strip()]
-        except KeyError:
-            raise ValueError(
-                f"REPRO_WATCHDOG: unknown key {key.strip()!r} "
-                f"(expected {sorted(keys)})")
-        spec[name] = convert(value.strip())
-    return spec or True
-
-
-def _trace_from_env():
-    """Transaction tracing for harness runs, from ``REPRO_TRACE``: unset/off
-    disables, ``on`` uses defaults, or ``buf=N,nodes=...,sample=T`` tunes
-    the ring buffer, span node filter and time-series sampling interval
-    (see :mod:`repro.stats.trace`)."""
-    return parse_trace_spec(os.environ.get("REPRO_TRACE"))
+# Backwards-compatible aliases; the parsers live in ``harness/envopts.py``
+# so every subcommand shares one interpretation of the knobs.
+_watchdog_from_env = envopts.watchdog_from_env
+_trace_from_env = envopts.trace_from_env
 
 
 def build_machine(spec: Dict):
@@ -213,8 +196,9 @@ def build_machine(spec: Dict):
     workload = app_workload(spec["app"], **spec["workload_overrides"])
     machine = Machine(config, cost_model=cost_model,
                       faults=spec.get("faults"),
-                      watchdog=_watchdog_from_env(),
-                      trace=spec.get("trace"))
+                      watchdog=envopts.watchdog_from_env(),
+                      trace=spec.get("trace"),
+                      metrics=spec.get("metrics"))
     return machine, workload.build(config), cost_model
 
 
@@ -260,6 +244,7 @@ def run_app(
     pp_backend: Optional[str] = None,
     faults=None,
     trace=None,
+    metrics=None,
 ) -> RunResult:
     """Run one application on one machine; memoized in-process and cached
     on disk (see ``harness/diskcache.py``; ``REPRO_CACHE=off`` disables)."""
@@ -267,7 +252,7 @@ def run_app(
         app, kind=kind, regime=regime, n_procs=n_procs,
         workload_overrides=workload_overrides,
         config_overrides=config_overrides, pp_backend=pp_backend,
-        faults=faults, trace=trace,
+        faults=faults, trace=trace, metrics=metrics,
     )
     key = diskcache.canonical_key(spec)
     if key in _cache:
@@ -289,7 +274,7 @@ def run_spec(spec: Dict) -> RunResult:
         workload_overrides=spec["workload_overrides"],
         config_overrides=spec["config_overrides"],
         pp_backend=spec["pp_backend"], faults=spec.get("faults"),
-        trace=spec.get("trace"),
+        trace=spec.get("trace"), metrics=spec.get("metrics"),
     )
 
 

@@ -42,7 +42,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..common.errors import ReproError
 from ..stats.report import RunResult
-from . import diskcache, experiments
+from . import diskcache, envopts, experiments
 
 __all__ = [
     "FarmError", "FarmPolicy", "SpecFailure", "FarmReport",
@@ -129,10 +129,7 @@ class FarmReport:
 
 def default_jobs() -> int:
     """Worker count from ``REPRO_JOBS`` (defaults to 1 = serial)."""
-    try:
-        return max(1, int(os.environ.get("REPRO_JOBS", "1")))
-    except ValueError:
-        return 1
+    return envopts.jobs_from_env()
 
 
 def sweep_specs(

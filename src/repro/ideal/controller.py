@@ -57,6 +57,7 @@ class IdealController:
         self._cache_busy: Callable[[float], None] = lambda cycles: None
         self.transfers = None  # TransferDomain, attached by the Node
         self.tracer = None     # Tracer (repro.stats.trace), attached by the Machine
+        self.metrics = None    # MetricsRegistry (repro.stats.metrics), attached by the Machine
         env.process(self._pi_loop(), name=f"ideal.pi[{node_id}]")
         env.process(self._ni_loop(), name=f"ideal.ni[{node_id}]")
         env.process(self._pi_out(), name=f"ideal.piout[{node_id}]")
@@ -131,6 +132,15 @@ class IdealController:
     def _execute(self, action: Action) -> None:
         env = self.env
         self.stats.note_handler(action.handler, 0.0)
+        metrics = self.metrics
+        if metrics is not None:
+            # Zero-width rows keep the label set symmetric with FLASH so
+            # ``harness diff`` renders per-handler deltas side by side.
+            metrics.handler_invocations.labels(self.node_id,
+                                               action.handler).inc()
+            metrics.handler_busy.labels(self.node_id, action.handler).add(0.0)
+            metrics.handler_cost.labels(self.node_id, action.handler).add(0.0)
+            metrics.busy_per_invocation.observe(0.0)
         tracer = self.tracer
         trace_ctx = (action.message.requester, action.message.line_addr) \
             if tracer is not None else None

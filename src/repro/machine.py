@@ -20,6 +20,7 @@ from .node import Node
 from .processor.sync import SyncDomain
 from .sim.engine import Environment
 from .sim.watchdog import Watchdog
+from .stats.metrics import MetricsRegistry
 from .stats.report import RunResult
 from .stats.trace import Tracer
 
@@ -33,13 +34,14 @@ class Machine:
     deterministic fault injection; ``watchdog`` (True, a kwargs dict for
     :class:`~repro.sim.watchdog.Watchdog`, or an instance) attaches stall
     detection; ``trace`` (True, a ``parse_trace_spec`` dict, or a
-    :class:`~repro.stats.trace.Tracer`) attaches transaction tracing.  All
-    default to off, in which case behaviour is bit-identical to a machine
-    built without them.
+    :class:`~repro.stats.trace.Tracer`) attaches transaction tracing;
+    ``metrics`` (True or a :class:`~repro.stats.metrics.MetricsRegistry`)
+    attaches the machine-wide metrics registry.  All default to off, in
+    which case behaviour is bit-identical to a machine built without them.
     """
 
     def __init__(self, config: MachineConfig, cost_model=None, faults=None,
-                 watchdog=None, trace=None):
+                 watchdog=None, trace=None, metrics=None):
         self.config = config
         self.env = Environment()
         self.network = Network(self.env, config)
@@ -70,6 +72,11 @@ class Machine:
             tracer = trace if isinstance(trace, Tracer) \
                 else Tracer.from_spec(trace)
             self._attach_tracer(tracer)
+        self.metrics: Optional[MetricsRegistry] = None
+        if metrics:
+            registry = metrics if isinstance(metrics, MetricsRegistry) \
+                else MetricsRegistry()
+            self._attach_metrics(registry)
 
     def _attach_tracer(self, tracer: Tracer) -> None:
         tracer.env = self.env
@@ -81,6 +88,14 @@ class Machine:
             node.controller.tracer = tracer
             node.engine.tracer = tracer
             node.memory.tracer = tracer
+
+    def _attach_metrics(self, registry: MetricsRegistry) -> None:
+        """Hand the registry to every subsystem with a live hook; the rest
+        of the registry is filled by ``harvest_machine`` at end of run."""
+        self.metrics = registry
+        self.network.metrics = registry
+        for node in self.nodes:
+            node.controller.metrics = registry
 
     def _attach_faults(self, plan: FaultPlan) -> None:
         if self.config.kind != "flash":

@@ -101,6 +101,7 @@ class MagicChip:
         self.transfers = None  # TransferDomain, attached by the Node
         self.faults = None     # FaultInjector (repro.faults), attached by the Machine
         self.tracer = None     # Tracer (repro.stats.trace), attached by the Machine
+        self.metrics = None    # MetricsRegistry (repro.stats.metrics), attached by the Machine
         env.process(self._inbox(), name=f"inbox[{node_id}]")
         env.process(self._pp(), name=f"pp[{node_id}]")
         env.process(self._pi_out(), name=f"pi.out[{node_id}]")
@@ -301,6 +302,19 @@ class MagicChip:
         if tracer is not None:
             tracer.pp_span(self.node_id, action.handler, action.message,
                            start, env._now)
+        metrics = self.metrics
+        if metrics is not None:
+            # Busy mirrors the ``pp_busy`` increment above exactly, so the
+            # ``pp.handler_busy_cycles`` family totals reconcile with
+            # ``RunResult.avg_pp_occupancy()``.
+            busy = env._now - start
+            metrics.handler_invocations.labels(self.node_id,
+                                               action.handler).inc()
+            metrics.handler_busy.labels(self.node_id,
+                                        action.handler).add(busy)
+            metrics.handler_cost.labels(self.node_id,
+                                        action.handler).add(cost)
+            metrics.busy_per_invocation.observe(busy)
 
     # -- processor interface, outbound ------------------------------------------------
 
@@ -375,6 +389,12 @@ class MagicChip:
         self.stats.pp_busy += env.now - start
         if self.tracer is not None:
             self.tracer.pp_span(self.node_id, "xfer", message, start, env.now)
+        metrics = self.metrics
+        if metrics is not None:
+            busy = env.now - start
+            metrics.handler_invocations.labels(self.node_id, "xfer").inc()
+            metrics.handler_busy.labels(self.node_id, "xfer").add(busy)
+            metrics.busy_per_invocation.observe(busy)
 
     # -- helpers ----------------------------------------------------------------------
 

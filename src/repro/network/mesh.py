@@ -65,6 +65,12 @@ class NetworkPort:
         network = self._network
         while True:
             message, data_ready, done = yield get()
+            metrics = network.metrics
+            if metrics is not None:
+                # Per-link send matrix: everything this node pushes at its
+                # outbound NI, keyed by message class (fault-dropped sends
+                # included — they occupied the link).
+                metrics.msgs_sent.labels(self.node_id, message.mtype).inc()
             tracer = network.tracer
             t0 = env._now if tracer is not None else 0.0
             if data_ready is not None and data_ready._value is PENDING:
@@ -118,6 +124,10 @@ class NetworkPort:
         network = self._network
         while True:
             message = yield get()
+            metrics = network.metrics
+            if metrics is not None:
+                metrics.msgs_received.labels(self.node_id,
+                                             message.mtype).inc()
             tracer = network.tracer
             t0 = env._now if tracer is not None else 0.0
             yield timeout(ni_inbound)
@@ -143,6 +153,7 @@ class Network:
         self._in_flight = 0
         self.faults = None  # FaultInjector (repro.faults), attached by the Machine
         self.tracer = None  # Tracer (repro.stats.trace), attached by the Machine
+        self.metrics = None  # MetricsRegistry (repro.stats.metrics), attached by the Machine
 
     def port(self, node_id: int) -> NetworkPort:
         return self.ports[node_id]

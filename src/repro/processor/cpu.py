@@ -315,6 +315,8 @@ class CPU:
         start = self.env.now
         if self.tracer is not None:
             self.tracer.txn_issue(self.node_id, line, False, start)
+        if self.mshrs.is_full:
+            self.mshrs.full_stalls += 1
         while self.mshrs.is_full:
             yield self._any_completion()
         entry = self.mshrs.allocate(line, False, self.env.now)
@@ -333,8 +335,12 @@ class CPU:
             self.tracer.txn_issue(self.node_id, line, True, start)
         # A write to a line that maps to the same index as, but a different
         # tag than, an outstanding miss stalls the processor.
+        if self.mshrs.index_conflict(line):
+            self.mshrs.conflict_stalls += 1
         while self.mshrs.index_conflict(line):
             yield self._any_completion()
+        if self.mshrs.is_full:
+            self.mshrs.full_stalls += 1
         while self.mshrs.is_full:
             yield self._any_completion()
         entry = self.mshrs.allocate(line, True, self.env.now)
@@ -351,6 +357,8 @@ class CPU:
         """Upgrade issued on behalf of a write that merged into a read."""
         if self.cache.state_of(line) == CacheState.DIRTY:
             return
+        if self.mshrs.lookup(line) is None and self.mshrs.is_full:
+            self.mshrs.full_stalls += 1
         while self.mshrs.lookup(line) is not None or self.mshrs.is_full:
             yield self._any_completion()
         state = self.cache.state_of(line)

@@ -35,6 +35,8 @@ class LinkStore:
         self._next: List[Optional[int]] = [None] * capacity
         self._free: List[int] = list(range(capacity - 1, -1, -1))
         self.peak_used = 0
+        self.total_allocated = 0
+        self.total_freed = 0
 
     @property
     def used(self) -> int:
@@ -49,11 +51,13 @@ class LinkStore:
         index = self._free.pop()
         self._node[index] = node
         self._next[index] = next_index
+        self.total_allocated += 1
         self.peak_used = max(self.peak_used, self.used)
         return index
 
     def free(self, index: int) -> None:
         self._free.append(index)
+        self.total_freed += 1
 
     def node_at(self, index: int) -> int:
         return self._node[index]
@@ -95,6 +99,12 @@ class Directory:
         link_base = self.header_base + self.n_lines * DIRECTORY_HEADER_BYTES
         self.links = LinkStore(n_links, link_base)
         self._entries: dict = {}
+        # State-transition counters, harvested by the metrics registry.
+        self.n_add_sharer = 0
+        self.n_remove_sharer = 0
+        self.n_clear_sharers = 0
+        self.n_set_dirty = 0
+        self.n_clear_dirty = 0
 
     # -- addressing -----------------------------------------------------------
 
@@ -136,6 +146,7 @@ class Directory:
 
     def add_sharer(self, line_addr: int, node: int) -> Tuple[bool, List[int]]:
         """Prepend ``node`` to the sharer list; returns (added, addrs)."""
+        self.n_add_sharer += 1
         entry = self.entry(line_addr)
         touched = [self.header_addr(line_addr)]
         # The handler scans for duplicates only when the protocol can re-add
@@ -153,6 +164,7 @@ class Directory:
 
     def remove_sharer(self, line_addr: int, node: int) -> Tuple[Optional[int], List[int]]:
         """Unlink ``node``; returns (1-based position or None, addrs)."""
+        self.n_remove_sharer += 1
         entry = self.entry(line_addr)
         touched = [self.header_addr(line_addr)]
         prev: Optional[int] = None
@@ -175,6 +187,7 @@ class Directory:
 
     def clear_sharers(self, line_addr: int) -> Tuple[List[int], List[int]]:
         """Drop the whole list (invalidation); returns (nodes, addrs)."""
+        self.n_clear_sharers += 1
         entry = self.entry(line_addr)
         touched = [self.header_addr(line_addr)]
         nodes: List[int] = []
@@ -189,6 +202,7 @@ class Directory:
         return nodes, touched
 
     def set_dirty(self, line_addr: int, owner: int) -> List[int]:
+        self.n_set_dirty += 1
         entry = self.entry(line_addr)
         if entry.head is not None:
             raise ProtocolError(
@@ -199,6 +213,7 @@ class Directory:
         return [self.header_addr(line_addr)]
 
     def clear_dirty(self, line_addr: int) -> List[int]:
+        self.n_clear_dirty += 1
         entry = self.entry(line_addr)
         entry.dirty = False
         entry.owner = None

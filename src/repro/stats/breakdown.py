@@ -80,7 +80,7 @@ class NodeStats:
 
     __slots__ = (
         "pp_busy", "pp_handler_cycles", "pp_mdc_stall", "handler_invocations",
-        "spec_issued", "spec_useless", "messages_in", "handler_histogram",
+        "spec_issued", "spec_useless", "messages_in",
     )
 
     def __init__(self) -> None:
@@ -91,12 +91,13 @@ class NodeStats:
         self.spec_issued = 0
         self.spec_useless = 0
         self.messages_in = 0
-        self.handler_histogram: Dict[str, int] = {}
 
     def note_handler(self, name: str, cycles: float) -> None:
+        # Per-handler-name counts live in the metrics registry
+        # (``pp.handler_invocations``), not here: this aggregate is on the
+        # hot path of every run, metrics on or off.
         self.handler_invocations += 1
         self.pp_handler_cycles += cycles
-        self.handler_histogram[name] = self.handler_histogram.get(name, 0) + 1
 
     def pp_occupancy(self, elapsed: float) -> float:
         return self.pp_busy / elapsed if elapsed > 0 else 0.0

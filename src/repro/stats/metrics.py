@@ -1,0 +1,450 @@
+"""Machine-wide metrics registry: the paper's counters as data.
+
+The paper's central evidence is counter-level — per-handler invocation
+counts and occupancies (Tables 4.2, 5.1-5.3), per-message-class traffic,
+directory state transitions, queue/MSHR stalls.  PR 4's tracer answers
+"where inside one miss did the cycles go"; this module answers "how many of
+each thing happened, machine-wide", uniformly enough that two runs can be
+diffed metric-by-metric (``python -m repro.harness diff``).
+
+Discipline (same as faults/watchdog/trace): the registry is attached as a
+``metrics`` attribute defaulting to None, every live hook is gated on
+``metrics is not None``, and a metrics-off run is byte-identical to the
+seed (the golden SHA-256 matrix enforces it).  Hooks only increment plain
+Python numbers — no events, no simulated time — so a metrics-ON run's core
+result is *also* byte-identical to a metrics-off run; only the serialized
+``RunResult.metrics`` block differs, which is why metrics-on specs cache
+under a distinct key.
+
+Collection is hybrid:
+
+* **live hooks** where no aggregate exists today: per-(node, handler)
+  invocation/cost/busy cycles in the MAGIC chip and the ideal controller
+  (the ``pp.handler_busy_cycles`` family mirrors every ``pp_busy +=`` site,
+  so its total reconciles exactly with ``RunResult.avg_pp_occupancy()``),
+  and per-(node, message-class) send/receive matrices in the network ports;
+* **end-of-run harvest** (:func:`harvest_machine`) of the unconditional
+  lightweight counters subsystems already keep: directory transitions and
+  link-store pointer allocation, MSHR/queue full-stalls, memory controller,
+  MDC, transfer domain, protocol engine and migratory-variant totals.
+"""
+
+from __future__ import annotations
+
+from math import ceil, inf
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = [
+    "Counter", "Cycles", "Log2Histogram", "Family", "MetricsRegistry",
+    "harvest_machine", "flatten_result", "diff_rows", "breaches",
+    "render_diff", "pp_reconciliation",
+]
+
+
+# ---------------------------------------------------------------------------
+# Primitives
+# ---------------------------------------------------------------------------
+
+
+class Counter:
+    """A monotonically increasing event count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def to_value(self):
+        return self.value
+
+
+class Cycles:
+    """An accumulator of simulated cycles (float)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def add(self, cycles: float) -> None:
+        self.value += cycles
+
+    def to_value(self):
+        return self.value
+
+
+def _log2_bucket(value: float) -> int:
+    """Power-of-two bucket upper bound for ``value`` (0 for non-positive)."""
+    if value <= 0:
+        return 0
+    n = int(ceil(value))
+    return 1 << (n - 1).bit_length() if n > 1 else 1
+
+
+class Log2Histogram:
+    """Counts of observations in power-of-two buckets, plus count/total."""
+
+    __slots__ = ("buckets", "count", "total")
+
+    def __init__(self) -> None:
+        self.buckets: Dict[int, int] = {}
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        bucket = _log2_bucket(value)
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+
+    def to_value(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "buckets": {str(b): n for b, n in self.buckets.items()},
+        }
+
+
+_KINDS = {"counter": Counter, "cycles": Cycles, "histogram": Log2Histogram}
+
+
+class Family:
+    """A labeled set of metric children, e.g. one counter per
+    (node, handler).  ``labels(...)`` is the hot-path entry: one dict lookup
+    on the label tuple, creating the child on first use."""
+
+    __slots__ = ("name", "kind", "_factory", "children")
+
+    def __init__(self, name: str, kind: str):
+        if kind not in _KINDS:
+            raise ValueError(f"unknown metric kind {kind!r}")
+        self.name = name
+        self.kind = kind
+        self._factory = _KINDS[kind]
+        self.children: Dict[Tuple, Any] = {}
+
+    def labels(self, *key):
+        child = self.children.get(key)
+        if child is None:
+            child = self._factory()
+            self.children[key] = child
+        return child
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "values": {
+                "/".join(str(part) for part in key): child.to_value()
+                for key, child in self.children.items()
+            },
+        }
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+
+class MetricsRegistry:
+    """All metrics of one run.  Construction declares the hot-path families
+    as attributes so publisher call sites skip the by-name lookup."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._cycles: Dict[str, Cycles] = {}
+        self._histograms: Dict[str, Log2Histogram] = {}
+        self._families: Dict[str, Family] = {}
+        # Hot-path families (live hooks in chip/ideal/network).  Label
+        # convention: the first label component is the node id, so the diff
+        # tool can aggregate machine-wide by dropping it.
+        self.handler_invocations = self.family("pp.handler_invocations",
+                                               "counter")
+        self.handler_busy = self.family("pp.handler_busy_cycles", "cycles")
+        self.handler_cost = self.family("pp.handler_cost_cycles", "cycles")
+        self.busy_per_invocation = self.histogram("pp.busy_per_invocation")
+        self.msgs_sent = self.family("net.sent", "counter")
+        self.msgs_received = self.family("net.received", "counter")
+
+    # -- constructors (get-or-create, so harvest can re-run idempotently
+    # only via fresh registries; names are unique per kind) ------------------
+
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter()
+        return metric
+
+    def cycles(self, name: str) -> Cycles:
+        metric = self._cycles.get(name)
+        if metric is None:
+            metric = self._cycles[name] = Cycles()
+        return metric
+
+    def histogram(self, name: str) -> Log2Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Log2Histogram()
+        return metric
+
+    def family(self, name: str, kind: str) -> Family:
+        metric = self._families.get(name)
+        if metric is None:
+            metric = self._families[name] = Family(name, kind)
+        elif metric.kind != kind:
+            raise ValueError(
+                f"family {name!r} already registered with kind {metric.kind!r}")
+        return metric
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain JSON-able snapshot.  Key order is irrelevant — the result
+        travels inside ``RunResult.to_json``, which sorts keys — so two
+        identical runs serialize byte-identically."""
+        return {
+            "counters": {k: c.value for k, c in self._counters.items()},
+            "cycles": {k: c.value for k, c in self._cycles.items()},
+            "histograms": {k: h.to_value()
+                           for k, h in self._histograms.items()},
+            "families": {k: f.to_dict() for k, f in self._families.items()},
+        }
+
+
+# ---------------------------------------------------------------------------
+# End-of-run harvest of unconditional subsystem counters
+# ---------------------------------------------------------------------------
+
+_DIR_OPS = ("add_sharer", "remove_sharer", "clear_sharers", "set_dirty",
+            "clear_dirty")
+_NODE_SUFFIX_OPEN = "["
+
+
+def _queue_base(name: str) -> str:
+    """Strip the ``[N]`` node suffix so per-queue metrics aggregate by role
+    (``pi.in[3]`` -> ``pi.in``)."""
+    cut = name.find(_NODE_SUFFIX_OPEN)
+    return name[:cut] if cut > 0 else (name or "anonymous")
+
+
+def harvest_machine(registry: MetricsRegistry, machine) -> None:
+    """Fold a finished machine's unconditional counters into ``registry``.
+
+    Everything read here is an ordinary int/float the subsystems maintain
+    whether or not metrics are on; harvesting is a pure read, so it can
+    never perturb the simulation (it runs after the event loop drained).
+    """
+    dir_transitions = registry.family("dir.transitions", "counter")
+    dir_links = registry.family("dir.links", "counter")
+    mshr = registry.family("mshr", "counter")
+    queue_puts = registry.family("queue.total_puts", "counter")
+    queue_stalls = registry.family("queue.full_stalls", "counter")
+    queue_peaks = registry.family("queue.peak_depth", "counter")
+
+    for node in machine.nodes:
+        nid = node.node_id
+        stats = node.stats
+        registry.cycles("pp.busy_cycles").add(stats.pp_busy)
+        registry.cycles("pp.handler_cycles").add(stats.pp_handler_cycles)
+        registry.cycles("pp.mdc_stall_cycles").add(stats.pp_mdc_stall)
+        registry.counter("pp.invocations").inc(stats.handler_invocations)
+        registry.counter("pp.messages_in").inc(stats.messages_in)
+        registry.counter("spec.issued").inc(stats.spec_issued)
+        registry.counter("spec.useless").inc(stats.spec_useless)
+
+        directory = node.directory
+        for op in _DIR_OPS:
+            count = getattr(directory, f"n_{op}")
+            if count:
+                dir_transitions.labels(nid, op).inc(count)
+        links = directory.links
+        dir_links.labels(nid, "allocated").inc(links.total_allocated)
+        dir_links.labels(nid, "freed").inc(links.total_freed)
+        dir_links.labels(nid, "peak_used").inc(links.peak_used)
+
+        mshrs = node.cpu.mshrs
+        mshr.labels(nid, "allocations").inc(mshrs.total_allocations)
+        mshr.labels(nid, "merges").inc(mshrs.total_merges)
+        mshr.labels(nid, "full_stalls").inc(mshrs.full_stalls)
+        mshr.labels(nid, "conflict_stalls").inc(mshrs.conflict_stalls)
+        mshr.labels(nid, "peak_outstanding").inc(mshrs.peak_outstanding)
+
+        memory = node.memory
+        registry.counter("mem.reads").inc(memory.reads)
+        registry.counter("mem.writes").inc(memory.writes)
+        registry.counter("mem.useless_reads").inc(memory.useless_reads)
+        registry.cycles("mem.busy_cycles").add(memory.busy_cycles)
+
+        engine = node.engine
+        registry.counter("protocol.messages_processed").inc(
+            engine.messages_processed)
+        registry.counter("protocol.deferred").inc(engine.deferred_count)
+        if getattr(engine, "migratory_grants", None) is not None:
+            registry.counter("migratory.grants").inc(engine.migratory_grants)
+            registry.counter("migratory.upgrades_saved").inc(
+                engine.upgrades_saved)
+            registry.counter("migratory.declassified").inc(engine.declassified)
+            registry.counter("migratory.probes").inc(engine.probes)
+
+        if node.mdc is not None:
+            registry.counter("mdc.accesses").inc(node.mdc.accesses)
+            registry.counter("mdc.read_misses").inc(node.mdc.read_misses)
+            registry.counter("mdc.writebacks").inc(node.mdc.writeback_victims)
+        icache = getattr(node.controller, "icache", None)
+        if icache is not None:
+            registry.counter("icache.fetches").inc(icache.fetches)
+            registry.counter("icache.cold_misses").inc(icache.cold_misses)
+
+    # Bounded queues and counting resources, aggregated by role.  Peaks use
+    # a machine-wide max, not a sum (a peak sum would not be a peak).
+    for queue in machine.env._queues:
+        base = _queue_base(queue.name)
+        if hasattr(queue, "total_puts"):
+            queue_puts.labels(base).inc(queue.total_puts)
+            queue_stalls.labels(base).inc(queue.full_stalls)
+            peak = queue_peaks.labels(base)
+            if queue.peak_depth > peak.value:
+                peak.value = queue.peak_depth
+        else:  # CountingResource
+            queue_puts.labels(base).inc(queue.total_acquires)
+            queue_stalls.labels(base).inc(queue.acquire_stalls)
+            peak = queue_peaks.labels(base)
+            if queue.peak_in_use > peak.value:
+                peak.value = queue.peak_in_use
+
+    network = machine.network
+    registry.counter("net.messages").inc(network.messages_sent)
+    registry.counter("net.peak_in_flight").inc(network.peak_in_flight)
+    transfers = machine.transfers
+    registry.counter("xfer.started").inc(transfers.transfers_started)
+    registry.counter("xfer.completed").inc(transfers.transfers_completed)
+    registry.counter("xfer.lines_moved").inc(transfers.lines_moved)
+
+
+# ---------------------------------------------------------------------------
+# Run diffing (``python -m repro.harness diff`` / ``compare``)
+# ---------------------------------------------------------------------------
+
+
+def _family_rows(name: str, family: Dict[str, Any], per_node: bool):
+    for label, value in family.get("values", {}).items():
+        if isinstance(value, dict):       # histogram family child
+            value = value.get("total", 0.0)
+        if not per_node:
+            head, _, rest = label.partition("/")
+            if rest and head.lstrip("-").isdigit():
+                label = rest
+        yield f"family/{name}/{label}", value
+
+
+def flatten_result(result, per_node: bool = False) -> Dict[str, float]:
+    """One flat ``metric name -> number`` view of a RunResult: the summary
+    scalars, the miss-class counts, and (when present) every registry
+    metric.  Node-labeled family children are summed machine-wide unless
+    ``per_node`` — Table 4.2 rows are per-handler, not per-(node, handler).
+    """
+    flat: Dict[str, float] = {
+        "summary/execution_time": result.execution_time,
+        "summary/miss_rate": result.miss_rate,
+        "summary/avg_pp_occupancy": result.avg_pp_occupancy,
+        "summary/avg_memory_occupancy": result.avg_memory_occupancy,
+        "summary/read_misses": result.read_misses,
+        "summary/write_misses": result.write_misses,
+        "summary/handler_invocations": result.handler_invocations,
+        "summary/network_messages": result.network_messages,
+    }
+    for cls, count in result.miss_classes.items():
+        flat[f"miss_class/{cls}"] = count
+    metrics = getattr(result, "metrics", None)
+    if metrics:
+        for name, value in metrics.get("counters", {}).items():
+            flat[f"counter/{name}"] = value
+        for name, value in metrics.get("cycles", {}).items():
+            flat[f"cycles/{name}"] = value
+        for name, hist in metrics.get("histograms", {}).items():
+            flat[f"hist/{name}/count"] = hist.get("count", 0)
+            flat[f"hist/{name}/total"] = hist.get("total", 0.0)
+        for name, family in metrics.get("families", {}).items():
+            for key, value in _family_rows(name, family, per_node):
+                flat[key] = flat.get(key, 0) + value
+    return flat
+
+
+def diff_rows(a_flat: Dict[str, float], b_flat: Dict[str, float]
+              ) -> List[Tuple[str, float, float, float, float]]:
+    """``(name, a, b, delta, relative)`` per metric present in either run;
+    rows where both sides are zero are dropped.  ``relative`` is the change
+    from A (``inf`` for metrics that appear only in B)."""
+    rows = []
+    for name in sorted(set(a_flat) | set(b_flat)):
+        a = float(a_flat.get(name, 0) or 0)
+        b = float(b_flat.get(name, 0) or 0)
+        if a == 0 and b == 0:
+            continue
+        delta = b - a
+        rel = delta / a if a else (inf if delta else 0.0)
+        rows.append((name, a, b, delta, rel))
+    return rows
+
+
+def breaches(rows, threshold: Optional[float]):
+    """Rows whose relative change exceeds ``threshold`` (None: no gate)."""
+    if threshold is None:
+        return []
+    return [row for row in rows if abs(row[4]) > threshold]
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return f"{int(value):,}"
+    return f"{value:,.4g}"
+
+
+def _fmt_rel(rel: float) -> str:
+    if rel == inf:
+        return "new"
+    return f"{rel:+.1%}"
+
+
+def render_diff(rows, title: str, a_name: str = "A", b_name: str = "B",
+                changed_only: bool = False) -> str:
+    """Fixed-width per-metric delta table."""
+    shown = [r for r in rows if not changed_only or r[3] != 0]
+    width = max([len(r[0]) for r in shown] + [len("metric")])
+    lines = [title, "=" * len(title),
+             f"{'metric':<{width}} {a_name:>14} {b_name:>14}"
+             f" {'delta':>14} {'rel':>8}"]
+    group = None
+    for name, a, b, delta, rel in shown:
+        head = name.split("/", 1)[0]
+        if group is not None and head != group:
+            lines.append("-" * (width + 54))
+        group = head
+        lines.append(f"{name:<{width}} {_fmt(a):>14} {_fmt(b):>14}"
+                     f" {_fmt(delta):>14} {_fmt_rel(rel):>8}")
+    lines.append(f"({len(shown)} metric(s) shown)")
+    return "\n".join(lines)
+
+
+def pp_reconciliation(result) -> Optional[Dict[str, float]]:
+    """Check the live per-handler busy-cycle family against the aggregate
+    PP occupancy.  The family mirrors every ``pp_busy +=`` site, so
+    ``sum(busy) / (n_procs * T)`` must equal ``avg_pp_occupancy`` to float
+    rounding.  Returns the two occupancies (None when the run carries no
+    metrics)."""
+    metrics = getattr(result, "metrics", None)
+    if not metrics:
+        return None
+    family = metrics.get("families", {}).get("pp.handler_busy_cycles")
+    if family is None:
+        return None
+    total_busy = 0.0
+    for value in family.get("values", {}).values():
+        total_busy += value
+    elapsed = result.execution_time
+    derived = (total_busy / (result.n_procs * elapsed)) if elapsed else 0.0
+    return {
+        "handler_busy_cycles": total_busy,
+        "pp_occupancy_from_metrics": derived,
+        "avg_pp_occupancy": result.avg_pp_occupancy,
+    }

@@ -13,6 +13,7 @@ from typing import Any, Dict, List, Optional
 
 from ..protocol.coherence import MissClass
 from .breakdown import CpuTimes, merge_cache_stats, merge_cpu_times
+from .metrics import harvest_machine
 
 __all__ = ["RunResult", "crmt"]
 
@@ -63,6 +64,10 @@ class RunResult:
     #: present — and serialized — only for traced runs, so untraced results
     #: (including the golden-hash matrix) are byte-identical to the seed.
     latency_decomposition: Optional[Dict[str, Any]] = None
+    #: Metrics registry snapshot (``MetricsRegistry.to_dict()`` after
+    #: ``harvest_machine``); present — and serialized — only for metrics-on
+    #: runs, so metrics-off canonical JSON is byte-identical to the seed.
+    metrics: Optional[Dict[str, Any]] = None
 
     def __init__(self, machine, execution_time: float):
         config = machine.config
@@ -117,6 +122,12 @@ class RunResult:
         tracer = getattr(machine, "tracer", None)
         if tracer is not None:
             self.latency_decomposition = tracer.decomposition()
+        # Metrics registry (metrics-on runs only; see repro.stats.metrics):
+        # fold the subsystems' unconditional counters in, then snapshot.
+        registry = getattr(machine, "metrics", None)
+        if registry is not None:
+            harvest_machine(registry, machine)
+            self.metrics = registry.to_dict()
 
     # -- serialization ------------------------------------------------------------
 
@@ -129,6 +140,9 @@ class RunResult:
             # Only traced runs carry (and serialize) a decomposition, so the
             # canonical JSON of untraced runs is unchanged.
             state["latency_decomposition"] = self.latency_decomposition
+        if self.metrics is not None:
+            # Same contract for the metrics registry snapshot.
+            state["metrics"] = self.metrics
         return state
 
     @classmethod
@@ -145,6 +159,9 @@ class RunResult:
         decomposition = state.get("latency_decomposition")
         if decomposition is not None:
             result.latency_decomposition = decomposition
+        metrics = state.get("metrics")
+        if metrics is not None:
+            result.metrics = metrics
         return result
 
     def to_json(self) -> str:

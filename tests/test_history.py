@@ -1,0 +1,166 @@
+"""Tests for the perf-history ledger and its regression gate.
+
+``benchmarks/`` is not a package and sits outside the tier-1 testpaths, so
+import ``history`` by path the same way ``perf_smoke`` does.
+"""
+
+import json
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "benchmarks"))
+
+import history  # noqa: E402
+
+
+def record(sha="a" * 40, **metrics):
+    base = {"sha": sha, "utc": "2026-01-01T00:00:00Z", "python": "3.12.0"}
+    base.update(metrics)
+    return base
+
+
+class TestRegressionCheck:
+    def test_empty_history_never_flags(self):
+        assert history.check_regressions(
+            [], record(kernel_events_per_sec=1000)) == []
+
+    def test_throughput_drop_flags(self):
+        prior = [record(kernel_events_per_sec=1000)]
+        new = record(sha="b" * 40, kernel_events_per_sec=850)
+        flags = history.check_regressions(prior, new)
+        assert len(flags) == 1
+        assert "kernel_events_per_sec" in flags[0]
+        assert "aaaaaaaaaaaa" in flags[0]  # baseline sha[:12] named
+
+    def test_latency_rise_flags(self):
+        prior = [record(e2e_fft1k_seconds=10.0)]
+        new = record(e2e_fft1k_seconds=11.5)
+        flags = history.check_regressions(prior, new)
+        assert len(flags) == 1 and "e2e_fft1k_seconds" in flags[0]
+
+    def test_improvements_never_flag(self):
+        prior = [record(kernel_events_per_sec=1000, e2e_fft1k_seconds=10.0)]
+        new = record(kernel_events_per_sec=2000, e2e_fft1k_seconds=1.0)
+        assert history.check_regressions(prior, new) == []
+
+    def test_within_threshold_passes(self):
+        prior = [record(kernel_events_per_sec=1000)]
+        new = record(kernel_events_per_sec=950)  # 5% < 10%
+        assert history.check_regressions(prior, new) == []
+
+    def test_custom_threshold(self):
+        prior = [record(kernel_events_per_sec=1000)]
+        new = record(kernel_events_per_sec=950)
+        assert history.check_regressions(prior, new, threshold=0.01)
+
+    def test_baseline_is_most_recent_carrier(self):
+        prior = [
+            record(sha="1" * 40, sweep_seconds=100.0),
+            record(sha="2" * 40, kernel_events_per_sec=1000),
+            record(sha="3" * 40, sweep_seconds=50.0),
+        ]
+        # vs the most recent sweep (50s) this is a regression, even though
+        # it beats the older 100s entry; the kernel-only entry is skipped.
+        flags = history.check_regressions(prior, record(sweep_seconds=60.0))
+        assert len(flags) == 1
+        assert "333333333333" in flags[0]
+
+    def test_missing_metric_skipped(self):
+        prior = [record(kernel_events_per_sec=1000)]
+        assert history.check_regressions(prior, record(sweep_seconds=9)) == []
+
+
+class TestLedgerIO:
+    def test_append_and_load_round_trip(self, tmp_path):
+        path = str(tmp_path / "hist.jsonl")
+        first = record(kernel_events_per_sec=1000)
+        second = record(sha="b" * 40, kernel_events_per_sec=1100)
+        history.append_record(first, path)
+        history.append_record(second, path)
+        assert history.load_history(path) == [first, second]
+
+    def test_torn_lines_skipped(self, tmp_path):
+        path = str(tmp_path / "hist.jsonl")
+        history.append_record(record(sweep_seconds=10.0), path)
+        with open(path, "a") as fh:
+            fh.write('{"sha": "torn...\n')
+        history.append_record(record(sweep_seconds=11.0), path)
+        records = history.load_history(path)
+        assert [r["sweep_seconds"] for r in records] == [10.0, 11.0]
+
+    def test_load_missing_file(self, tmp_path):
+        assert history.load_history(str(tmp_path / "absent.jsonl")) == []
+
+    def test_latest_record(self, tmp_path):
+        path = tmp_path / "bench.json"
+        assert history.latest_record(str(path)) is None
+        path.write_text(json.dumps([{"a": 1}, {"a": 2}]))
+        assert history.latest_record(str(path)) == {"a": 2}
+        path.write_text("not json")
+        assert history.latest_record(str(path)) is None
+
+    def test_build_record_stamps_and_filters(self, monkeypatch, tmp_path):
+        kernel = tmp_path / "BENCH_kernel.json"
+        e2e = tmp_path / "BENCH_e2e.json"
+        kernel.write_text(json.dumps([{
+            "kernel_events_per_sec": 123456, "e2e_fft1k_seconds": 2.5,
+            "machine": "x86_64"}]))
+        e2e.write_text(json.dumps([{
+            "sweep_seconds": 60.0, "references_per_sec": 42,
+            "per_app_seconds": {"fft/flash": 1.0}}]))
+        monkeypatch.setattr(history, "KERNEL_FILE", str(kernel))
+        monkeypatch.setattr(history, "E2E_FILE", str(e2e))
+        built = history.build_record(sha="c" * 40)
+        assert built["sha"] == "c" * 40
+        assert built["kernel_events_per_sec"] == 123456
+        assert built["e2e_fft1k_seconds"] == 2.5
+        assert built["sweep_seconds"] == 60.0
+        assert built["references_per_sec"] == 42
+        # Only tracked metrics are folded in, not the raw extras.
+        assert "per_app_seconds" not in built
+        assert "machine" not in built
+        assert set(built) >= {"sha", "utc", "python"}
+
+
+class TestMainEntry:
+    def test_main_appends_and_gates(self, monkeypatch, tmp_path, capsys):
+        kernel = tmp_path / "BENCH_kernel.json"
+        kernel.write_text(json.dumps([{"kernel_events_per_sec": 1000}]))
+        monkeypatch.setattr(history, "KERNEL_FILE", str(kernel))
+        monkeypatch.setattr(history, "E2E_FILE",
+                            str(tmp_path / "absent.json"))
+        ledger = str(tmp_path / "hist.jsonl")
+        assert history.main(["--history", ledger]) == 0
+        assert len(history.load_history(ledger)) == 1
+        # A faster second run appends cleanly.
+        kernel.write_text(json.dumps([{"kernel_events_per_sec": 1200}]))
+        assert history.main(["--history", ledger]) == 0
+        # A >10% slowdown exits nonzero and names the metric.
+        kernel.write_text(json.dumps([{"kernel_events_per_sec": 800}]))
+        capsys.readouterr()
+        assert history.main(["--history", ledger]) == 1
+        assert "REGRESSION" in capsys.readouterr().err
+        assert len(history.load_history(ledger)) == 3
+
+    def test_check_only_does_not_append(self, monkeypatch, tmp_path):
+        kernel = tmp_path / "BENCH_kernel.json"
+        kernel.write_text(json.dumps([{"kernel_events_per_sec": 1000}]))
+        monkeypatch.setattr(history, "KERNEL_FILE", str(kernel))
+        monkeypatch.setattr(history, "E2E_FILE",
+                            str(tmp_path / "absent.json"))
+        ledger = str(tmp_path / "hist.jsonl")
+        assert history.main(["--history", ledger, "--check-only"]) == 0
+        assert history.load_history(ledger) == []
+
+    def test_no_records_is_a_noop(self, monkeypatch, tmp_path, capsys):
+        monkeypatch.setattr(history, "KERNEL_FILE",
+                            str(tmp_path / "nope.json"))
+        monkeypatch.setattr(history, "E2E_FILE",
+                            str(tmp_path / "nada.json"))
+        assert history.main(
+            ["--history", str(tmp_path / "hist.jsonl")]) == 0
+        assert "nothing to do" in capsys.readouterr().err

@@ -12,12 +12,12 @@ MB = 1024 * 1024
 LINE = 128
 
 
-def machine_for(kind="flash", n_procs=2, mdc=False, **cfg):
+def machine_for(kind="flash", n_procs=2, mdc=False, metrics=None, **cfg):
     make = flash_config if kind == "flash" else ideal_config
     config = make(n_procs=n_procs, cache_size=1 * MB, **cfg)
     if not mdc:
         config = config.with_changes(magic_caches=MagicCacheConfig(enabled=False))
-    return Machine(config)
+    return Machine(config, metrics=metrics)
 
 
 def one_read(machine, addr):
@@ -86,10 +86,11 @@ class TestOccupancy:
         one_read(machine, 0)
         assert machine.nodes[0].stats.pp_busy == 0
 
-    def test_handler_histogram_populated(self):
-        machine = machine_for("flash")
+    def test_handler_counts_in_registry(self):
+        machine = machine_for("flash", metrics=True)
         one_read(machine, 0)
-        assert machine.nodes[0].stats.handler_histogram.get("get_home_clean") == 1
+        family = machine.metrics.handler_invocations
+        assert family.labels(0, "get_home_clean").value == 1
 
 
 class TestMDC:

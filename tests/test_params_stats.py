@@ -128,12 +128,14 @@ class TestStats:
         stats.pp_busy = 50
         assert stats.pp_occupancy(200) == 0.25
 
-    def test_handler_histogram(self):
+    def test_note_handler_aggregates(self):
+        # Per-handler-name counts moved to the metrics registry; NodeStats
+        # keeps only the aggregate invocation and cycle totals.
         stats = NodeStats()
         stats.note_handler("x", 5)
         stats.note_handler("x", 5)
         stats.note_handler("y", 2)
-        assert stats.handler_histogram == {"x": 2, "y": 1}
+        assert stats.handler_invocations == 3
         assert stats.pp_handler_cycles == 12
 
     def test_crmt_weighting(self):
