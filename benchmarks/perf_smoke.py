@@ -29,6 +29,7 @@ from __future__ import annotations
 import json
 import os
 import platform
+import subprocess
 import sys
 import time
 
@@ -49,7 +50,12 @@ EVENTS_PER_STEP = 3
 
 
 def kernel_events_per_sec(repeats: int = 3) -> float:
-    """Best-of-``repeats`` kernel throughput in events/second."""
+    """Best-of-``repeats`` coroutine-dispatch throughput in events/second.
+
+    Each step is three kernel events driven through generator resume: a
+    future Timeout, a zero-delay Timeout, and a pre-triggered Event wait.
+    This is the execution model the cold paths still use.
+    """
     from repro.sim.engine import Environment
 
     best = 0.0
@@ -69,6 +75,58 @@ def kernel_events_per_sec(repeats: int = 3) -> float:
         start = time.perf_counter()
         env.run()
         elapsed = time.perf_counter() - start
+        best = max(best, N_WORKERS * N_STEPS * EVENTS_PER_STEP / elapsed)
+    return best
+
+
+class _CallbackWorker:
+    """State-machine twin of the coroutine worker: the same three kernel
+    events per step (future delay, zero-delay hop, triggered-event wait),
+    expressed as scheduled callbacks instead of generator resumes — the
+    execution model of the simulator's hot paths, including the pooled
+    event draw and inlined ``succeed`` the hot queues use."""
+
+    __slots__ = ("env", "event_cls", "delay", "step")
+
+    def __init__(self, env, event_cls, i):
+        self.env = env
+        self.event_cls = event_cls
+        self.delay = (i % 7) + 1
+        self.step = 0
+        env.call_later(self.delay, self._after_delay)
+
+    def _after_delay(self) -> None:
+        self.env.call_later(0.0, self._after_zero)
+
+    def _after_zero(self) -> None:
+        env = self.env
+        pool = env._event_pool
+        event = pool.pop() if pool else self.event_cls(env)
+        event._ok = True
+        event._value = self.step  # succeed(step), inlined
+        event.callbacks.append(self._after_event)
+        env._ready.append(event)
+
+    def _after_event(self, _event) -> None:
+        self.step += 1
+        if self.step < N_STEPS:
+            self.env.call_later(self.delay, self._after_delay)
+
+
+def kernel_callback_events_per_sec(repeats: int = 3) -> float:
+    """Best-of-``repeats`` callback-dispatch throughput in events/second:
+    the identical event mix as :func:`kernel_events_per_sec`, driven through
+    bare scheduled callbacks (no generator frames to resume)."""
+    from repro.sim.engine import Environment, Event
+
+    best = 0.0
+    for _ in range(repeats):
+        env = Environment()
+        workers = [_CallbackWorker(env, Event, i) for i in range(N_WORKERS)]
+        start = time.perf_counter()
+        env.run()
+        elapsed = time.perf_counter() - start
+        assert all(w.step == N_STEPS for w in workers)
         best = max(best, N_WORKERS * N_STEPS * EVENTS_PER_STEP / elapsed)
     return best
 
@@ -131,8 +189,23 @@ def append_history(path: str, record: dict) -> int:
     return len(history)
 
 
+def git_sha() -> str:
+    """Current commit SHA, or "unknown" outside a work tree — every bench
+    record is attributable to the exact tree it measured."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"], capture_output=True, text=True,
+            cwd=os.path.dirname(os.path.abspath(__file__)), timeout=10)
+        if proc.returncode == 0:
+            return proc.stdout.strip()
+    except OSError:
+        pass
+    return "unknown"
+
+
 def machine_stamp() -> dict:
     return {
+        "sha": git_sha(),
         "utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "python": platform.python_version(),
         "machine": platform.machine(),
@@ -149,7 +222,16 @@ def main() -> int:
         print(f"appended to {BENCH_E2E_FILE} ({count} record(s))")
         return 0
     record = machine_stamp()
-    record["kernel_events_per_sec"] = round(kernel_events_per_sec())
+    coroutine_rate = round(kernel_events_per_sec())
+    callback_rate = round(kernel_callback_events_per_sec())
+    record["kernel_events_per_sec"] = coroutine_rate
+    # Dispatch-mode breakdown: the same event mix through both execution
+    # models, so the hot-path payoff of the callback core stays visible.
+    record["dispatch_modes"] = {
+        "coroutine_events_per_sec": coroutine_rate,
+        "callback_events_per_sec": callback_rate,
+        "callback_speedup": round(callback_rate / coroutine_rate, 2),
+    }
     record["e2e_fft1k_seconds"] = round(end_to_end_seconds(), 3)
     count = append_history(BENCH_FILE, record)
     print(json.dumps(record, indent=2))

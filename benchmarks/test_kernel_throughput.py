@@ -1,10 +1,20 @@
-"""Event-kernel throughput microbenchmark.
+"""Event-kernel throughput microbenchmarks.
 
 Reports events/second for the canonical mixed workload (future timeouts,
-zero-delay timeouts, event triggers) defined in ``perf_smoke.py``.  The
-same-time ready-deque fast path and timeout recycling in ``sim/engine.py``
-lift this well above the pre-optimization scheduler (~435k ev/s on the
-reference container; ~665k after — see ``BENCH_kernel.json``).
+zero-delay timeouts, event triggers) defined in ``perf_smoke.py``, in both
+execution models the kernel supports:
+
+* **coroutine dispatch** — generator processes resumed per event, the model
+  the simulator's cold paths still use;
+* **callback dispatch** — bare scheduled callbacks (``call_later`` /
+  ``call_soon`` / ``Event.callbacks``), the model of the hot CPU / MAGIC /
+  memory / network paths.
+
+The same-time ready-deque fast path and timeout recycling in
+``sim/engine.py`` lift coroutine dispatch well above the pre-optimization
+scheduler (~435k ev/s on the reference container; ~665k after); retiring
+the generator resume lifts the callback path further still — see the
+``dispatch_modes`` breakdown in ``BENCH_kernel.json``.
 """
 
 from _util import emit, once
@@ -15,9 +25,33 @@ import perf_smoke
 def test_kernel_throughput(benchmark):
     rate = once(benchmark, lambda: perf_smoke.kernel_events_per_sec(repeats=2))
     emit("kernel_throughput",
-         f"event kernel throughput: {rate:,.0f} events/sec\n"
+         f"event kernel throughput (coroutine dispatch): {rate:,.0f} events/sec\n"
          f"(workload: {perf_smoke.N_WORKERS} processes x {perf_smoke.N_STEPS}"
          f" steps x {perf_smoke.EVENTS_PER_STEP} events)")
     # Conservative floor: an order of magnitude below the reference machine,
     # so only a genuine kernel regression (not CI jitter) trips it.
     assert rate > 60_000, f"kernel throughput collapsed: {rate:,.0f} ev/s"
+
+
+def test_callback_dispatch_throughput(benchmark):
+    rate = once(benchmark,
+                lambda: perf_smoke.kernel_callback_events_per_sec(repeats=2))
+    emit("callback_throughput",
+         f"event kernel throughput (callback dispatch): {rate:,.0f} events/sec\n"
+         f"(same workload shape as the coroutine benchmark)")
+    assert rate > 60_000, f"callback throughput collapsed: {rate:,.0f} ev/s"
+
+
+def test_callback_dispatch_beats_coroutine_dispatch():
+    """The point of the callback core: the identical event mix is cheaper
+    without generator frames to resume.  Single repeat each and a generous
+    margin (no equality tolerance games) keeps this stable under CI noise."""
+    coroutine = perf_smoke.kernel_events_per_sec(repeats=1)
+    callback = perf_smoke.kernel_callback_events_per_sec(repeats=1)
+    emit("dispatch_modes",
+         f"dispatch modes: coroutine {coroutine:,.0f} ev/s,"
+         f" callback {callback:,.0f} ev/s"
+         f" ({callback / coroutine:.2f}x)")
+    assert callback > coroutine, (
+        f"callback dispatch ({callback:,.0f} ev/s) should outrun coroutine"
+        f" dispatch ({coroutine:,.0f} ev/s) on the same event mix")

@@ -12,6 +12,11 @@ processed the instant it arrives, handlers take zero cycles, directory lookup
 is an instantaneous oracle, and nothing ever stalls on queue space.  Memory
 accesses, processor-cache interventions and interface/data-transfer
 latencies remain, as does contention for memory and the network.
+
+Message intake and the outbound processor interface run in callback/state-
+machine form on the event kernel (dispatch order identical to the original
+coroutine loops); handler execution itself was always a plain synchronous
+call.
 """
 
 from __future__ import annotations
@@ -19,11 +24,11 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from ..common.params import MachineConfig
-from ..memory.controller import MemoryController
+from ..memory.controller import MemoryController, SubmitWhenReady
 from ..network.mesh import NetworkPort
 from ..protocol.coherence import Action, NodeProtocolEngine
 from ..protocol.messages import Message, MessageType as MT, TRANSFER_TYPES
-from ..sim.engine import Environment, Event
+from ..sim.engine import Environment, Event, PENDING
 from ..sim.queues import BoundedQueue
 from ..stats.breakdown import NodeStats
 
@@ -51,6 +56,7 @@ class IdealController:
         self.net_port = net_port
         self.stats = stats
         self.lat = config.latencies
+        self.name = f"ideal[{node_id}]"
         self.pi_in_q = BoundedQueue(env, None, name=f"pi.in[{node_id}]")
         self.pi_out_q = BoundedQueue(env, None, name=f"pi.out[{node_id}]")
         self._cpu_deliver: Callable[[Message], None] = lambda msg: None
@@ -58,9 +64,21 @@ class IdealController:
         self.transfers = None  # TransferDomain, attached by the Node
         self.tracer = None     # Tracer (repro.stats.trace), attached by the Machine
         self.metrics = None    # MetricsRegistry (repro.stats.metrics), attached by the Machine
-        env.process(self._pi_loop(), name=f"ideal.pi[{node_id}]")
-        env.process(self._ni_loop(), name=f"ideal.ni[{node_id}]")
-        env.process(self._pi_out(), name=f"ideal.piout[{node_id}]")
+        # Serial intake/outbound state machines (one in-flight item each).
+        self._pi_msg: Optional[Message] = None
+        self._po_bundle = None
+        self._po_start = 0.0
+        self._on_pi_msg_cb = self._on_pi_msg
+        self._pi_process_cb = self._pi_process
+        self._on_ni_msg_cb = self._on_ni_msg
+        self._on_po_bundle_cb = self._on_po_bundle
+        self._po_after_wait_cb = self._po_after_wait
+        self._po_after_pi_cb = self._po_after_pi
+        self._po_deliver_cb = self._po_deliver
+        self._writer_start_cb = self._writer_start
+        env.call_soon(self._pi_next)
+        env.call_soon(self._ni_next)
+        env.call_soon(self._po_next)
 
     # -- wiring (same interface as MagicChip) ------------------------------------
 
@@ -73,24 +91,34 @@ class IdealController:
     def pi_submit(self, message: Message):
         return self.pi_in_q.put(message)
 
-    # -- message intake -------------------------------------------------------------
+    def pi_submit_cb(self, message: Message,
+                     callback: Callable[[], None]) -> None:
+        self.pi_in_q.put_cb(message, callback)
 
-    def _pi_loop(self):
-        timeout = self.env.timeout
-        get = self.pi_in_q.get
-        pi_inbound = self.lat.pi_inbound
-        process = self._process
-        while True:
-            message = yield get()
-            yield timeout(pi_inbound)
-            process(message)
+    def pi_submit_drop(self, message: Message) -> None:
+        self.pi_in_q.put_drop(message)
 
-    def _ni_loop(self):
-        get = self.net_port.in_queue.get
-        process = self._process
-        while True:
-            message = yield get()
-            process(message)
+    # -- message intake (callback state machines) -----------------------------------
+
+    def _pi_next(self) -> None:
+        self.pi_in_q.get_cb(self._on_pi_msg_cb)
+
+    def _on_pi_msg(self, message: Message) -> None:
+        self._pi_msg = message
+        self.env.call_later(self.lat.pi_inbound, self._pi_process_cb)
+
+    def _pi_process(self) -> None:
+        message = self._pi_msg
+        self._pi_msg = None
+        self._process(message)
+        self._pi_next()
+
+    def _ni_next(self) -> None:
+        self.net_port.in_queue.get_cb(self._on_ni_msg_cb)
+
+    def _on_ni_msg(self, message: Message) -> None:
+        self._process(message)
+        self._ni_next()
 
     def _process(self, message: Message) -> None:
         self.stats.messages_in += 1
@@ -123,7 +151,7 @@ class IdealController:
         elif message.mtype == MT.XFER_DATA:
             last = self.transfers.line_arrived(message)
             wreq = self.memory.write(message.line_addr)
-            self.memory.submit(wreq)
+            self.memory.submit_drop(wreq)
             if last:
                 self.transfers.complete(self.node_id, message.src)
 
@@ -160,49 +188,62 @@ class IdealController:
         if action.needs_memory_data:
             request = self.memory.read(action.message.line_addr)
             request.trace_ctx = trace_ctx
-            self.memory.submit(request)  # unbounded queue: never blocks
+            self.memory.submit_drop(request)  # unbounded queue: never blocks
             data_ready = request.data_event
         if action.writes_memory:
             wreq = self.memory.write(action.message.line_addr)
             wreq.trace_ctx = trace_ctx
             if data_ready is None:
-                self.memory.submit(wreq)
+                self.memory.submit_drop(wreq)
             else:
-                ready = data_ready
-
-                def writer(req=wreq, ev=ready):
-                    if not ev.triggered:
-                        yield ev
-                    yield self.memory.submit(req)
-
-                env.process(writer(), name=f"ideal.wb[{self.node_id}]")
+                # The old one-shot ``writer`` process started one dispatch
+                # later (process-start hop); the call_soon mirrors it.
+                env.call_soon(self._writer_start_cb, (wreq, data_ready))
         for out in action.sends:
             attached = data_ready if out.carries_data else None
-            self.net_port.send((out, attached, None))
+            self.net_port.send_drop((out, attached, None))
         if action.cpu_deliver is not None:
-            self.pi_out_q.put((action.cpu_deliver, data_ready, None))
+            self.pi_out_q.put_drop((action.cpu_deliver, data_ready, None))
 
-    # -- processor interface, outbound --------------------------------------------------
+    def _writer_start(self, pair) -> None:
+        request, data_ready = pair
+        if data_ready._value is not PENDING:
+            self.memory.submit_drop(request)
+        else:
+            data_ready.callbacks.append(SubmitWhenReady(self.memory, request))
 
-    def _pi_out(self):
-        timeout = self.env.timeout
-        get = self.pi_out_q.get
-        pi_outbound = self.lat.pi_outbound
-        bus_transit = self.lat.pi_outbound_bus_transit
-        replay_stable = self.engine.replay_stable
-        while True:
-            message, data_ready, done = yield get()
-            tracer = self.tracer
-            pi_start = self.env._now if tracer is not None else 0.0
-            if data_ready is not None and not data_ready.triggered:
-                yield data_ready
-            yield timeout(pi_outbound)
-            yield timeout(bus_transit)
-            if tracer is not None:
-                tracer.pi_out_span(self.node_id, message, pi_start,
-                                   self.env._now)
-            self._cpu_deliver(message)
-            if done is not None and not done.triggered:
-                done.succeed()
-            for action in replay_stable(message.line_addr):
-                self._execute(action)
+    # -- processor interface, outbound (callback state machine) --------------------------
+
+    def _po_next(self) -> None:
+        self.pi_out_q.get_cb(self._on_po_bundle_cb)
+
+    def _on_po_bundle(self, bundle) -> None:
+        self._po_bundle = bundle
+        data_ready = bundle[1]
+        if self.tracer is not None:
+            self._po_start = self.env._now
+        if data_ready is not None and data_ready._value is PENDING:
+            data_ready.callbacks.append(self._po_after_wait_cb)
+            return
+        self._po_after_wait(None)
+
+    def _po_after_wait(self, _event=None) -> None:
+        self.env.call_later(self.lat.pi_outbound, self._po_after_pi_cb)
+
+    def _po_after_pi(self) -> None:
+        self.env.call_later(self.lat.pi_outbound_bus_transit,
+                            self._po_deliver_cb)
+
+    def _po_deliver(self) -> None:
+        message, _data_ready, done = self._po_bundle
+        self._po_bundle = None
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.pi_out_span(self.node_id, message, self._po_start,
+                               self.env._now)
+        self._cpu_deliver(message)
+        if done is not None and not done.triggered:
+            done.succeed()
+        for action in self.engine.replay_stable(message.line_addr):
+            self._execute(action)
+        self._po_next()

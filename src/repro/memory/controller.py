@@ -6,17 +6,39 @@ stalls until queue entry is available", Table 3.1).  The controller is
 occupied for the full line transfer, which is how memory occupancy (Table
 4.1) arises.  The ideal machine uses the same controller with an unbounded
 queue.
+
+The serve loop runs in callback/state-machine form directly on the event
+kernel (one scheduled continuation per timing edge, no coroutine), with
+dispatch order identical to the original process form: the controller serves
+one request at a time, so the in-flight request lives in instance state.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional
 
 from ..common.params import MachineConfig
 from ..sim.engine import Environment, Event, PENDING
 from ..sim.queues import BoundedQueue
 
-__all__ = ["MemoryRequest", "MemoryController"]
+__all__ = ["MemoryRequest", "MemoryController", "SubmitWhenReady"]
+
+
+class SubmitWhenReady:
+    """Submits a memory request the instant a data-source event fires — the
+    callback-core replacement for the old one-shot writer processes that did
+    ``yield data_ready; yield memory.submit(request)``.  Registered directly
+    on the data event's callbacks list, so the submit lands at exactly the
+    position the process resume occupied."""
+
+    __slots__ = ("memory", "request")
+
+    def __init__(self, memory: "MemoryController", request: "MemoryRequest"):
+        self.memory = memory
+        self.request = request
+
+    def __call__(self, _event=None) -> None:
+        self.memory.submit_drop(self.request)
 
 
 class MemoryRequest:
@@ -56,6 +78,7 @@ class MemoryController:
         self.env = env
         self.config = config
         self.node_id = node_id
+        self.name = f"{name}.serve"
         self.access_cycles = config.latencies.memory_access
         self.busy_cycles_per_access = config.memory_busy_cycles
         self.queue = BoundedQueue(env, config.limits.memory_controller_queue,
@@ -65,7 +88,15 @@ class MemoryController:
         self.writes = 0
         self.useless_reads = 0
         self.tracer = None  # Tracer (repro.stats.trace), attached by the Machine
-        env.process(self._serve(), name=f"{name}.serve")
+        self._request: Optional[MemoryRequest] = None
+        self._serve_start = 0.0
+        # One in-flight request at a time: the continuation chain below is
+        # the old _serve() process with each yield turned into a scheduled
+        # callback.  Bound once; scheduled thousands of times.
+        self._on_request_cb = self._on_request
+        self._on_data_cb = self._on_data
+        self._remainder = self.busy_cycles_per_access - self.access_cycles
+        env.call_soon(self._serve_next)
 
     def submit(self, request: MemoryRequest) -> Event:
         """Enqueue a request.  The returned event fires when the controller
@@ -73,6 +104,22 @@ class MemoryController:
         if self.tracer is not None:
             request.trace_submit = self.env._now
         return self.queue.put(request)
+
+    def submit_cb(self, request: MemoryRequest,
+                  callback: Callable[[], None]) -> None:
+        """Callback form of :meth:`submit` for the callback-core PP/inbox:
+        ``callback()`` fires when the controller queue accepted the
+        request."""
+        if self.tracer is not None:
+            request.trace_submit = self.env._now
+        self.queue.put_cb(request, callback)
+
+    def submit_drop(self, request: MemoryRequest) -> None:
+        """Fire-and-forget :meth:`submit` for call sites that never waited
+        on the returned event (the ideal controller's unbounded queue)."""
+        if self.tracer is not None:
+            request.trace_submit = self.env._now
+        self.queue.put_drop(request)
 
     def read(self, line_addr: int) -> MemoryRequest:
         request = MemoryRequest(self.env, True, line_addr)
@@ -88,29 +135,38 @@ class MemoryController:
         """Fraction of ``elapsed`` the controller was busy."""
         return self.busy_cycles / elapsed if elapsed > 0 else 0.0
 
-    def _serve(self):
-        env = self.env
-        timeout = env.timeout
-        get = self.queue.get
-        access_cycles = self.access_cycles
-        busy_per_access = self.busy_cycles_per_access
-        remainder = busy_per_access - access_cycles
-        while True:
-            request = yield get()
-            tracer = self.tracer
-            serve_start = env._now if tracer is not None else 0.0
-            yield timeout(access_cycles)
-            data_event = request.data_event
-            if data_event._value is PENDING:
-                data_event.succeed(env._now)
-            if remainder > 0:
-                yield timeout(remainder)
-            self.busy_cycles += busy_per_access
-            if request.useless:
-                self.useless_reads += 1
-            done_event = request.done_event
-            if done_event._value is PENDING:
-                done_event.succeed(env._now)
-            if tracer is not None:
-                tracer.memory_span(self.node_id, request, serve_start,
-                                   env._now, busy_per_access)
+    # -- serve loop (callback state machine) ---------------------------------
+
+    def _serve_next(self) -> None:
+        self.queue.get_cb(self._on_request_cb)
+
+    def _on_request(self, request: MemoryRequest) -> None:
+        self._request = request
+        if self.tracer is not None:
+            self._serve_start = self.env._now
+        self.env.call_later(self.access_cycles, self._on_data_cb)
+
+    def _on_data(self) -> None:
+        request = self._request
+        data_event = request.data_event
+        if data_event._value is PENDING:
+            data_event.succeed(self.env._now)
+        if self._remainder > 0:
+            self.env.call_later(self._remainder, self._on_done)
+        else:
+            self._on_done()
+
+    def _on_done(self) -> None:
+        request = self._request
+        self._request = None
+        self.busy_cycles += self.busy_cycles_per_access
+        if request.useless:
+            self.useless_reads += 1
+        done_event = request.done_event
+        if done_event._value is PENDING:
+            done_event.succeed(self.env._now)
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.memory_span(self.node_id, request, self._serve_start,
+                               self.env._now, self.busy_cycles_per_access)
+        self.queue.get_cb(self._on_request_cb)

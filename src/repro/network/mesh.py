@@ -11,6 +11,13 @@ messages up into the network, a full outgoing queue stalls the PP.
 Point-to-point ordering is preserved: two messages from the same source to
 the same destination are delivered in send order, which the protocol's
 requester-side code relies on.
+
+The per-hop delivery paths (outbound NI, transit, inbound NI) run in
+callback/state-machine form directly on the event kernel: each serial link is
+one state machine whose continuations are scheduled as bare callbacks, and
+each in-flight transit hop is a single scheduled callback instead of a
+spawned process.  Dispatch order is identical to the original coroutine
+form.  Fault-injected bounces (cold path) remain coroutines.
 """
 
 from __future__ import annotations
@@ -32,6 +39,7 @@ class NetworkPort:
         self._network = network
         self.node_id = node_id
         env = network.env
+        self.env = env
         limits = network.config.limits
         lat = network.config.latencies
         self.out_queue = BoundedQueue(env, limits.outgoing_network_queue,
@@ -42,8 +50,21 @@ class NetworkPort:
         self._wire = BoundedQueue(env, None, name=f"net.wire[{node_id}]")
         self._ni_outbound = lat.ni_outbound
         self._ni_inbound = lat.ni_inbound
-        env.process(self._outbound(), name=f"ni.out[{node_id}]")
-        env.process(self._inbound(), name=f"ni.in[{node_id}]")
+        # Serial-link state machines: one bundle/message in flight per
+        # direction, so the in-flight item lives in instance state.  The
+        # ``name`` attributes label blocked-waiter diagnoses (watchdog).
+        self.name = f"ni[{node_id}]"
+        self._out_bundle = None
+        self._out_t0 = 0.0
+        self._in_msg: Optional[Message] = None
+        self._on_out_bundle_cb = self._on_out_bundle
+        self._out_after_wait_cb = self._out_after_wait
+        self._on_out_sent_cb = self._on_out_sent
+        self._on_wire_msg_cb = self._on_wire_msg
+        self._on_ni_in_done_cb = self._on_ni_in_done
+        self._inbound_next_cb = self._inbound_next
+        env.call_soon(self._outbound_next)
+        env.call_soon(self._inbound_next)
 
     def send(self, bundle):
         """Enqueue ``(message, data_ready_event_or_None, done_event_or_None)``.
@@ -56,52 +77,91 @@ class NetworkPort:
             raise ValueError(f"message to self via network: {message}")
         return self.out_queue.put(bundle)
 
-    def _outbound(self):
-        env = self._network.env
-        timeout = env.timeout
-        get = self.out_queue.get
-        launch = self._network._launch
-        ni_outbound = self._ni_outbound
+    def send_cb(self, bundle, callback: Callable[[], None]) -> None:
+        """Callback form of :meth:`send`: ``callback()`` fires when the
+        outgoing network queue accepted the bundle."""
+        message = bundle[0]
+        if message.dst == self.node_id:
+            raise ValueError(f"message to self via network: {message}")
+        self.out_queue.put_cb(bundle, callback)
+
+    def send_drop(self, bundle) -> None:
+        """Fire-and-forget :meth:`send` for call sites that never waited on
+        the returned event (the ideal controller's unbounded queues)."""
+        message = bundle[0]
+        if message.dst == self.node_id:
+            raise ValueError(f"message to self via network: {message}")
+        self.out_queue.put_drop(bundle)
+
+    # -- outbound NI (serial link state machine) -----------------------------
+
+    def _outbound_next(self) -> None:
+        self.out_queue.get_cb(self._on_out_bundle_cb)
+
+    def _on_out_bundle(self, bundle) -> None:
+        self._out_bundle = bundle
         network = self._network
-        while True:
-            message, data_ready, done = yield get()
-            metrics = network.metrics
-            if metrics is not None:
-                # Per-link send matrix: everything this node pushes at its
-                # outbound NI, keyed by message class (fault-dropped sends
-                # included — they occupied the link).
-                metrics.msgs_sent.labels(self.node_id, message.mtype).inc()
-            tracer = network.tracer
-            t0 = env._now if tracer is not None else 0.0
-            if data_ready is not None and data_ready._value is PENDING:
-                # Pipelined data transfer: the header leaves only once the
-                # line data has begun streaming into the data buffer.
-                yield data_ready
-            if tracer is not None and env._now > t0:
-                # Waiting for the data source is not network time; it shows
-                # on the timeline but charges no component.
-                tracer.net_span(self.node_id, "data_wait", message,
-                                t0, env._now, charge=False)
-                t0 = env._now
-            yield timeout(ni_outbound)
-            if tracer is not None:
-                tracer.net_span(self.node_id, "ni_out", message, t0, env._now)
-            faults = network.faults
-            if faults is not None:
-                # Delay spikes live on the serial outbound link (not in
-                # transit) so point-to-point ordering survives injection.
-                extra = faults.transit_delay(self.node_id, message)
-                if extra:
-                    yield timeout(extra)
-                if faults.should_drop(self.node_id, message):
-                    network.env.process(self._bounce(message),
-                                        name=f"ni.bounce[{self.node_id}]")
-                    if done is not None and done._value is PENDING:
-                        done.succeed()
-                    continue
-            launch(message)
+        message = bundle[0]
+        data_ready = bundle[1]
+        metrics = network.metrics
+        if metrics is not None:
+            # Per-link send matrix: everything this node pushes at its
+            # outbound NI, keyed by message class (fault-dropped sends
+            # included — they occupied the link).
+            metrics.msgs_sent.labels(self.node_id, message.mtype).inc()
+        if network.tracer is not None:
+            self._out_t0 = self.env._now
+        if data_ready is not None and data_ready._value is PENDING:
+            # Pipelined data transfer: the header leaves only once the
+            # line data has begun streaming into the data buffer.
+            data_ready.callbacks.append(self._out_after_wait_cb)
+            return
+        self._out_after_wait(None)
+
+    def _out_after_wait(self, _event=None) -> None:
+        env = self.env
+        tracer = self._network.tracer
+        if tracer is not None and env._now > self._out_t0:
+            # Waiting for the data source is not network time; it shows
+            # on the timeline but charges no component.
+            tracer.net_span(self.node_id, "data_wait", self._out_bundle[0],
+                            self._out_t0, env._now, charge=False)
+        env.call_later(self._ni_outbound, self._on_out_sent_cb)
+
+    def _on_out_sent(self) -> None:
+        env = self.env
+        network = self._network
+        message, _data_ready, done = self._out_bundle
+        tracer = network.tracer
+        if tracer is not None:
+            tracer.net_span(self.node_id, "ni_out", message,
+                            env._now - self._ni_outbound, env._now)
+        faults = network.faults
+        if faults is not None:
+            # Delay spikes live on the serial outbound link (not in
+            # transit) so point-to-point ordering survives injection.
+            extra = faults.transit_delay(self.node_id, message)
+            if extra:
+                env.call_later(extra, self._out_fault_step)
+                return
+        self._out_fault_step()
+
+    def _out_fault_step(self) -> None:
+        network = self._network
+        message, _data_ready, done = self._out_bundle
+        self._out_bundle = None
+        faults = network.faults
+        if faults is not None and faults.should_drop(self.node_id, message):
+            self.env.process(self._bounce(message),
+                             name=f"ni.bounce[{self.node_id}]")
             if done is not None and done._value is PENDING:
                 done.succeed()
+            self._outbound_next()
+            return
+        network._launch(message)
+        if done is not None and done._value is PENDING:
+            done.succeed()
+        self._outbound_next()
 
     def _bounce(self, message: Message):
         """Fault injection: a dropped request comes back to its sender as a
@@ -115,27 +175,30 @@ class NetworkPort:
         yield network.env.timeout(2 * network.transit_cycles)
         yield self._wire.put(bounce)
 
-    def _inbound(self):
-        env = self._network.env
-        timeout = env.timeout
-        get = self._wire.get
-        put = self.in_queue.put
-        ni_inbound = self._ni_inbound
+    # -- inbound NI (serial path state machine) ------------------------------
+
+    def _inbound_next(self) -> None:
+        self._wire.get_cb(self._on_wire_msg_cb)
+
+    def _on_wire_msg(self, message: Message) -> None:
+        self._in_msg = message
         network = self._network
-        while True:
-            message = yield get()
-            metrics = network.metrics
-            if metrics is not None:
-                metrics.msgs_received.labels(self.node_id,
-                                             message.mtype).inc()
-            tracer = network.tracer
-            t0 = env._now if tracer is not None else 0.0
-            yield timeout(ni_inbound)
-            if tracer is not None:
-                tracer.net_span(self.node_id, "ni_in", message, t0, env._now)
-            # A full incoming queue backs subsequent traffic up into the
-            # network (this put blocks the inbound path).
-            yield put(message)
+        metrics = network.metrics
+        if metrics is not None:
+            metrics.msgs_received.labels(self.node_id, message.mtype).inc()
+        self.env.call_later(self._ni_inbound, self._on_ni_in_done_cb)
+
+    def _on_ni_in_done(self) -> None:
+        env = self.env
+        message = self._in_msg
+        self._in_msg = None
+        tracer = self._network.tracer
+        if tracer is not None:
+            tracer.net_span(self.node_id, "ni_in", message,
+                            env._now - self._ni_inbound, env._now)
+        # A full incoming queue backs subsequent traffic up into the
+        # network (this put blocks the inbound path).
+        self.in_queue.put_cb(message, self._inbound_next_cb)
 
 
 class Network:
@@ -145,15 +208,16 @@ class Network:
         self.env = env
         self.config = config
         self.transit_cycles = config.latencies.network_transit
+        self.faults = None  # FaultInjector (repro.faults), attached by the Machine
+        self.tracer = None  # Tracer (repro.stats.trace), attached by the Machine
+        self.metrics = None  # MetricsRegistry (repro.stats.metrics), attached by the Machine
+        self._transit_arrive_cb = self._transit_arrive
         self.ports: List[NetworkPort] = [
             NetworkPort(self, node) for node in range(config.n_procs)
         ]
         self.messages_sent = 0
         self.peak_in_flight = 0
         self._in_flight = 0
-        self.faults = None  # FaultInjector (repro.faults), attached by the Machine
-        self.tracer = None  # Tracer (repro.stats.trace), attached by the Machine
-        self.metrics = None  # MetricsRegistry (repro.stats.metrics), attached by the Machine
 
     def port(self, node_id: int) -> NetworkPort:
         return self.ports[node_id]
@@ -164,16 +228,18 @@ class Network:
         self._in_flight = in_flight
         if in_flight > self.peak_in_flight:
             self.peak_in_flight = in_flight
-        self.env.process(self._transit(message), name="net.transit")
+        # One scheduled callback replaces the per-message transit process
+        # (start resume + timeout): the message goes straight onto the
+        # calendar for its arrival instant.
+        self.env.call_later(self.transit_cycles, self._transit_arrive_cb,
+                            message)
 
-    def _transit(self, message: Message):
-        tracer = self.tracer
-        t0 = self.env._now if tracer is not None else 0.0
-        yield self.env.timeout(self.transit_cycles)
+    def _transit_arrive(self, message: Message) -> None:
         self._in_flight -= 1
+        tracer = self.tracer
         if tracer is not None:
             # Attributed to the destination node's timeline (the hop "ends"
             # there); the component charge is node-agnostic either way.
-            tracer.net_span(message.dst, "transit", message, t0,
-                            self.env._now)
-        yield self.ports[message.dst]._wire.put(message)
+            tracer.net_span(message.dst, "transit", message,
+                            self.env._now - self.transit_cycles, self.env._now)
+        self.ports[message.dst]._wire.put_drop(message)

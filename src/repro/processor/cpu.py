@@ -23,15 +23,24 @@ The k-reference forms model code that walks every word of a line (16 8-byte
 words per 128-byte line): one cache access decides hit/miss, the remaining
 k-1 references are same-line hits charged only issue time.
 
-Cache hits and compute are batched locally and yielded to the simulator in
+Cache hits and compute are batched locally and charged to the simulator in
 bounded quanta; misses, interventions and synchronization are fully
 event-accurate.  Time is charged to the Figure 4.1 categories (Busy, Cont,
 Read, Write, Sync).
+
+The execution loop runs in callback/state-machine form on the event kernel:
+:meth:`CPU._loop` consumes consecutive hitting references and compute ops in
+plain Python and only materializes a continuation — a bound method scheduled
+as a bare callback — on a miss, an MSHR hit, a sync op, a block transfer, or
+quantum expiry.  The kernel sees misses, not references, and no generator
+frame exists at all between them.  Dispatch order (and therefore every
+simulated result) is identical to the original coroutine form; see DESIGN.md
+"Performance engineering".
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Optional, Tuple
+from typing import Iterable, Optional, Tuple
 
 from ..caches.mshr import MSHRFile
 from ..caches.setassoc import CacheState, SetAssocCache
@@ -72,6 +81,7 @@ class CPU:
         self.controller = controller
         self.sync = sync
         self.times = times if times is not None else CpuTimes()
+        self.name = f"cpu[{node_id}]"
         self.cache = SetAssocCache(config.proc_cache, name=f"L2[{node_id}]")
         self.mshrs = MSHRFile(config.proc_cache.mshrs, self.cache)
         self.cache_busy_until = 0.0
@@ -86,6 +96,47 @@ class CPU:
         self.transfers = getattr(controller, "transfers", None)
         self.tracer = None  # Tracer (repro.stats.trace), attached by the Machine
         self._done = Event(env)
+        # Execution state machine: one logical thread, so everything the old
+        # generator kept in frame locals lives in instance fields between
+        # continuations.
+        self._ops = None
+        self._batched = 0.0
+        self._after_flush = None       # continuation parked across a flush
+        self._fence_cont = None        # continuation parked across a fence
+        self._pending_entry = None     # MSHR entry a merged read waits on
+        self._miss_line = 0
+        self._miss_state = CacheState.INVALID
+        self._miss_waiter: Optional[Event] = None
+        self._stall_start = 0.0
+        self._op: Optional[Tuple] = None
+        self._op_arg = 0
+        # Bound once; scheduled thousands of times.
+        self._loop_cb = self._loop
+        self._flush_tail_cb = self._flush_tail
+        self._fence_recheck_cb = self._fence_recheck
+        self._rmerge_after_flush_cb = self._rmerge_after_flush
+        self._rmerge_done_cb = self._rmerge_done
+        self._read_miss_begin_cb = self._read_miss_begin
+        self._rm_space_cb = self._rm_space
+        self._rm_submit_cb = self._rm_submit
+        self._rm_wait_cb = self._rm_wait
+        self._rm_done_cb = self._rm_done
+        self._write_miss_begin_cb = self._write_miss_begin
+        self._wm_conflict_cb = self._wm_conflict
+        self._wm_space_cb = self._wm_space
+        self._wm_submit_cb = self._wm_submit
+        self._wm_done_cb = self._wm_done
+        self._barrier_fence_cb = self._barrier_fence
+        self._barrier_enter_cb = self._barrier_enter
+        self._sync_done_cb = self._sync_done
+        self._lock_begin_cb = self._lock_begin
+        self._unlock_fence_cb = self._unlock_fence
+        self._unlock_release_cb = self._unlock_release
+        self._send_begin_cb = self._send_begin
+        self._send_done_cb = self._send_done
+        self._recv_begin_cb = self._recv_begin
+        self._finish_cb = self._finish
+        self._evict_post_cb = self._evict_post
 
     # -- controller-facing callbacks --------------------------------------------
 
@@ -138,21 +189,20 @@ class CPU:
     # -- the execution loop ---------------------------------------------------------
 
     def run(self, ops: Iterable[Tuple]) -> Event:
-        """Spawn the processor executing ``ops``; returns its completion
-        process (an event)."""
-        process = self.env.process(self._run(iter(ops)),
-                                   name=f"cpu[{self.node_id}]")
-        return process
+        """Start the processor executing ``ops``; returns its completion
+        event (fires when the stream is exhausted)."""
+        self._ops = iter(ops)
+        # The current-time hop mirrors the old process-start resume.
+        self.env.call_soon(self._loop_cb)
+        return self._done
 
-    def _run(self, ops: Iterator[Tuple]):
+    def _loop(self) -> None:
         # Hit-run inner loop: consecutive hitting references and compute ops
         # are consumed in plain Python — cache geometry as local shift/mask
         # bindings, hit/miss decision as one dict pop/insert, time charged in
-        # bulk through ``batched`` — and the generator only yields to the
-        # event kernel on a miss, an MSHR hit, a sync op, a block transfer,
-        # or quantum expiry.  The kernel sees misses, not references.
-        # Timing (and therefore every result) is identical to the unbatched
-        # form; see DESIGN.md "Performance engineering".
+        # bulk through ``batched`` — and control only returns to the event
+        # kernel on a miss, an MSHR hit, a sync op, a block transfer, or
+        # quantum expiry.  The kernel sees misses, not references.
         cache = self.cache
         sets = cache._sets
         line_shift = cache.line_shift
@@ -163,8 +213,9 @@ class CPU:
         quantum = self.quantum
         cpr = CYCLES_PER_REFERENCE
         SHARED = CacheState.SHARED
-        batched = 0.0
-        for op in ops:
+        flush_then = self._flush_then
+        batched = self._batched
+        for op in self._ops:
             kind = op[0]
             if kind == "r":
                 k = op[2] if len(op) > 2 else 1
@@ -177,11 +228,11 @@ class CPU:
                     self.read_merges += 1
                     if k > 1:
                         stats.read_hits += k - 1
-                    batched = yield from self._flush(batched)
-                    # The flush yielded: the miss may have completed already.
-                    if mshr_get(line) is entry:
-                        yield from self._wait_for_entry(entry, is_read=True)
-                    continue
+                    self._batched = batched
+                    self._pending_entry = entry
+                    self._miss_line = line
+                    flush_then(self._rmerge_after_flush_cb)
+                    return
                 cache_set = sets[(line >> line_shift) & set_mask]
                 tag = line >> tag_shift
                 state = cache_set.pop(tag, None)
@@ -189,13 +240,16 @@ class CPU:
                     stats.read_misses += 1
                     if k > 1:
                         stats.read_hits += k - 1
-                    batched = yield from self._flush(batched)
-                    yield from self._read_miss(line)
-                else:
-                    cache_set[tag] = state  # MRU
-                    stats.read_hits += k
-                    if batched >= quantum:
-                        batched = yield from self._flush(batched)
+                    self._batched = batched
+                    self._miss_line = line
+                    flush_then(self._read_miss_begin_cb)
+                    return
+                cache_set[tag] = state  # MRU
+                stats.read_hits += k
+                if batched >= quantum:
+                    self._batched = batched
+                    flush_then(self._loop_cb)
+                    return
             elif kind == "w":
                 k = op[2] if len(op) > 2 else 1
                 self.total_writes += k
@@ -217,61 +271,65 @@ class CPU:
                     stats.write_misses += 1
                     if k > 1:
                         stats.write_hits += k - 1
-                    batched = yield from self._flush(batched)
-                    yield from self._write_miss(line, CacheState.INVALID)
+                    self._batched = batched
+                    self._miss_line = line
+                    self._miss_state = CacheState.INVALID
+                    flush_then(self._write_miss_begin_cb)
+                    return
                 elif state == SHARED:
                     cache_set[tag] = state  # MRU; upgrade required
                     stats.write_misses += 1
                     if k > 1:
                         stats.write_hits += k - 1
-                    batched = yield from self._flush(batched)
-                    yield from self._write_miss(line, SHARED)
+                    self._batched = batched
+                    self._miss_line = line
+                    self._miss_state = SHARED
+                    flush_then(self._write_miss_begin_cb)
+                    return
                 else:
                     cache_set[tag] = state  # MRU
                     stats.write_hits += k
                     if batched >= quantum:
-                        batched = yield from self._flush(batched)
+                        self._batched = batched
+                        flush_then(self._loop_cb)
+                        return
             elif kind == "c":
                 batched += op[1]
                 if batched >= quantum:
-                    batched = yield from self._flush(batched)
+                    self._batched = batched
+                    flush_then(self._loop_cb)
+                    return
             elif kind == "b":
-                batched = yield from self._flush(batched)
-                start = self.env.now
-                # Release semantics: outstanding misses drain before the
-                # barrier (otherwise a non-blocking write could race past it).
-                yield from self._fence()
-                yield self.sync.barrier(op[1])
-                self.times.sync += self.env.now - start
+                self._batched = batched
+                self._op_arg = op[1]
+                flush_then(self._barrier_fence_cb)
+                return
             elif kind == "l":
-                batched = yield from self._flush(batched)
-                start = self.env.now
-                yield self.sync.acquire(op[1])
-                self.times.sync += self.env.now - start
+                self._batched = batched
+                self._op_arg = op[1]
+                flush_then(self._lock_begin_cb)
+                return
             elif kind == "u":
-                batched = yield from self._flush(batched)
-                start = self.env.now
-                yield from self._fence()
-                self.times.sync += self.env.now - start
-                self.sync.release(op[1])
+                self._batched = batched
+                self._op_arg = op[1]
+                flush_then(self._unlock_fence_cb)
+                return
             elif kind == "s":
-                batched = yield from self._flush(batched)
-                _k, dst, addr, nbytes = op
-                descriptor = Message(
-                    MT.XFER_SEND, line_address(addr), self.node_id,
-                    self.node_id, dst, nbytes=nbytes,
-                )
-                start = self.env.now
-                yield self.controller.pi_submit(descriptor)
-                self.times.write_stall += self.env.now - start
+                self._batched = batched
+                self._op = op
+                flush_then(self._send_begin_cb)
+                return
             elif kind == "v":
-                batched = yield from self._flush(batched)
-                start = self.env.now
-                yield self.transfers.receive(self.node_id, op[1])
-                self.times.sync += self.env.now - start
+                self._batched = batched
+                self._op_arg = op[1]
+                flush_then(self._recv_begin_cb)
+                return
             else:
                 raise WorkloadError(f"unknown operation {op!r}")
-        yield from self._flush(batched)
+        self._batched = batched
+        flush_then(self._finish_cb)
+
+    def _finish(self) -> None:
         self.times.finish_time = self.env.now
         self._done.succeed()
 
@@ -281,77 +339,223 @@ class CPU:
 
     # -- time accounting helpers ------------------------------------------------------
 
-    def _flush(self, batched: float):
-        """Convert batched hit/compute cycles into simulated time."""
+    def _flush_then(self, cont) -> None:
+        """Convert batched hit/compute cycles into simulated time, then run
+        ``cont``.  Each timing edge the old ``_flush`` expressed as a yield
+        is one scheduled callback; with nothing to charge, ``cont`` runs
+        inline — exactly like a ``yield from`` that never yielded."""
+        batched = self._batched
         if batched > 0:
+            self._batched = 0.0
             self.times.busy += batched
-            yield self.env.timeout(batched)
-        if self.env.now < self.cache_busy_until:
+            self._after_flush = cont
+            self.env.call_later(batched, self._flush_tail_cb)
+            return
+        now = self.env._now
+        if now < self.cache_busy_until:
             # The controller is using the cache: the processor waits (Cont).
-            wait = self.cache_busy_until - self.env.now
+            wait = self.cache_busy_until - now
             self.times.cont += wait
-            yield self.env.timeout(wait)
-        return 0.0
+            self.env.call_later(wait, cont)
+            return
+        cont()
 
-    def _fence(self):
-        """Wait for every outstanding miss to complete."""
-        while len(self.mshrs):
-            yield self._any_completion()
+    def _flush_tail(self) -> None:
+        cont = self._after_flush
+        self._after_flush = None
+        now = self.env._now
+        if now < self.cache_busy_until:
+            wait = self.cache_busy_until - now
+            self.times.cont += wait
+            self.env.call_later(wait, cont)
+            return
+        cont()
 
-    def _wait_for_entry(self, entry, is_read: bool):
-        start = self.env.now
-        waiter = Event(self.env)
-        entry.waiters.append(waiter)
-        yield waiter
-        elapsed = self.env.now - start
-        if is_read:
-            self.times.read_stall += elapsed
+    def _fence_then(self, cont) -> None:
+        """Wait for every outstanding miss to complete, then run ``cont``."""
+        if len(self.mshrs):
+            self._fence_cont = cont
+            self._any_completion().callbacks.append(self._fence_recheck_cb)
+            return
+        cont()
+
+    def _fence_recheck(self, _event) -> None:
+        if len(self.mshrs):
+            self._any_completion().callbacks.append(self._fence_recheck_cb)
+            return
+        cont = self._fence_cont
+        self._fence_cont = None
+        cont()
+
+    def _wait_event(self, event: Event, callback) -> None:
+        """Register ``callback`` on ``event`` exactly as a process yield
+        would (ready re-queue when already dispatched)."""
+        callbacks = event.callbacks
+        if callbacks is None:
+            self.env._ready.append((callback, event))
         else:
-            self.times.write_stall += elapsed
+            callbacks.append(callback)
+
+    # -- read-merge stall ---------------------------------------------------------------
+
+    def _rmerge_after_flush(self) -> None:
+        entry = self._pending_entry
+        self._pending_entry = None
+        # The flush took time: the miss may have completed already.
+        if self.mshrs.entries.get(self._miss_line) is entry:
+            self._stall_start = self.env._now
+            waiter = Event(self.env)
+            entry.waiters.append(waiter)
+            waiter.callbacks.append(self._rmerge_done_cb)
+            return
+        self._loop()
+
+    def _rmerge_done(self, _event) -> None:
+        self.times.read_stall += self.env._now - self._stall_start
+        self._loop()
 
     # -- miss handling ------------------------------------------------------------------
 
-    def _read_miss(self, line: int):
-        start = self.env.now
+    def _read_miss_begin(self) -> None:
+        line = self._miss_line
+        start = self.env._now
+        self._stall_start = start
         if self.tracer is not None:
             self.tracer.txn_issue(self.node_id, line, False, start)
         if self.mshrs.is_full:
             self.mshrs.full_stalls += 1
-        while self.mshrs.is_full:
-            yield self._any_completion()
-        entry = self.mshrs.allocate(line, False, self.env.now)
+            self._any_completion().callbacks.append(self._rm_space_cb)
+            return
+        self._rm_allocate()
+
+    def _rm_space(self, _event) -> None:
+        if self.mshrs.is_full:
+            self._any_completion().callbacks.append(self._rm_space_cb)
+            return
+        self._rm_allocate()
+
+    def _rm_allocate(self) -> None:
+        entry = self.mshrs.allocate(self._miss_line, False, self.env._now)
         waiter = Event(self.env)
         entry.waiters.append(waiter)
-        yield self.env.timeout(self.lat.miss_detect_to_bus + self.lat.bus_transit)
-        message = Message(MT.GET, line, self.node_id, self.node_id,
-                          self.node_id, is_write=False)
-        yield self.controller.pi_submit(message)
-        yield waiter  # blocking read
-        self.times.read_stall += self.env.now - start
+        self._miss_waiter = waiter
+        self.env.call_later(self.lat.miss_detect_to_bus + self.lat.bus_transit,
+                            self._rm_submit_cb)
 
-    def _write_miss(self, line: int, state: str):
-        start = self.env.now
+    def _rm_submit(self) -> None:
+        message = Message(MT.GET, self._miss_line, self.node_id, self.node_id,
+                          self.node_id, is_write=False)
+        self.controller.pi_submit_cb(message, self._rm_wait_cb)
+
+    def _rm_wait(self) -> None:
+        # Blocking read: park on the fill waiter.
+        waiter = self._miss_waiter
+        self._miss_waiter = None
+        self._wait_event(waiter, self._rm_done_cb)
+
+    def _rm_done(self, _event) -> None:
+        self.times.read_stall += self.env._now - self._stall_start
+        self._loop()
+
+    def _write_miss_begin(self) -> None:
+        line = self._miss_line
+        self._stall_start = self.env._now
         if self.tracer is not None:
-            self.tracer.txn_issue(self.node_id, line, True, start)
+            self.tracer.txn_issue(self.node_id, line, True, self._stall_start)
         # A write to a line that maps to the same index as, but a different
         # tag than, an outstanding miss stalls the processor.
-        if self.mshrs.index_conflict(line):
-            self.mshrs.conflict_stalls += 1
-        while self.mshrs.index_conflict(line):
-            yield self._any_completion()
+        mshrs = self.mshrs
+        if mshrs.index_conflict(line):
+            mshrs.conflict_stalls += 1
+            self._any_completion().callbacks.append(self._wm_conflict_cb)
+            return
+        self._wm_check_full()
+
+    def _wm_conflict(self, _event) -> None:
+        if self.mshrs.index_conflict(self._miss_line):
+            self._any_completion().callbacks.append(self._wm_conflict_cb)
+            return
+        self._wm_check_full()
+
+    def _wm_check_full(self) -> None:
+        mshrs = self.mshrs
+        if mshrs.is_full:
+            mshrs.full_stalls += 1
+            self._any_completion().callbacks.append(self._wm_space_cb)
+            return
+        self._wm_allocate()
+
+    def _wm_space(self, _event) -> None:
         if self.mshrs.is_full:
-            self.mshrs.full_stalls += 1
-        while self.mshrs.is_full:
-            yield self._any_completion()
-        entry = self.mshrs.allocate(line, True, self.env.now)
-        yield self.env.timeout(self.lat.miss_detect_to_bus + self.lat.bus_transit)
-        mtype = MT.UPGRADE if state == CacheState.SHARED else MT.GETX
-        message = Message(mtype, line, self.node_id, self.node_id,
+            self._any_completion().callbacks.append(self._wm_space_cb)
+            return
+        self._wm_allocate()
+
+    def _wm_allocate(self) -> None:
+        self.mshrs.allocate(self._miss_line, True, self.env._now)
+        self.env.call_later(self.lat.miss_detect_to_bus + self.lat.bus_transit,
+                            self._wm_submit_cb)
+
+    def _wm_submit(self) -> None:
+        mtype = MT.UPGRADE if self._miss_state == CacheState.SHARED else MT.GETX
+        message = Message(mtype, self._miss_line, self.node_id, self.node_id,
                           self.node_id, is_write=True)
-        yield self.controller.pi_submit(message)
+        self.controller.pi_submit_cb(message, self._wm_done_cb)
+
+    def _wm_done(self) -> None:
         # Non-blocking write: the processor continues; only the time spent
         # waiting for MSHR space / conflicts / queue space is write stall.
-        self.times.write_stall += self.env.now - start
+        self.times.write_stall += self.env._now - self._stall_start
+        self._loop()
+
+    # -- synchronization / transfers ----------------------------------------------------
+
+    def _barrier_fence(self) -> None:
+        self._stall_start = self.env._now
+        # Release semantics: outstanding misses drain before the barrier
+        # (otherwise a non-blocking write could race past it).
+        self._fence_then(self._barrier_enter_cb)
+
+    def _barrier_enter(self) -> None:
+        self._wait_event(self.sync.barrier(self._op_arg), self._sync_done_cb)
+
+    def _lock_begin(self) -> None:
+        self._stall_start = self.env._now
+        self._wait_event(self.sync.acquire(self._op_arg), self._sync_done_cb)
+
+    def _sync_done(self, _event=None) -> None:
+        self.times.sync += self.env._now - self._stall_start
+        self._loop()
+
+    def _unlock_fence(self) -> None:
+        self._stall_start = self.env._now
+        self._fence_then(self._unlock_release_cb)
+
+    def _unlock_release(self) -> None:
+        self.times.sync += self.env._now - self._stall_start
+        self.sync.release(self._op_arg)
+        self._loop()
+
+    def _send_begin(self) -> None:
+        _k, dst, addr, nbytes = self._op
+        self._op = None
+        descriptor = Message(
+            MT.XFER_SEND, line_address(addr), self.node_id,
+            self.node_id, dst, nbytes=nbytes,
+        )
+        self._stall_start = self.env._now
+        self.controller.pi_submit_cb(descriptor, self._send_done_cb)
+
+    def _send_done(self) -> None:
+        self.times.write_stall += self.env._now - self._stall_start
+        self._loop()
+
+    def _recv_begin(self) -> None:
+        self._stall_start = self.env._now
+        self._wait_event(self.transfers.receive(self.node_id, self._op_arg),
+                         self._sync_done_cb)
+
+    # -- deferred issue (cold paths) ----------------------------------------------------
 
     def _issue_write_async(self, line: int):
         """Upgrade issued on behalf of a write that merged into a read."""
@@ -390,13 +594,15 @@ class CPU:
     def _post_eviction(self, victim: Tuple[int, str]) -> None:
         line, state = victim
         mtype = MT.WRITEBACK if state == CacheState.DIRTY else MT.REPL_HINT
+        # Current-time hop mirrors the old poster process's start resume; the
+        # PI put's completion was never waited on, so it is dropped.
+        self.env.call_soon(self._evict_post_cb, (mtype, line))
 
-        def poster():
-            message = Message(mtype, line, self.node_id, self.node_id,
-                              self.node_id)
-            yield self.controller.pi_submit(message)
-
-        self.env.process(poster(), name=f"cpu.evict[{self.node_id}]")
+    def _evict_post(self, pair) -> None:
+        mtype, line = pair
+        message = Message(mtype, line, self.node_id, self.node_id,
+                          self.node_id)
+        self.controller.pi_submit_drop(message)
 
 
 class _OneShotRelay:

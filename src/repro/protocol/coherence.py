@@ -75,7 +75,7 @@ class Handler:
     RETRY_BOUNCE = "retry_bounce"              # fault-injected drop: re-send
 
 
-@dataclass
+@dataclass(slots=True)
 class Action:
     """What one handler invocation did; the timing layer executes this."""
 
@@ -98,7 +98,7 @@ class Action:
     send_delay: float = 0.0
 
 
-@dataclass
+@dataclass(slots=True)
 class _PendingWrite:
     """Requester-side invalidation-ack collection for one write miss."""
 

@@ -10,7 +10,6 @@ original requester (needed for three-hop transactions).
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from typing import Optional
 
 __all__ = ["MessageType", "Message", "DATA_BEARING"]
@@ -84,29 +83,37 @@ TRANSFER_TYPES = frozenset({
 _sequence = itertools.count()
 
 
-@dataclass
 class Message:
-    """One protocol message."""
+    """One protocol message.
 
-    mtype: str
-    line_addr: int
-    src: int                          # node sending this message
-    dst: int                          # node that must process it
-    requester: int                    # node whose processor started the transaction
-    is_write: bool = False            # transaction kind for miss classification
-    n_invals: int = 0                 # acks the requester must collect (PUTX/UPGRADE_ACK)
-    data_stale: bool = False          # memory copy is stale (speculation is useless)
-    nbytes: int = 0                   # block-transfer payload size (XFER_*)
-    orig: Optional["Message"] = None  # dropped original carried by a BOUNCE
-    uid: int = field(default_factory=lambda: next(_sequence))
+    Hand-rolled slots class (not a dataclass): a simulated run constructs one
+    Message per protocol hop, so construction cost is on the hot path.
+    """
 
-    def __post_init__(self) -> None:
-        if self.line_addr < 0:
-            raise ValueError(f"negative line address {self.line_addr}")
+    __slots__ = ("mtype", "line_addr", "src", "dst", "requester", "is_write",
+                 "n_invals", "data_stale", "nbytes", "orig", "uid",
+                 "carries_data")
 
-    @property
-    def carries_data(self) -> bool:
-        return self.mtype in DATA_BEARING
+    def __init__(self, mtype: str, line_addr: int, src: int, dst: int,
+                 requester: int, is_write: bool = False, n_invals: int = 0,
+                 data_stale: bool = False, nbytes: int = 0,
+                 orig: Optional["Message"] = None, uid: Optional[int] = None):
+        if line_addr < 0:
+            raise ValueError(f"negative line address {line_addr}")
+        self.mtype = mtype
+        self.line_addr = line_addr
+        self.src = src                  # node sending this message
+        self.dst = dst                  # node that must process it
+        self.requester = requester      # node whose processor started the transaction
+        self.is_write = is_write        # transaction kind for miss classification
+        self.n_invals = n_invals        # acks the requester must collect (PUTX/UPGRADE_ACK)
+        self.data_stale = data_stale    # memory copy is stale (speculation is useless)
+        self.nbytes = nbytes            # block-transfer payload size (XFER_*)
+        self.orig = orig                # dropped original carried by a BOUNCE
+        self.uid = next(_sequence) if uid is None else uid
+        # Precomputed ``mtype in DATA_BEARING`` — checked several times per
+        # message on the intake/outbound hot paths.
+        self.carries_data = mtype in DATA_BEARING
 
     def reply(self, mtype: str, dst: Optional[int] = None, **kwargs) -> "Message":
         """Construct a follow-on message for the same transaction."""

@@ -22,9 +22,11 @@ __all__ = [
     "Event",
     "Timeout",
     "Process",
+    "Subtask",
     "AllOf",
     "AnyOf",
     "SimulationError",
+    "NO_ARG",
 ]
 
 
@@ -36,6 +38,9 @@ PENDING = object()
 
 #: Sentinel for "call the queued callback with no argument".
 _NO_ARG = object()
+#: Public alias: callback-mode subsystems (queues, state machines) use it to
+#: schedule argument-less continuations through the same tuple fast path.
+NO_ARG = _NO_ARG
 
 # Timeout pooling relies on CPython reference-count semantics to prove that
 # nobody else can observe the recycled object (see Environment.run).
@@ -252,6 +257,54 @@ class Process(Event):
             callbacks.append(self._resume)
 
 
+class Subtask:
+    """Drives a generator without a :class:`Process` wrapper.
+
+    Callback-core state machines use this for cold sub-flows that used to run
+    via ``yield from`` inside a process (e.g. block transfers on the PP): the
+    first step runs inline at :meth:`start` — exactly like ``yield from`` —
+    each yielded event registers the resume at the same callbacks-list /
+    ready-deque position ``Process._on_event`` would, and on completion
+    ``done_cb`` runs inline where the enclosing generator would have
+    continued.  No completion event is created, so a finished subtask adds no
+    dispatch the process form would not have added (its process-end event
+    carried no callbacks).
+    """
+
+    __slots__ = ("env", "_send", "_step_cb", "done_cb", "name")
+
+    def __init__(self, env: "Environment", generator: Generator,
+                 done_cb: Optional[Callable[[], None]] = None,
+                 name: str = "") -> None:
+        self.env = env
+        self._send = generator.send
+        self._step_cb = self._step  # bound once; registered once per yield
+        self.done_cb = done_cb
+        self.name = name or getattr(generator, "__name__", "subtask")
+
+    def start(self) -> None:
+        self._advance(None)
+
+    def _step(self, event: Event) -> None:
+        self._advance(event._value)
+
+    def _advance(self, value: Any) -> None:
+        try:
+            target = self._send(value)
+        except StopIteration:
+            done_cb = self.done_cb
+            if done_cb is not None:
+                done_cb()
+            return
+        # target.add_callback(self._step), inlined — identical registration
+        # to the Process resume path.
+        callbacks = target.callbacks
+        if callbacks is None:
+            self.env._ready.append((self._step_cb, target))
+        else:
+            callbacks.append(self._step_cb)
+
+
 class AllOf(Event):
     """Fires when every child event has fired; value is the list of values."""
 
@@ -402,6 +455,39 @@ class Environment:
             return timeout
         return Timeout(self, delay, value)
 
+    def call_later(self, delay: float, callback: Callable[..., None],
+                   arg: Any = _NO_ARG) -> None:
+        """Schedule ``callback(arg)`` (or ``callback()`` with the default
+        sentinel) ``delay`` cycles from now.
+
+        This is the callback-core replacement for ``yield env.timeout(d)``:
+        the continuation is stored as a bare ``(callback, arg)`` tuple —
+        no Timeout object, no callbacks list, no pooling bookkeeping — and
+        fires at exactly the position a Timeout scheduled at the same
+        instant would have fired (ready deque for ``delay <= 0``, calendar
+        bucket otherwise), so dispatch order is identical to the event form.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        entry = (callback, arg)
+        when = self._now + delay
+        if when <= self._now:
+            self._ready.append(entry)
+        else:
+            buckets = self._buckets
+            bucket = buckets.get(when)
+            if bucket is None:
+                buckets[when] = [entry]
+                heapq.heappush(self._whens, when)
+            else:
+                bucket.append(entry)
+
+    def call_soon(self, callback: Callable[..., None], arg: Any = _NO_ARG) -> None:
+        """Schedule ``callback(arg)`` at the current simulation time — the
+        callback-core replacement for the process-start hop (a new Process
+        queues its first resume the same way)."""
+        self._ready.append((callback, arg))
+
     def event(self) -> Event:
         return Event(self)
 
@@ -436,6 +522,14 @@ class Environment:
         event_pool = self._event_pool
         heappop = heapq.heappop
         refcount = sys.getrefcount if _REFCOUNT_POOLING else None
+        # Local bindings for names the dispatch loop reads per event: a
+        # LOAD_FAST per iteration instead of a global/builtin lookup.
+        cls_tuple = tuple
+        cls_timeout = Timeout
+        cls_event = Event
+        no_arg = _NO_ARG
+        pending = PENDING
+        free_refcount = _FREE_REFCOUNT
         # A ready entry is either an Event itself or a ``(callback, arg)``
         # tuple for queued callbacks — the event-as-entry form saves a tuple
         # allocation and unpack on the dominant trigger path.
@@ -456,16 +550,16 @@ class Environment:
             while ready:
                 event = ready.popleft()
                 cls = event.__class__
-                if cls is tuple:
+                if cls is cls_tuple:
                     callback, arg = event
-                    if arg is _NO_ARG:
+                    if arg is no_arg:
                         callback()
                     else:
                         callback(arg)
                     continue
-                if cls is Timeout:
+                if cls is cls_timeout:
                     # Timeout._dispatch, inlined.
-                    if event._value is PENDING:
+                    if event._value is pending:
                         event._value = event._pending_value
                         event._ok = True
                     callbacks = event.callbacks
@@ -474,7 +568,7 @@ class Environment:
                         callback(event)
                     if (
                         refcount is not None
-                        and refcount(event) == _FREE_REFCOUNT
+                        and refcount(event) == free_refcount
                     ):
                         # Pool invariant: a pooled object carries an empty
                         # callbacks list, so reuse spares consumers a fresh
@@ -484,7 +578,7 @@ class Environment:
                         event.callbacks = callbacks
                         pool.append(event)
                     continue
-                if cls is Event:
+                if cls is cls_event:
                     # Event._dispatch, inlined.
                     callbacks = event.callbacks
                     event.callbacks = None
@@ -492,7 +586,7 @@ class Environment:
                         callback(event)
                     if (
                         refcount is not None
-                        and refcount(event) == _FREE_REFCOUNT
+                        and refcount(event) == free_refcount
                     ):
                         if callbacks:
                             callbacks.clear()
@@ -505,7 +599,7 @@ class Environment:
                 if (
                     not event._ok
                     and not event.callbacks
-                    and event._value is not PENDING
+                    and event._value is not pending
                     and isinstance(event, Process)
                 ):
                     # A process died with nobody waiting on it: surface
@@ -528,9 +622,17 @@ class Environment:
             bucket.reverse()
             while bucket:
                 event = bucket.pop()
-                if event.__class__ is Timeout:
+                cls = event.__class__
+                if cls is cls_tuple:
+                    # A call_later continuation: bare (callback, arg).
+                    callback, arg = event
+                    if arg is no_arg:
+                        callback()
+                    else:
+                        callback(arg)
+                elif cls is cls_timeout:
                     # Timeout._dispatch, inlined.
-                    if event._value is PENDING:
+                    if event._value is pending:
                         event._value = event._pending_value
                         event._ok = True
                     callbacks = event.callbacks
@@ -539,7 +641,7 @@ class Environment:
                         callback(event)
                     if (
                         refcount is not None
-                        and refcount(event) == _FREE_REFCOUNT
+                        and refcount(event) == free_refcount
                     ):
                         if callbacks:
                             callbacks.clear()
@@ -608,7 +710,15 @@ class Environment:
                     countdown = interval
                     watchdog.events_dispatched += interval
                     watchdog.check()
-                bucket.pop()._dispatch()
+                event = bucket.pop()
+                if event.__class__ is tuple:
+                    callback, arg = event
+                    if arg is _NO_ARG:
+                        callback()
+                    else:
+                        callback(arg)
+                else:
+                    event._dispatch()
         if until is not None and until > self._now:
             self._now = until
         return self._now

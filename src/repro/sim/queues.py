@@ -11,15 +11,24 @@ completed immediately, exactly as ``Event.succeed`` would, but without the
 extra calls), and event objects are drawn from the environment's recycled
 event pool when one is available.  Scheduling order is identical to the
 call-based form.
+
+Every blocking operation also has a *callback form* (``put_cb``/``get_cb``/
+``acquire_cb``) used by the callback-core subsystems: instead of returning an
+event to wait on, the continuation is scheduled as a bare ``(callback, value)``
+tuple at exactly the ready-deque position where the event would have fired,
+so coroutine and callback consumers can share a queue with identical
+dispatch order.  Waiter deques may therefore hold either pending
+:class:`Event` objects or plain callables; the wake paths dispatch on the
+concrete type.
 """
 
 from __future__ import annotations
 
 import re
 from collections import deque
-from typing import Any, Deque, Optional
+from typing import Any, Callable, Deque, Optional
 
-from .engine import PENDING, Environment, Event, SimulationError
+from .engine import NO_ARG, PENDING, Environment, Event, SimulationError
 
 __all__ = ["BoundedQueue", "CountingResource", "node_of_queue"]
 
@@ -86,7 +95,10 @@ class BoundedQueue:
         if getters and not items:
             # Hand the item straight to the oldest waiting consumer.
             getter = getters.popleft()
-            getter.succeed(item)
+            if getter.__class__ is Event:
+                getter.succeed(item)
+            else:
+                env._ready.append((getter, item))
             event._value = None  # succeed(None), inlined
             env._ready.append(event)
         elif self.capacity is None or len(items) < self.capacity:
@@ -99,6 +111,52 @@ class BoundedQueue:
             self.full_stalls += 1
             self._putters.append((event, item))
         return event
+
+    def put_cb(self, item: Any, callback: Callable[[], None]) -> None:
+        """Callback form of :meth:`put`: ``callback()`` is scheduled at
+        exactly the ready position where the put event would have fired."""
+        env = self.env
+        self.total_puts += 1
+        items = self._items
+        getters = self._getters
+        if getters and not items:
+            getter = getters.popleft()
+            if getter.__class__ is Event:
+                getter.succeed(item)
+            else:
+                env._ready.append((getter, item))
+            env._ready.append((callback, NO_ARG))
+        elif self.capacity is None or len(items) < self.capacity:
+            items.append(item)
+            if len(items) > self.peak_depth:
+                self.peak_depth = len(items)
+            env._ready.append((callback, NO_ARG))
+        else:
+            self.full_stalls += 1
+            self._putters.append((callback, item))
+
+    def put_drop(self, item: Any) -> None:
+        """Fire-and-forget :meth:`put`: identical admission semantics, but no
+        completion notification is scheduled (the event a plain ``put`` would
+        have fired carries no callbacks in these call sites, so dropping it
+        removes a no-op dispatch without reordering anything else)."""
+        env = self.env
+        self.total_puts += 1
+        items = self._items
+        getters = self._getters
+        if getters and not items:
+            getter = getters.popleft()
+            if getter.__class__ is Event:
+                getter.succeed(item)
+            else:
+                env._ready.append((getter, item))
+        elif self.capacity is None or len(items) < self.capacity:
+            items.append(item)
+            if len(items) > self.peak_depth:
+                self.peak_depth = len(items)
+        else:
+            self.full_stalls += 1
+            self._putters.append((None, item))
 
     def try_put(self, item: Any) -> bool:
         """Non-blocking put; returns False (and drops nothing) when full."""
@@ -124,23 +182,34 @@ class BoundedQueue:
             # (_admit_waiting_putter, inlined: put stalls are rare, so the
             # common case is a single falsy deque check).
             if self._putters and not self.is_full:
-                putter, pitem = self._putters.popleft()
-                items.append(pitem)
-                if len(items) > self.peak_depth:
-                    self.peak_depth = len(items)
-                putter.succeed(None)
+                self._admit_waiting_putter()
             event._value = item  # succeed(item), inlined
             env._ready.append(event)
         else:
             self._getters.append(event)
         return event
 
+    def get_cb(self, callback: Callable[[Any], None]) -> None:
+        """Callback form of :meth:`get`: ``callback(item)`` is scheduled at
+        exactly the ready position where the get event would have fired."""
+        items = self._items
+        if items:
+            item = items.popleft()
+            if self._putters and not self.is_full:
+                self._admit_waiting_putter()
+            self.env._ready.append((callback, item))
+        else:
+            self._getters.append(callback)
+
     def _admit_waiting_putter(self) -> None:
-        if self._putters and not self.is_full:
-            putter, item = self._putters.popleft()
-            self._items.append(item)
-            self.peak_depth = max(self.peak_depth, len(self._items))
+        putter, item = self._putters.popleft()
+        self._items.append(item)
+        if len(self._items) > self.peak_depth:
+            self.peak_depth = len(self._items)
+        if putter.__class__ is Event:
             putter.succeed(None)
+        elif putter is not None:
+            self.env._ready.append((putter, NO_ARG))
 
 
 class CountingResource:
@@ -199,12 +268,29 @@ class CountingResource:
             self._waiters.append(event)
         return event
 
+    def acquire_cb(self, callback: Callable[[], None]) -> None:
+        """Callback form of :meth:`acquire`: ``callback()`` is scheduled at
+        exactly the ready position where the acquire event would have
+        fired."""
+        self.total_acquires += 1
+        if self.count is None or self._in_use < self.count:
+            self._in_use += 1
+            if self._in_use > self.peak_in_use:
+                self.peak_in_use = self._in_use
+            self.env._ready.append((callback, NO_ARG))
+        else:
+            self.acquire_stalls += 1
+            self._waiters.append(callback)
+
     def release(self) -> None:
         if self._in_use <= 0:
             raise SimulationError(f"release of idle resource {self.name!r}")
         if self._waiters:
             # Hand the unit straight to the oldest waiter; _in_use unchanged.
             waiter = self._waiters.popleft()
-            waiter.succeed(None)
+            if waiter.__class__ is Event:
+                waiter.succeed(None)
+            else:
+                self.env._ready.append((waiter, NO_ARG))
         else:
             self._in_use -= 1

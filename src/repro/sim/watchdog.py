@@ -129,14 +129,46 @@ class StallDiagnosis:
         return "\n".join(lines)
 
 
-def _waiter_names(events) -> List[str]:
-    """Names of the processes whose resume callbacks sit on ``events``."""
+def _callback_owner_name(callback) -> Optional[str]:
+    """Best-effort name for the agent behind a resume callback: a Process's
+    name, a state machine's ``name`` attribute (callback core), or — for
+    one-shot guard objects like the inbox arbiter — the name behind the
+    continuation they schedule."""
+    owner = getattr(callback, "__self__", None)
+    if owner is None:
+        inner = getattr(callback, "callback", None)
+        if inner is not None:
+            owner = getattr(inner, "__self__", inner)
+        else:
+            owner = callback
+    name = getattr(owner, "name", None)
+    return name if isinstance(name, str) and name else None
+
+
+def _waiter_names(waiters) -> List[str]:
+    """Names of the processes/state machines blocked on ``waiters``.
+
+    A waiter deque entry is either a pending :class:`Event` (coroutine form —
+    the blocked party's resume sits on its callbacks), a plain callable
+    (callback core — the blocked party *is* the continuation), or ``None``
+    (a fire-and-forget ``put_drop`` with nobody to name)."""
     names = []
-    for event in events:
-        for callback in event.callbacks or ():
-            owner = getattr(callback, "__self__", None)
-            if isinstance(owner, Process):
-                names.append(owner.name)
+    for waiter in waiters:
+        if waiter is None:
+            continue
+        if isinstance(waiter, Event):
+            for callback in waiter.callbacks or ():
+                owner = getattr(callback, "__self__", None)
+                if isinstance(owner, Process):
+                    names.append(owner.name)
+                else:
+                    name = _callback_owner_name(callback)
+                    if name is not None:
+                        names.append(name)
+        else:
+            name = _callback_owner_name(waiter)
+            if name is not None:
+                names.append(name)
     return names
 
 

@@ -126,6 +126,40 @@ class TestLedgerIO:
         assert set(built) >= {"sha", "utc", "python"}
 
 
+class TestFloors:
+    def test_clear_floor_passes(self):
+        assert history.check_floors(
+            record(references_per_sec=600_000,
+                   kernel_events_per_sec=1_500_000)) == []
+
+    def test_breach_names_metric_and_floor(self):
+        breaches = history.check_floors(record(references_per_sec=100_000))
+        assert len(breaches) == 1
+        assert "references_per_sec" in breaches[0]
+        assert "450000" in breaches[0]
+
+    def test_missing_metric_skipped(self):
+        # A kernel-only record carries no sweep metric; only the metrics
+        # the record has are held to their floors.
+        assert history.check_floors(record(sweep_seconds=30.0)) == []
+
+    def test_custom_floors(self):
+        assert history.check_floors(record(sweep_seconds=30.0),
+                                    floors={"sweep_seconds": 60.0})
+
+    def test_main_floor_breach_exits_2(self, monkeypatch, tmp_path, capsys):
+        kernel = tmp_path / "BENCH_kernel.json"
+        kernel.write_text(json.dumps([{"kernel_events_per_sec": 1000}]))
+        monkeypatch.setattr(history, "KERNEL_FILE", str(kernel))
+        monkeypatch.setattr(history, "E2E_FILE",
+                            str(tmp_path / "absent.json"))
+        ledger = str(tmp_path / "hist.jsonl")
+        assert history.main(["--history", ledger]) == 2
+        assert "FLOOR" in capsys.readouterr().err
+        # --no-floors downgrades it to a clean pass (slow local hardware).
+        assert history.main(["--history", ledger, "--no-floors"]) == 0
+
+
 class TestMainEntry:
     def test_main_appends_and_gates(self, monkeypatch, tmp_path, capsys):
         kernel = tmp_path / "BENCH_kernel.json"
@@ -134,17 +168,23 @@ class TestMainEntry:
         monkeypatch.setattr(history, "E2E_FILE",
                             str(tmp_path / "absent.json"))
         ledger = str(tmp_path / "hist.jsonl")
-        assert history.main(["--history", ledger]) == 0
+        assert history.main(["--history", ledger, "--no-floors"]) == 0
         assert len(history.load_history(ledger)) == 1
         # A faster second run appends cleanly.
         kernel.write_text(json.dumps([{"kernel_events_per_sec": 1200}]))
-        assert history.main(["--history", ledger]) == 0
+        assert history.main(["--history", ledger, "--no-floors"]) == 0
         # A >10% slowdown exits nonzero and names the metric.
         kernel.write_text(json.dumps([{"kernel_events_per_sec": 800}]))
         capsys.readouterr()
-        assert history.main(["--history", ledger]) == 1
+        assert history.main(["--history", ledger, "--no-floors"]) == 1
         assert "REGRESSION" in capsys.readouterr().err
         assert len(history.load_history(ledger)) == 3
+        # --soft-regressions reports without failing (floors stay hard).
+        kernel.write_text(json.dumps([{"kernel_events_per_sec": 640}]))
+        capsys.readouterr()
+        assert history.main(["--history", ledger, "--no-floors",
+                             "--soft-regressions"]) == 0
+        assert "REGRESSION" in capsys.readouterr().err
 
     def test_check_only_does_not_append(self, monkeypatch, tmp_path):
         kernel = tmp_path / "BENCH_kernel.json"
@@ -153,7 +193,8 @@ class TestMainEntry:
         monkeypatch.setattr(history, "E2E_FILE",
                             str(tmp_path / "absent.json"))
         ledger = str(tmp_path / "hist.jsonl")
-        assert history.main(["--history", ledger, "--check-only"]) == 0
+        assert history.main(["--history", ledger, "--check-only",
+                             "--no-floors"]) == 0
         assert history.load_history(ledger) == []
 
     def test_no_records_is_a_noop(self, monkeypatch, tmp_path, capsys):
