@@ -52,13 +52,37 @@ DEFAULT_THRESHOLD = 0.10
 #: Hard absolute floors (same units as the metric).  Unlike the relative
 #: regression check — which only compares adjacent commits and so can be
 #: walked down a few percent at a time — a floor breach always fails the
-#: gate.  Values sit ~20 % under the callback-core reference-container
-#: measurements (≈550k refs/s on the cold Figure 4.1 sweep, ≈1.7M ev/s on
-#: the kernel microbench), so CI jitter clears them but losing the
-#: callback fast path (or any comparably sized regression) cannot.
+#: gate.  Values sit well under the macro-op-fusion reference-container
+#: measurements (≈570k refs/s on the cold Figure 4.1 sweep, ≈1.5M ev/s on
+#: the coroutine kernel microbench), so CI jitter clears them but losing
+#: the fusion layer or the callback fast path cannot.
 ABS_FLOORS: Dict[str, float] = {
-    "references_per_sec": 450_000,
-    "kernel_events_per_sec": 800_000,
+    "references_per_sec": 460_000,
+    "kernel_events_per_sec": 1_000_000,
+}
+
+#: Per-app/kind hard floors on the cold-sweep simulation rate
+#: (``per_app_refs_per_sec`` in the latest ``BENCH_e2e.json`` record),
+#: ~50 % under reference-container measurements (apps differ by >10x in
+#: refs/s because miss traffic per reference differs): wide enough for
+#: runner noise, tight enough that one app losing its fusion eligibility
+#: or fast path entirely trips its own named floor even when the
+#: aggregate stays above ``ABS_FLOORS``.
+PER_APP_FLOORS: Dict[str, float] = {
+    "barnes/flash": 150_000,
+    "barnes/ideal": 240_000,
+    "fft/flash": 380_000,
+    "fft/ideal": 480_000,
+    "lu/flash": 170_000,
+    "lu/ideal": 250_000,
+    "mp3d/flash": 30_000,
+    "mp3d/ideal": 50_000,
+    "ocean/flash": 260_000,
+    "ocean/ideal": 400_000,
+    "os/flash": 300_000,
+    "os/ideal": 480_000,
+    "radix/flash": 80_000,
+    "radix/ideal": 110_000,
 }
 
 
@@ -174,6 +198,31 @@ def check_floors(record: dict,
     return breaches
 
 
+def check_app_floors(e2e_record: Optional[dict],
+                     floors: Optional[Dict[str, float]] = None) -> List[str]:
+    """Per-app/kind floor breaches against the latest e2e sweep record's
+    ``per_app_refs_per_sec`` map.  Missing record, missing map (a record
+    from before the fusion census), or an app/kind the map lacks are all
+    skipped — the check tightens only where measurements exist."""
+    if floors is None:
+        floors = PER_APP_FLOORS
+    if not e2e_record:
+        return []
+    rates = e2e_record.get("per_app_refs_per_sec")
+    if not isinstance(rates, dict):
+        return []
+    breaches: List[str] = []
+    for key, floor in sorted(floors.items()):
+        value = rates.get(key)
+        if value is None:
+            continue
+        if float(value) < floor:
+            breaches.append(
+                f"{key}: {float(value):g} refs/s < hard floor {floor:g}"
+                f" ({(floor - float(value)) / floor:.1%} below)")
+    return breaches
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="append the latest perf_smoke measurements to the"
@@ -195,6 +244,11 @@ def main(argv=None) -> int:
     parser.add_argument("--no-floors", action="store_true",
                         help="skip the absolute-floor check (local runs on"
                              " slow hardware)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit one machine-readable JSON report on"
+                             " stdout (record, regressions, floor breaches,"
+                             " exit status) for CI annotation; exit codes"
+                             " are unchanged")
     args = parser.parse_args(argv)
 
     record = build_record()
@@ -205,9 +259,28 @@ def main(argv=None) -> int:
         return 0
     history = load_history(args.history)
     flags = check_regressions(history, record, args.threshold)
-    breaches = [] if args.no_floors else check_floors(record)
+    breaches: List[str] = []
+    if not args.no_floors:
+        breaches = check_floors(record)
+        breaches += check_app_floors(latest_record(E2E_FILE))
     if not args.check_only:
         append_record(record, args.history)
+    status = 2 if breaches else (1 if flags and not args.soft_regressions
+                                 else 0)
+    if args.json:
+        report = {
+            "record": record,
+            "prior_records": len(history),
+            "appended": not args.check_only,
+            "regressions": flags,
+            "regressions_soft": bool(args.soft_regressions),
+            "floor_breaches": breaches,
+            "abs_floors": ABS_FLOORS,
+            "per_app_floors": PER_APP_FLOORS,
+            "status": status,
+        }
+        print(json.dumps(report, sort_keys=True, indent=2))
+        return status
     print(json.dumps(record, sort_keys=True, indent=2))
     action = "checked against" if args.check_only else "appended to"
     print(f"{action} {args.history} ({len(history)} prior record(s))")
@@ -215,11 +288,7 @@ def main(argv=None) -> int:
         print(f"REGRESSION {flag}", file=sys.stderr)
     for breach in breaches:
         print(f"FLOOR {breach}", file=sys.stderr)
-    if breaches:
-        return 2
-    if flags and not args.soft_regressions:
-        return 1
-    return 0
+    return status
 
 
 if __name__ == "__main__":

@@ -31,6 +31,8 @@ SPECIAL_INSTR_FACTOR = 1.35
 class TableCostModel:
     """Handler occupancy lookup for the fast simulation backend."""
 
+    __slots__ = ("costs", "scale", "_flat")
+
     def __init__(self, config: MachineConfig):
         self.costs = config.handler_costs
         scale = 1.0

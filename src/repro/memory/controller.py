@@ -95,6 +95,7 @@ class MemoryController:
         # callback.  Bound once; scheduled thousands of times.
         self._on_request_cb = self._on_request
         self._on_data_cb = self._on_data
+        self._on_done_cb = self._on_done
         self._remainder = self.busy_cycles_per_access - self.access_cycles
         env.call_soon(self._serve_next)
 
@@ -152,7 +153,7 @@ class MemoryController:
         if data_event._value is PENDING:
             data_event.succeed(self.env._now)
         if self._remainder > 0:
-            self.env.call_later(self._remainder, self._on_done)
+            self.env.call_later(self._remainder, self._on_done_cb)
         else:
             self._on_done()
 

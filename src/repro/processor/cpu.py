@@ -47,7 +47,7 @@ from ..caches.setassoc import CacheState, SetAssocCache
 from ..common.errors import WorkloadError
 from ..common.params import MachineConfig
 from ..common.units import CACHE_LINE_BYTES, line_address
-from ..protocol.messages import Message, MessageType as MT
+from ..protocol.messages import Message, MessageType as MT, acquire as _acquire
 from ..sim.engine import Environment, Event
 from ..stats.breakdown import CpuTimes
 from .sync import SyncDomain
@@ -404,7 +404,7 @@ class CPU:
         # The flush took time: the miss may have completed already.
         if self.mshrs.entries.get(self._miss_line) is entry:
             self._stall_start = self.env._now
-            waiter = Event(self.env)
+            waiter = self.env.event()
             entry.waiters.append(waiter)
             waiter.callbacks.append(self._rmerge_done_cb)
             return
@@ -436,14 +436,14 @@ class CPU:
 
     def _rm_allocate(self) -> None:
         entry = self.mshrs.allocate(self._miss_line, False, self.env._now)
-        waiter = Event(self.env)
+        waiter = self.env.event()
         entry.waiters.append(waiter)
         self._miss_waiter = waiter
         self.env.call_later(self.lat.miss_detect_to_bus + self.lat.bus_transit,
                             self._rm_submit_cb)
 
     def _rm_submit(self) -> None:
-        message = Message(MT.GET, self._miss_line, self.node_id, self.node_id,
+        message = _acquire(MT.GET, self._miss_line, self.node_id, self.node_id,
                           self.node_id, is_write=False)
         self.controller.pi_submit_cb(message, self._rm_wait_cb)
 
@@ -498,7 +498,7 @@ class CPU:
 
     def _wm_submit(self) -> None:
         mtype = MT.UPGRADE if self._miss_state == CacheState.SHARED else MT.GETX
-        message = Message(mtype, self._miss_line, self.node_id, self.node_id,
+        message = _acquire(mtype, self._miss_line, self.node_id, self.node_id,
                           self.node_id, is_write=True)
         self.controller.pi_submit_cb(message, self._wm_done_cb)
 
@@ -572,13 +572,13 @@ class CPU:
             self.tracer.txn_issue(self.node_id, line, True, self.env.now)
         self.mshrs.allocate(line, True, self.env.now)
         mtype = MT.UPGRADE if state == CacheState.SHARED else MT.GETX
-        message = Message(mtype, line, self.node_id, self.node_id,
+        message = _acquire(mtype, line, self.node_id, self.node_id,
                           self.node_id, is_write=True)
         yield self.controller.pi_submit(message)
 
     def _any_completion(self) -> Event:
         """An event firing when any outstanding miss completes."""
-        waiter = Event(self.env)
+        waiter = self.env.event()
         for line in self.mshrs.outstanding_lines():
             entry = self.mshrs.lookup(line)
             if entry is not None:
@@ -600,7 +600,7 @@ class CPU:
 
     def _evict_post(self, pair) -> None:
         mtype, line = pair
-        message = Message(mtype, line, self.node_id, self.node_id,
+        message = _acquire(mtype, line, self.node_id, self.node_id,
                           self.node_id)
         self.controller.pi_submit_drop(message)
 

@@ -42,9 +42,14 @@ _NO_ARG = object()
 #: schedule argument-less continuations through the same tuple fast path.
 NO_ARG = _NO_ARG
 
+# Under mypyc the module's __file__ is the compiled extension; native code
+# may hold references the interpreter-level refcount proof does not see, so
+# the pools stay empty there (draws degrade to plain allocation).
+_COMPILED = not __file__.endswith(".py")
+
 # Timeout pooling relies on CPython reference-count semantics to prove that
 # nobody else can observe the recycled object (see Environment.run).
-_REFCOUNT_POOLING = sys.implementation.name == "cpython"
+_REFCOUNT_POOLING = sys.implementation.name == "cpython" and not _COMPILED
 #: getrefcount(event) when the run loop's local + getrefcount's own argument
 #: are the only remaining references.
 _FREE_REFCOUNT = 2
@@ -158,7 +163,13 @@ class Timeout(Event):
             buckets = env._buckets
             bucket = buckets.get(when)
             if bucket is None:
-                buckets[when] = [self]
+                pool = env._bucket_pool
+                if pool:
+                    bucket = pool.pop()
+                    bucket.append(self)
+                    buckets[when] = bucket
+                else:
+                    buckets[when] = [self]
                 heapq.heappush(env._whens, when)
             else:
                 bucket.append(self)
@@ -386,6 +397,10 @@ class Environment:
         self._whens: List[float] = []  # heap of distinct future times
         self._ready: deque = deque()  # events / (callback, arg) at current time
         self._timeout_pool: List[Timeout] = []
+        # Drained calendar buckets recycled by the run loop: a new distinct
+        # timestamp reuses a spent list instead of allocating one.  List
+        # identity is invisible to simulation semantics.
+        self._bucket_pool: List[list] = []
         # Dead plain Events recycled by the run loop (same refcount proof as
         # the timeout pool); drawn on by the queue/memory hot paths.
         self._event_pool: List[Event] = []
@@ -413,7 +428,13 @@ class Environment:
             buckets = self._buckets
             bucket = buckets.get(when)
             if bucket is None:
-                buckets[when] = [event]
+                pool = self._bucket_pool
+                if pool:
+                    bucket = pool.pop()
+                    bucket.append(event)
+                    buckets[when] = bucket
+                else:
+                    buckets[when] = [event]
                 heapq.heappush(self._whens, when)
             else:
                 bucket.append(event)
@@ -448,7 +469,13 @@ class Environment:
                 buckets = self._buckets
                 bucket = buckets.get(when)
                 if bucket is None:
-                    buckets[when] = [timeout]
+                    bpool = self._bucket_pool
+                    if bpool:
+                        bucket = bpool.pop()
+                        bucket.append(timeout)
+                        buckets[when] = bucket
+                    else:
+                        buckets[when] = [timeout]
                     heapq.heappush(self._whens, when)
                 else:
                     bucket.append(timeout)
@@ -477,7 +504,47 @@ class Environment:
             buckets = self._buckets
             bucket = buckets.get(when)
             if bucket is None:
-                buckets[when] = [entry]
+                pool = self._bucket_pool
+                if pool:
+                    bucket = pool.pop()
+                    bucket.append(entry)
+                    buckets[when] = bucket
+                else:
+                    buckets[when] = [entry]
+                heapq.heappush(self._whens, when)
+            else:
+                bucket.append(entry)
+
+    def call_at(self, when: float, callback: Callable[..., None],
+                arg: Any = _NO_ARG) -> None:
+        """Schedule ``callback(arg)`` at the *absolute* instant ``when``.
+
+        ``call_later`` derives the firing time as ``now + delay``; float
+        addition is not associative, so a caller that precomputed a chain of
+        stepwise instants (the macro-op fusion layer) cannot express them as
+        a summed delay without risking a different calendar-bucket key.
+        This primitive takes the exact float the stepwise chain would have
+        produced.  ``when`` in the past is a kernel-misuse error; ``when``
+        equal to the current time routes to the ready deque like any other
+        current-time work.
+        """
+        if when < self._now:
+            raise SimulationError(
+                f"call_at into the past: {when} < now {self._now}")
+        entry = (callback, arg)
+        if when <= self._now:
+            self._ready.append(entry)
+        else:
+            buckets = self._buckets
+            bucket = buckets.get(when)
+            if bucket is None:
+                pool = self._bucket_pool
+                if pool:
+                    bucket = pool.pop()
+                    bucket.append(entry)
+                    buckets[when] = bucket
+                else:
+                    buckets[when] = [entry]
                 heapq.heappush(self._whens, when)
             else:
                 bucket.append(entry)
@@ -489,6 +556,15 @@ class Environment:
         self._ready.append((callback, arg))
 
     def event(self) -> Event:
+        pool = self._event_pool
+        if pool:
+            # Recycled by the run loop once the refcount proved it dead;
+            # pooled objects carry an empty callbacks list, so only the
+            # trigger state needs resetting.
+            event = pool.pop()
+            event._value = PENDING
+            event._ok = True
+            return event
         return Event(self)
 
     def process(self, generator: Generator, name: str = "") -> Process:
@@ -520,6 +596,7 @@ class Environment:
         buckets = self._buckets
         pool = self._timeout_pool
         event_pool = self._event_pool
+        bucket_pool = self._bucket_pool
         heappop = heapq.heappop
         refcount = sys.getrefcount if _REFCOUNT_POOLING else None
         # Local bindings for names the dispatch loop reads per event: a
@@ -649,6 +726,9 @@ class Environment:
                         pool.append(event)
                 else:
                     event._dispatch()
+            # The drained list is empty: recycle it for the next distinct
+            # timestamp (the watched loop skips this, like the object pools).
+            bucket_pool.append(bucket)
         if until is not None and until > self._now:
             self._now = until
         return self._now

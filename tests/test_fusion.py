@@ -1,0 +1,179 @@
+"""Macro-op fusion (``REPRO_FUSION``): byte-identical timing, by construction.
+
+The fusion layer in ``repro.magic.chip`` / ``repro.ideal.controller``
+schedules a contention-free handler pipeline as a chain of analytic calendar
+entries instead of ~14 stepwise dispatches, falling back to the stepwise
+pipeline at the first busy resource.  Its contract is absolute: a fused run
+is **byte-identical** to a stepwise run — same ``RunResult`` JSON, same
+golden hashes — because fusion replicates every stepwise calendar instant
+and ready-queue position exactly.  These tests pin that contract:
+
+* every app/machine combo of the Figure 4.1 matrix, fused vs
+  ``REPRO_FUSION=off``;
+* seeded-random contention schedules (hot shared lines, random barriers)
+  where fused chains and stepwise fallbacks interleave heavily;
+* fault-injected runs, where fusion must disable itself entirely;
+* watchdog+trace+metrics runs, where observability hooks must force the
+  stepwise pipeline (observer callbacks fire per stepwise dispatch, so a
+  fused chain would silently skip them).
+"""
+
+import random
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.harness import experiments as exp
+from repro.machine import Machine
+from repro.common.params import flash_config, ideal_config
+
+from test_integration import TestGoldenHashes as Golden
+
+ALL_COMBOS = sorted(Golden.GOLDEN)
+
+
+@pytest.fixture(autouse=True)
+def clean_env(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE", "off")
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    for var in ("REPRO_FUSION", "REPRO_WATCHDOG", "REPRO_TRACE",
+                "REPRO_METRICS", "REPRO_BACKEND"):
+        monkeypatch.delenv(var, raising=False)
+
+
+def small_spec(app, kind, **kwargs):
+    return exp.normalize_spec(
+        app, kind=kind, regime="large",
+        workload_overrides=Golden.FAST_SIZES[app], **kwargs)
+
+
+def run_spec(spec):
+    """Uncached run returning ``(result_json, machine)`` so assertions can
+    inspect the dispatch census after comparing results."""
+    machine, ops, cost_model = exp.build_machine(spec)
+    result = machine.run(ops)
+    if cost_model is not None:
+        result.pp_dynamic = cost_model.dynamic_totals()
+    if machine.fault_injector is not None:
+        result.fault_counters = machine.fault_injector.counters()
+    return result.to_json(), machine
+
+
+def census(machine):
+    fused = {}
+    stepwise = {}
+    for node in machine.nodes:
+        for mtype, count in node.controller.dispatch_fused.items():
+            fused[mtype] = fused.get(mtype, 0) + count
+        for mtype, count in node.controller.dispatch_stepwise.items():
+            stepwise[mtype] = stepwise.get(mtype, 0) + count
+    return fused, stepwise
+
+
+class TestFusionParityMatrix:
+    """Fused vs stepwise over the full app/machine matrix."""
+
+    @pytest.mark.parametrize("combo", ALL_COMBOS)
+    def test_byte_identical_and_nonvacuous(self, combo, monkeypatch):
+        app, kind = combo.split("/")
+        fused_json, machine = run_spec(small_spec(app, kind))
+        fused, _ = census(machine)
+        monkeypatch.setenv("REPRO_FUSION", "off")
+        off_json, off_machine = run_spec(small_spec(app, kind))
+        assert fused_json == off_json
+        # Not vacuous: with fusion on, chains actually committed; with it
+        # off, none did.
+        assert sum(fused.values()) > 0
+        off_fused, off_stepwise = census(off_machine)
+        assert not off_fused
+        assert sum(off_stepwise.values()) > 0
+
+
+def contention_streams(rng, n_procs, n_ops=220, hot_lines=6):
+    """Seeded-random op schedules that keep a few lines hot across all
+    nodes: reads, writes, and upgrades collide constantly, so fused chains
+    and stepwise fallbacks interleave in both directions."""
+    hot = [rng.randrange(64) * 128 for _ in range(hot_lines)]
+    streams = []
+    for proc in range(n_procs):
+        ops = []
+        for step in range(n_ops):
+            roll = rng.random()
+            if roll < 0.45:
+                ops.append(("r", rng.choice(hot)))
+            elif roll < 0.80:
+                ops.append(("w", rng.choice(hot)))
+            elif roll < 0.92:
+                # Private traffic drains through the caches without sharing.
+                ops.append(("r", (4096 + proc * 64 + step % 64) * 128))
+            else:
+                ops.append(("c", rng.randrange(1, 40)))
+            if step % 50 == 49:
+                ops.append(("b", f"sync{step}"))
+        streams.append(ops)
+    return streams
+
+
+class TestRandomContentionSchedules:
+    """Fused vs stepwise on seeded-random contention: the checkpoint
+    fallback (busy NI/PO, queued traffic) is exercised from both sides."""
+
+    @pytest.mark.parametrize("kind", ["flash", "ideal"])
+    @pytest.mark.parametrize("seed", [11, 23, 47])
+    def test_byte_identical(self, kind, seed, monkeypatch):
+        make = flash_config if kind == "flash" else ideal_config
+
+        def one_run():
+            config = make(n_procs=4, cache_size=16 * 1024)
+            machine = Machine(config)
+            streams = contention_streams(random.Random(seed), 4)
+            result = machine.run([iter(s) for s in streams])
+            machine.check_directory_invariants()
+            return result.to_json(), machine
+
+        fused_json, machine = one_run()
+        fused, stepwise = census(machine)
+        monkeypatch.setenv("REPRO_FUSION", "off")
+        off_json, off_machine = one_run()
+        assert fused_json == off_json
+        assert not census(off_machine)[0]
+        # The schedule must exercise both regimes, or it proves nothing.
+        assert sum(fused.values()) > 0
+        assert sum(stepwise.values()) > 0
+
+
+class TestFusionUnderFaults:
+    """Fault injection perturbs costs and drops messages per dispatch, so
+    fusion must disable itself — and parity must still hold trivially."""
+
+    @pytest.mark.parametrize("combo", ["fft/flash", "mp3d/flash"])
+    def test_faults_force_stepwise_and_parity(self, combo, monkeypatch):
+        app, kind = combo.split("/")
+        plan = FaultPlan.uniform(0.05, seed=3)
+        fused_json, machine = run_spec(small_spec(app, kind, faults=plan))
+        fused, stepwise = census(machine)
+        assert not fused
+        assert sum(stepwise.values()) > 0
+        monkeypatch.setenv("REPRO_FUSION", "off")
+        off_json, _ = run_spec(small_spec(app, kind, faults=plan))
+        assert fused_json == off_json
+
+
+class TestFusionUnderObservability:
+    """Watchdog + trace + metrics all ON: the observer hooks fire per
+    stepwise dispatch, so every fused chain must be statically rejected —
+    and the observed run must stay byte-identical to ``REPRO_FUSION=off``."""
+
+    @pytest.mark.parametrize("combo", ["fft/flash", "barnes/ideal"])
+    def test_observers_force_stepwise_and_parity(self, combo, monkeypatch):
+        app, kind = combo.split("/")
+        monkeypatch.setenv("REPRO_WATCHDOG", "on")
+        monkeypatch.setenv("REPRO_TRACE", "on")
+        monkeypatch.setenv("REPRO_METRICS", "on")
+        fused_json, machine = run_spec(small_spec(app, kind))
+        fused, stepwise = census(machine)
+        assert not fused
+        assert sum(stepwise.values()) > 0
+        monkeypatch.setenv("REPRO_FUSION", "off")
+        off_json, _ = run_spec(small_spec(app, kind))
+        assert fused_json == off_json

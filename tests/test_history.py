@@ -136,7 +136,7 @@ class TestFloors:
         breaches = history.check_floors(record(references_per_sec=100_000))
         assert len(breaches) == 1
         assert "references_per_sec" in breaches[0]
-        assert "450000" in breaches[0]
+        assert str(int(history.ABS_FLOORS["references_per_sec"])) in breaches[0]
 
     def test_missing_metric_skipped(self):
         # A kernel-only record carries no sweep metric; only the metrics
@@ -158,6 +158,81 @@ class TestFloors:
         assert "FLOOR" in capsys.readouterr().err
         # --no-floors downgrades it to a clean pass (slow local hardware).
         assert history.main(["--history", ledger, "--no-floors"]) == 0
+
+
+class TestAppFloors:
+    def test_missing_record_or_map_skipped(self):
+        # No e2e record yet, or a record from before the per-app census.
+        assert history.check_app_floors(None) == []
+        assert history.check_app_floors({"references_per_sec": 1}) == []
+
+    def test_breach_names_app_and_floor(self):
+        rec = {"per_app_refs_per_sec": {"fft/flash": 10, "lu/flash": 500}}
+        breaches = history.check_app_floors(
+            rec, floors={"fft/flash": 100, "lu/flash": 100,
+                         "mp3d/flash": 100})
+        assert len(breaches) == 1
+        assert "fft/flash" in breaches[0]
+        assert "100" in breaches[0]
+
+    def test_clear_passes(self):
+        rec = {"per_app_refs_per_sec": {"fft/flash": 1_000_000}}
+        assert history.check_app_floors(
+            rec, floors={"fft/flash": 100}) == []
+
+    def test_default_floors_cover_full_matrix(self):
+        # Every per-app floor key is an app/kind pair of the sweep.
+        for key in history.PER_APP_FLOORS:
+            app, kind = key.split("/")
+            assert kind in ("flash", "ideal")
+
+    def test_main_app_floor_breach_exits_2(self, monkeypatch, tmp_path,
+                                           capsys):
+        kernel = tmp_path / "BENCH_kernel.json"
+        kernel.write_text(json.dumps(
+            [{"kernel_events_per_sec": 2_000_000}]))
+        e2e = tmp_path / "BENCH_e2e.json"
+        e2e.write_text(json.dumps([{
+            "references_per_sec": 1_000_000,
+            "per_app_refs_per_sec": {"mp3d/flash": 1}}]))
+        monkeypatch.setattr(history, "KERNEL_FILE", str(kernel))
+        monkeypatch.setattr(history, "E2E_FILE", str(e2e))
+        ledger = str(tmp_path / "hist.jsonl")
+        assert history.main(["--history", ledger]) == 2
+        assert "mp3d/flash" in capsys.readouterr().err
+
+
+class TestJsonReport:
+    def test_json_mode_emits_report(self, monkeypatch, tmp_path, capsys):
+        kernel = tmp_path / "BENCH_kernel.json"
+        kernel.write_text(json.dumps(
+            [{"kernel_events_per_sec": 2_000_000}]))
+        monkeypatch.setattr(history, "KERNEL_FILE", str(kernel))
+        monkeypatch.setattr(history, "E2E_FILE",
+                            str(tmp_path / "absent.json"))
+        ledger = str(tmp_path / "hist.jsonl")
+        assert history.main(["--history", ledger, "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["status"] == 0
+        assert report["appended"] is True
+        assert report["record"]["kernel_events_per_sec"] == 2_000_000
+        assert report["floor_breaches"] == []
+        assert "per_app_floors" in report
+
+    def test_json_mode_reports_breach_status(self, monkeypatch, tmp_path,
+                                             capsys):
+        kernel = tmp_path / "BENCH_kernel.json"
+        kernel.write_text(json.dumps([{"kernel_events_per_sec": 1000}]))
+        monkeypatch.setattr(history, "KERNEL_FILE", str(kernel))
+        monkeypatch.setattr(history, "E2E_FILE",
+                            str(tmp_path / "absent.json"))
+        ledger = str(tmp_path / "hist.jsonl")
+        assert history.main(
+            ["--history", ledger, "--check-only", "--json"]) == 2
+        report = json.loads(capsys.readouterr().out)
+        assert report["status"] == 2
+        assert report["appended"] is False
+        assert len(report["floor_breaches"]) == 1
 
 
 class TestMainEntry:
