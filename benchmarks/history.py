@@ -45,6 +45,9 @@ METRICS: Dict[str, str] = {
     "references_per_sec": "higher",
     "e2e_fft1k_seconds": "lower",
     "sweep_seconds": "lower",
+    # Model-checker throughput (oracle-checked references/second on the
+    # fixed perf_smoke randmem run): gates SWMR/SC oracle overhead.
+    "check_ops_per_sec": "higher",
 }
 
 DEFAULT_THRESHOLD = 0.10

@@ -199,6 +199,22 @@ def fig41_sweep() -> dict:
     }
 
 
+def check_ops_per_sec() -> float:
+    """Model-checker throughput: oracle-checked references per second on a
+    fixed small ``randmem`` run (seed 0, 600 ops/cpu, 4 nodes).  Gates the
+    oracle's observation overhead — hook regressions in the CPU loop twin
+    or the handler stamping show up here before they hurt deep sweeps."""
+    from repro.check import CheckSpec, run_check
+
+    spec = CheckSpec(seed=0, ops=600, nodes=4, lines=8)
+    start = time.perf_counter()
+    report = run_check(spec)
+    elapsed = time.perf_counter() - start
+    assert report.ok, f"checker found a violation during benchmarking: " \
+                      f"{report.error_type}"
+    return report.checked_ops / elapsed
+
+
 def append_history(path: str, record: dict) -> int:
     history = []
     if os.path.exists(path):
@@ -258,6 +274,7 @@ def main() -> int:
         "callback_speedup": round(callback_rate / coroutine_rate, 2),
     }
     record["e2e_fft1k_seconds"] = round(end_to_end_seconds(), 3)
+    record["check_ops_per_sec"] = round(check_ops_per_sec())
     count = append_history(BENCH_FILE, record)
     print(json.dumps(record, indent=2))
     print(f"appended to {BENCH_FILE} ({count} record(s))")

@@ -14,6 +14,7 @@ from .ocean import OceanWorkload
 from .osload import OSWorkload
 from .placement import AddressSpace, Region
 from .radix import RadixWorkload
+from .randmem import RandMemWorkload
 
 #: The paper's application suite (Table 3.5), with default scaled problem
 #: sizes.  The OS workload runs on 8 processors in the paper's experiments.
@@ -40,5 +41,6 @@ __all__ = [
     "OceanWorkload",
     "OSWorkload",
     "RadixWorkload",
+    "RandMemWorkload",
     "PAPER_APPS",
 ]

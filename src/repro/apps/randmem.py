@@ -1,0 +1,163 @@
+"""Random-traffic workload for the coherence model checker.
+
+Unlike the paper applications — whose reference streams follow real
+algorithmic structure — ``randmem`` exists to *stress the protocol*: a
+small, heavily contended set of cache lines is hammered concurrently by
+every processor with a seeded mix of loads, stores, and lock-protected
+read-modify-writes.  Line popularity is Zipf-skewed so a few lines see
+most of the traffic (maximising write races, invalidation storms, and
+three-hop forwarding), while the tail keeps replacements and writebacks
+in play.  Index-based barriers partition the run into episodes so the
+checker can cross-validate directory / cache / MSHR state at quiesce
+points mid-run, and an optional block-transfer lane exercises the
+message-passing path against the same cached lines' protocol machinery.
+
+Everything is deterministic in (seed, ops, lines, n_procs): the same
+spec replays the same interleaving-relevant stream, which is what makes
+shrunk failure reproducers replayable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from ..common.params import MachineConfig
+from ..common.units import CACHE_LINE_BYTES, PAGE_BYTES, WORDS_PER_LINE
+from .base import Workload, rng_stream
+
+__all__ = ["RandMemWorkload"]
+
+#: byte stride between consecutive checked lines within the shared region.
+#: One page plus one line: consecutive lines land on consecutive pages (so
+#: round-robin placement spreads homes across nodes) *and* on different
+#: cache sets (so the small 2-way cache still sees conflict evictions).
+_LINE_STRIDE = PAGE_BYTES + CACHE_LINE_BYTES
+
+#: per-cpu seed spacing (golden-ratio increment keeps streams uncorrelated)
+_CPU_SALT = 0x9E3779B9
+
+
+class RandMemWorkload(Workload):
+    """Seeded random traffic over a small contended line set."""
+
+    name = "randmem"
+    paper_problem = "n/a (checker workload, not a paper application)"
+
+    def __init__(self, seed: int = 0, ops: int = 400, lines: int = 8,
+                 write_frac: float = 0.35, zipf_theta: float = 0.8,
+                 barrier_every: int = 64, lock_frac: float = 0.05,
+                 transfers: bool = False, transfer_every: int = 97):
+        if lines < 1:
+            raise ValueError("randmem needs at least one line")
+        if ops < 1:
+            raise ValueError("randmem needs at least one op per cpu")
+        self.seed = seed
+        self.ops = ops
+        self.lines = lines
+        self.write_frac = write_frac
+        self.zipf_theta = zipf_theta
+        self.barrier_every = max(1, barrier_every)
+        self.lock_frac = lock_frac
+        self.transfers = transfers
+        self.transfer_every = max(2, transfer_every)
+
+    # -- shared-state construction ---------------------------------------------
+
+    def _line_addrs(self, space) -> List[int]:
+        """Allocate the contended region and return its line addresses."""
+        nbytes = self.lines * _LINE_STRIDE + CACHE_LINE_BYTES
+        region = space.alloc(nbytes, policy="round_robin", name="randmem.hot")
+        return [region.addr(i * _LINE_STRIDE) for i in range(self.lines)]
+
+    def _zipf_cdf(self, rng) -> Tuple[List[int], List[int]]:
+        """Integer CDF (scaled to 2**32) over a shuffled line order.
+
+        The shuffle decorrelates popularity rank from home-node placement;
+        otherwise line 0 (home node 0) would always be the hottest and the
+        checker would under-explore contention at other homes.
+        """
+        order = list(range(self.lines))
+        for i in range(self.lines - 1, 0, -1):
+            j = rng() % (i + 1)
+            order[i], order[j] = order[j], order[i]
+        weights = [(i + 1) ** -self.zipf_theta for i in range(self.lines)]
+        total = sum(weights)
+        cdf: List[int] = []
+        acc = 0.0
+        for w in weights:
+            acc += w
+            cdf.append(min(0xFFFFFFFF, int(acc / total * 4294967296.0)))
+        cdf[-1] = 0xFFFFFFFF
+        return order, cdf
+
+    def build(self, config: MachineConfig) -> List[Iterator[Tuple]]:
+        from .placement import AddressSpace
+
+        space = AddressSpace(config)
+        line_addrs = self._line_addrs(space)
+        order, cdf = self._zipf_cdf(rng_stream(self.seed))
+        xfer = None
+        if self.transfers:
+            # A disjoint striped region: transfers must not alias the
+            # checked lines (the transfer engine moves raw bytes and would
+            # invalidate the oracle's single-writer bookkeeping).
+            xfer = space.alloc_striped(4 * CACHE_LINE_BYTES, name="randmem.xfer")
+        return [
+            self._stream(config, cpu, line_addrs, order, cdf, xfer)
+            for cpu in range(config.n_procs)
+        ]
+
+    def streams(self, config, space, cpu):  # pragma: no cover - via build()
+        raise NotImplementedError("randmem builds all streams at once")
+
+    # -- per-cpu stream --------------------------------------------------------
+
+    def _stream(self, config: MachineConfig, cpu: int,
+                line_addrs: List[int], order: List[int], cdf: List[int],
+                xfer) -> Iterator[Tuple]:
+        rng = rng_stream(self.seed ^ ((cpu + 1) * _CPU_SALT))
+        n = config.n_procs
+        write_cut = int(self.write_frac * 4294967296.0)
+        lock_cut = int(self.lock_frac * 4294967296.0)
+
+        def pick_line() -> int:
+            u = rng()
+            for rank, cut in enumerate(cdf):
+                if u <= cut:
+                    return order[rank]
+            return order[-1]
+
+        def word_addr(line_idx: int) -> int:
+            return line_addrs[line_idx] + (rng() % WORDS_PER_LINE) * 8
+
+        for i in range(self.ops):
+            if i > 0 and i % self.barrier_every == 0:
+                yield ("b", ("randmem", i))
+            if (
+                self.transfers
+                and n > 1
+                and i % self.transfer_every == self.transfer_every - 1
+            ):
+                dst = (cpu + 1) % n
+                src = (cpu - 1) % n
+                offset = (i % 4) * CACHE_LINE_BYTES
+                yield ("s", dst, xfer[cpu].addr(offset), CACHE_LINE_BYTES)
+                yield ("v", src)
+                continue
+            roll = rng()
+            if roll <= lock_cut:
+                # Lock-protected RMW: lock k always guards the same line so
+                # the critical section actually serialises its writers.
+                line_idx = pick_line()
+                addr = word_addr(line_idx)
+                yield ("l", ("randmem.lock", line_idx))
+                yield ("r", addr)
+                yield ("w", addr)
+                yield ("u", ("randmem.lock", line_idx))
+            elif roll <= lock_cut + write_cut:
+                yield ("w", word_addr(pick_line()))
+            else:
+                yield ("r", word_addr(pick_line()))
+            if rng() & 7 == 0:
+                yield ("c", 1 + rng() % 8)
+        yield ("b", ("randmem", "end"))

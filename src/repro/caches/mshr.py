@@ -34,6 +34,18 @@ class MSHREntry:
         # A write merged into an outstanding read: upgrade after the fill.
         self.needs_upgrade = False
 
+    def describe(self) -> Dict[str, object]:
+        """Machine-readable snapshot for invariant walks and stall dumps."""
+        return {
+            "line": f"{self.line_addr:#x}",
+            "kind": "write" if self.is_write else "read",
+            "issued": self.issue_time,
+            "merged_writes": self.merged_writes,
+            "waiters": len(self.waiters),
+            "invalidate_on_fill": self.invalidate_on_fill,
+            "needs_upgrade": self.needs_upgrade,
+        }
+
 
 class MSHRFile:
     """A small fully-associative file of outstanding misses.

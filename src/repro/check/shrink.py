@@ -1,0 +1,114 @@
+"""Greedy failure shrinking and replayable reproducer artifacts.
+
+When a checked run fails, the sweep hands the failing
+:class:`~repro.check.workload.CheckReport` to :func:`shrink`, which
+searches for a smaller spec that still fails *the same way* (same
+failure kind): halve the per-processor op count, then the node count,
+then the contended-line set, to a greedy fixed point under a bounded
+re-run budget.  Because ``randmem`` is deterministic in the spec, the
+shrunk spec IS the reproducer — :func:`save_reproducer` writes it (plus
+the violation details) as a JSON artifact that :func:`replay` re-runs
+bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional, Tuple
+
+from .workload import CheckReport, CheckSpec, run_check
+
+__all__ = ["shrink", "save_reproducer", "load_reproducer", "replay",
+           "SCHEMA", "MIN_OPS"]
+
+SCHEMA = "repro-check-repro/1"
+
+#: floors for the shrink dimensions — below these the traffic can no
+#: longer express a coherence race at all.
+MIN_OPS = 8
+MIN_NODES = 2
+MIN_LINES = 1
+
+
+def _same_failure(candidate: CheckReport, reference: CheckReport) -> bool:
+    return (not candidate.ok
+            and candidate.failure_kind == reference.failure_kind)
+
+
+def shrink(failed: CheckReport, budget: int = 24) -> Tuple[CheckReport, int]:
+    """Greedily minimise a failing spec; returns (best report, attempts).
+
+    Each pass tries one halving step per dimension in priority order
+    (ops, then nodes, then lines) and restarts from the first step that
+    still reproduces; the loop ends at a fixed point or when ``budget``
+    re-runs are spent.  The result is the original report unchanged if
+    nothing smaller reproduces.
+    """
+    if failed.ok:
+        raise ValueError("shrink() wants a failing report")
+    best = failed
+    attempts = 0
+    improved = True
+    while improved and attempts < budget:
+        improved = False
+        spec = best.spec
+        steps = []
+        if spec.ops > MIN_OPS:
+            steps.append({"ops": max(MIN_OPS, spec.ops // 2)})
+        if spec.nodes > MIN_NODES:
+            steps.append({"nodes": max(MIN_NODES, spec.nodes // 2)})
+        if spec.lines > MIN_LINES:
+            steps.append({"lines": max(MIN_LINES, spec.lines // 2)})
+        for change in steps:
+            if attempts >= budget:
+                break
+            attempts += 1
+            candidate = run_check(spec.with_changes(**change))
+            if _same_failure(candidate, failed):
+                best = candidate
+                improved = True
+                break
+    return best, attempts
+
+
+# -- artifacts -------------------------------------------------------------------
+
+
+def save_reproducer(shrunk: CheckReport, original: CheckSpec,
+                    attempts: int, out_dir: str) -> str:
+    """Write a replayable JSON reproducer; returns its path."""
+    spec = shrunk.spec
+    os.makedirs(out_dir, exist_ok=True)
+    name = (f"check-repro-{spec.kind}-{spec.protocol}-seed{spec.seed}"
+            f"-{shrunk.failure_kind or 'fail'}.json")
+    path = os.path.join(out_dir, name)
+    payload = {
+        "schema": SCHEMA,
+        "spec": spec.to_dict(),
+        "original_spec": original.to_dict(),
+        "attempts": attempts,
+        "failure_kind": shrunk.failure_kind,
+        "error_type": shrunk.error_type,
+        "error": shrunk.error,
+        "violation": shrunk.violation,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_reproducer(path: str) -> CheckSpec:
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    schema = payload.get("schema")
+    if schema != SCHEMA:
+        raise ValueError(
+            f"{path}: expected schema {SCHEMA!r}, found {schema!r}")
+    return CheckSpec.from_dict(payload["spec"])
+
+
+def replay(path: str) -> CheckReport:
+    """Re-run a saved reproducer and return the fresh report."""
+    return run_check(load_reproducer(path))

@@ -13,6 +13,32 @@ class ProtocolError(ReproError):
     """The coherence protocol reached an inconsistent state."""
 
 
+class CoherenceViolation(ProtocolError):
+    """The coherence model checker caught the protocol breaking a memory
+    invariant (SWMR, per-line read monotonicity, directory/cache/MSHR
+    cross-state, or link-store accounting).
+
+    ``dump`` is a minimal machine-readable snapshot of the offending state
+    (line address, per-cache states, directory entry, shadow values) and
+    ``trace_tail`` carries the recent span history of the implicated
+    transactions when the run was traced (PR 4's tracer)."""
+
+    def __init__(self, reason, dump=None, trace_tail=None):
+        self.reason = reason
+        self.dump = dump or {}
+        self.trace_tail = trace_tail or []
+        lines = [reason]
+        for key in sorted(self.dump):
+            lines.append(f"  {key}: {self.dump[key]!r}")
+        for txn in self.trace_tail:
+            lines.append(f"  traced: {txn}")
+        super().__init__("\n".join(lines))
+
+    def to_dict(self):
+        return {"reason": self.reason, "dump": self.dump,
+                "trace_tail": self.trace_tail}
+
+
 class WorkloadError(ReproError):
     """A workload generator produced an invalid operation."""
 

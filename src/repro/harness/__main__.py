@@ -13,6 +13,8 @@ Usage::
     python -m repro.harness trace fft --summary  # latency decomposition table
     python -m repro.harness trace fft --out fft.json   # Chrome trace_event JSON
     python -m repro.harness faults fft           # slowdown vs injected-fault rate
+    python -m repro.harness check --seed 0 --ops 2000   # coherence model checker
+    python -m repro.harness check --replay .repro_check/check-repro-....json
     python -m repro.harness summary fft --json   # RunResult.summary() scalars
     python -m repro.harness compare fft --vs ideal --fast   # metric delta table
     python -m repro.harness diff fft/flash fft/ideal --fast # same, explicit sides
@@ -245,33 +247,161 @@ def cmd_suite(args) -> int:
 
 
 def cmd_faults(args) -> int:
-    """Robustness sweep: one app under increasing uniform fault rates."""
+    """Robustness sweep: one app under increasing uniform fault rates.
+
+    A raising run (stall, protocol error, watchdog trip) becomes a FAILED
+    row instead of sinking the sweep, and the command exits nonzero if any
+    swept rate failed; ``--json`` emits a machine-readable report shaped
+    like ``benchmarks/history.py --json`` (a ``record`` plus a ``status``)
+    for scripted robustness gates."""
+    import json
+
     rates = [float(r) for r in args.rates.split(",") if r.strip()]
     overrides = envopts.smoke_overrides(args.app, args.fast)
-    clean = run_app(args.app, regime=args.regime, n_procs=args.procs,
-                    workload_overrides=overrides)
+    failures = []
+    try:
+        clean = run_app(args.app, regime=args.regime, n_procs=args.procs,
+                        workload_overrides=overrides)
+    except Exception as exc:  # noqa: BLE001 — report and bail: no baseline
+        print(f"faults: clean run failed: {type(exc).__name__}: {exc}",
+              file=sys.stderr)
+        if args.json:
+            print(json.dumps({
+                "record": {"app": args.app, "regime": args.regime,
+                           "seed": args.seed, "rates": []},
+                "failures": [{"rate": 0.0, "error_type": type(exc).__name__,
+                              "error": str(exc)}],
+                "status": "fail",
+            }, sort_keys=True, indent=2))
+        return 1
     rows = [("0 (clean)", f"{clean.execution_time:.0f}", "-", "-", "-", "-")]
+    records = [{"rate": 0.0, "execution_time": clean.execution_time,
+                "slowdown": 0.0}]
     for rate in rates:
         plan = FaultPlan.uniform(rate, seed=args.seed)
-        result = run_app(args.app, regime=args.regime, n_procs=args.procs,
-                         workload_overrides=overrides, faults=plan)
+        try:
+            result = run_app(args.app, regime=args.regime, n_procs=args.procs,
+                             workload_overrides=overrides, faults=plan)
+        except Exception as exc:  # noqa: BLE001 — a FAILED row, not a crash
+            rows.append((f"{rate:g}", "FAILED", type(exc).__name__,
+                         "-", "-", "-"))
+            failures.append({"rate": rate, "error_type": type(exc).__name__,
+                             "error": str(exc)})
+            print(f"  rate {rate:g}: FAILED ({exc})", file=sys.stderr)
+            continue
         counters = getattr(result, "fault_counters", None)
         # A run served from the cache carries no live counters (they are
         # diagnostic, not part of the serialized result).
         delays = str(counters["delays"]) if counters else "?"
         drops = str(counters["drops"]) if counters else "?"
         slows = str(counters["pp_slowdowns"]) if counters else "?"
+        slow = result.execution_time / clean.execution_time - 1.0
         rows.append((
-            f"{rate:g}", f"{result.execution_time:.0f}",
-            f"{result.execution_time / clean.execution_time - 1.0:+.1%}",
+            f"{rate:g}", f"{result.execution_time:.0f}", f"{slow:+.1%}",
             delays, drops, slows,
         ))
-    print(render_table(
-        f"{args.app} @ {args.regime} under injected faults (seed={args.seed})",
-        ["fault rate", "exec time", "slowdown", "delays", "drops", "PP slow"],
-        rows,
-    ))
-    return 0
+        records.append({
+            "rate": rate, "execution_time": result.execution_time,
+            "slowdown": slow,
+            "counters": dict(counters) if counters else None,
+        })
+    if args.json:
+        print(json.dumps({
+            "record": {"app": args.app, "regime": args.regime,
+                       "seed": args.seed, "rates": records},
+            "failures": failures,
+            "status": "fail" if failures else "ok",
+        }, sort_keys=True, indent=2))
+    else:
+        print(render_table(
+            f"{args.app} @ {args.regime} under injected faults"
+            f" (seed={args.seed})",
+            ["fault rate", "exec time", "slowdown", "delays", "drops",
+             "PP slow"],
+            rows,
+        ))
+    return 1 if failures else 0
+
+
+def cmd_check(args) -> int:
+    """Coherence model checker: sweep seeds x shapes x protocols x fault
+    plans x fusion modes under the SWMR/SC oracle and quiesce-point
+    invariant walks; shrink any failure to a replayable reproducer."""
+    import json
+
+    from ..check import (
+        CheckSpec, iter_specs, replay, run_check, save_reproducer, shrink,
+    )
+
+    if args.replay:
+        report = replay(args.replay)
+        if args.json:
+            print(json.dumps(report.to_dict(), sort_keys=True, indent=2))
+        else:
+            status = "PASS" if report.ok else "FAIL"
+            print(f"{status} {report.spec.describe()}"
+                  f" (checked_ops={report.checked_ops})")
+            if not report.ok:
+                print(report.error)
+        # Replaying a reproducer is *expected* to fail — that's its job —
+        # so the exit code reports replay fidelity, not pass/fail.
+        return 0
+
+    seeds = ([int(s) for s in args.seeds.split(",") if s.strip()]
+             if args.seeds else [args.seed])
+    protocols = [p.strip() for p in args.protocols.split(",") if p.strip()]
+    kinds = [k.strip() for k in args.kinds.split(",") if k.strip()]
+    fusion_modes = {"both": (True, False), "fused": (True,),
+                    "stepwise": (False,)}[args.fusion]
+    fault_rates = [float(r) for r in args.faults.split(",") if r.strip()]
+    out_dir = args.out_dir or envopts.check_dir()
+    reports = []
+    failed = []
+    for spec in iter_specs(seeds, ops=args.ops, nodes=args.nodes,
+                           lines=args.lines, protocols=protocols,
+                           kinds=kinds, fusion_modes=fusion_modes,
+                           fault_rates=fault_rates, mutation=args.mutate):
+        report = run_check(spec)
+        if not report.ok and args.shrink:
+            best, attempts = shrink(report)
+            artifact = save_reproducer(best, spec, attempts, out_dir)
+            report.shrunk = {
+                "spec": best.spec.to_dict(),
+                "attempts": attempts,
+                "artifact": artifact,
+            }
+        reports.append(report)
+        if report.ok:
+            print(f"  PASS {spec.describe()}"
+                  f" (checked_ops={report.checked_ops},"
+                  f" quiesce={report.quiesce_checks})", file=sys.stderr)
+        else:
+            failed.append(report)
+            print(f"  FAIL {spec.describe()}: {report.error_type}",
+                  file=sys.stderr)
+            if report.shrunk:
+                print(f"       reproducer: {report.shrunk['artifact']}"
+                      f" (ops {spec.ops} -> {report.shrunk['spec']['ops']})",
+                      file=sys.stderr)
+    summary = {
+        "status": "fail" if failed else "ok",
+        "total": len(reports),
+        "passed": len(reports) - len(failed),
+        "failed": len(failed),
+        "checked_ops": sum(r.checked_ops for r in reports),
+        "quiesce_checks": sum(r.quiesce_checks for r in reports),
+        "reports": [r.to_dict() for r in reports],
+    }
+    if args.json:
+        print(json.dumps(summary, sort_keys=True, indent=2))
+    else:
+        print(f"check: {summary['passed']}/{summary['total']} passed,"
+              f" {summary['checked_ops']} references checked,"
+              f" {summary['quiesce_checks']} quiesce walks")
+        for report in failed:
+            print(f"\nFAIL {report.spec.describe()}")
+            print(report.error)
+    return 1 if failed else 0
 
 
 def cmd_summary(args) -> int:
@@ -456,7 +586,53 @@ def main(argv=None) -> int:
     faults.add_argument("--procs", type=int, default=None)
     faults.add_argument("--fast", action="store_true",
                         help="seconds-scale smoke problem sizes")
+    faults.add_argument("--json", action="store_true",
+                        help="machine-readable sweep report on stdout"
+                             " (record + status, like history.py --json)")
     faults.set_defaults(fn=cmd_faults)
+    check = sub.add_parser(
+        "check", help="coherence model checker: random traffic under"
+                      " SWMR/SC oracles and quiesce-point invariants,"
+                      " with failure shrinking")
+    check.add_argument("--seed", type=int, default=0,
+                       help="single workload/fault seed (default: 0)")
+    check.add_argument("--seeds", metavar="S,S,...", default=None,
+                       help="comma-separated seed sweep (overrides --seed)")
+    check.add_argument("--ops", type=int, default=400,
+                       help="operations per processor (default: 400)")
+    check.add_argument("--nodes", type=int, default=4,
+                       help="processors per checked machine (default: 4)")
+    check.add_argument("--lines", type=int, default=8,
+                       help="contended cache lines (default: 8)")
+    check.add_argument("--protocols", metavar="P,P,...",
+                       default="base,migratory,transfer",
+                       help="protocol axis: base, migratory, transfer"
+                            " (default: all three)")
+    check.add_argument("--kinds", metavar="K,K,...", default="flash,ideal",
+                       help="machine kinds (default: flash,ideal)")
+    check.add_argument("--fusion", default="both",
+                       choices=["both", "fused", "stepwise"],
+                       help="macro-op fusion axis (default: both)")
+    check.add_argument("--faults", metavar="R,R,...", default="0",
+                       help="uniform fault rates; nonzero rates run on"
+                            " flash/table only (default: 0)")
+    check.add_argument("--mutate", metavar="NAME", default=None,
+                       help="run with a deliberate protocol mutation"
+                            " (drop_sharer, stale_reply, skip_inval, no_ack)"
+                            " — the checker self-test")
+    check.add_argument("--shrink", action="store_true", default=True,
+                       help="shrink failures to minimal reproducers"
+                            " (default)")
+    check.add_argument("--no-shrink", action="store_false", dest="shrink",
+                       help="skip shrinking (fast triage)")
+    check.add_argument("--out-dir", metavar="DIR", default=None,
+                       help="reproducer artifact directory (default:"
+                            " $REPRO_CHECK_DIR or .repro_check)")
+    check.add_argument("--replay", metavar="FILE", default=None,
+                       help="re-run a saved reproducer instead of sweeping")
+    check.add_argument("--json", action="store_true",
+                       help="machine-readable report on stdout")
+    check.set_defaults(fn=cmd_check)
     summary = sub.add_parser(
         "summary", help="RunResult.summary() scalars for one run")
     summary.add_argument("app", choices=APP_ORDER)

@@ -14,6 +14,8 @@ the single source of truth:
 ``REPRO_FUSION``    macro-op fusion in the node controllers (on by default;
                     off-values force every dispatch through the stepwise
                     pipeline — timing is byte-identical either way)
+``REPRO_CHECK_DIR`` model-checker reproducer artifact directory (default
+                    ``.repro_check``)
 ``REPRO_BACKEND``   ``python`` (default) or ``compiled``: ``compiled``
                     *verifies* that the mypyc extension modules built by
                     ``scripts/build_compiled.py`` are the ones actually
@@ -31,7 +33,7 @@ from typing import Dict, List, Optional
 __all__ = [
     "OFF_VALUES", "ON_VALUES", "watchdog_from_env", "trace_from_env",
     "metrics_from_env", "cache_enabled", "jobs_from_env", "smoke_overrides",
-    "backend_from_env", "verify_backend", "COMPILED_MODULES",
+    "backend_from_env", "verify_backend", "COMPILED_MODULES", "check_dir",
 ]
 
 #: Spellings that disable a feature knob (case-insensitive).
@@ -149,6 +151,13 @@ def verify_backend() -> str:
                 "(requires mypyc) or unset REPRO_BACKEND")
     _BACKEND_VERIFIED = backend
     return backend
+
+
+def check_dir() -> str:
+    """Directory for model-checker failure reproducers (``REPRO_CHECK_DIR``;
+    default ``.repro_check``).  The ``check`` subcommand writes shrunk
+    reproducer JSON artifacts here; CI uploads it on failure."""
+    return os.environ.get("REPRO_CHECK_DIR", "").strip() or ".repro_check"
 
 
 def jobs_from_env() -> int:

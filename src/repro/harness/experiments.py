@@ -207,6 +207,10 @@ def _execute(spec: Dict) -> RunResult:
     """Run the simulation described by a normalized spec (no caching)."""
     machine, ops, cost_model = build_machine(spec)
     result = machine.run(ops)
+    # End-of-run leak detection (repro.check.invariants): a drained
+    # schedule with pending directory state, an unretired MSHR, or a
+    # link-store leak is a protocol bug even when timing looks right.
+    machine.assert_quiesced()
     if cost_model is not None:
         result.pp_dynamic = cost_model.dynamic_totals()
     if machine.fault_injector is not None:

@@ -175,6 +175,22 @@ class Machine:
         execution_time = max(node.cpu.times.finish_time for node in self.nodes)
         return RunResult(self, execution_time)
 
+    def assert_quiesced(self) -> None:
+        """End-of-run leak detection: the strict directory / cache / MSHR /
+        link-store invariant walk (`repro.check.invariants`).  After
+        :meth:`run` drains the event schedule, every directory entry must
+        be settled (no pending three-hop state, no orphaned deferred
+        requests), every link-store allocation must be reachable from a
+        sharer list (allocated - freed == live links), every cached copy
+        must be explicable by its home entry, and every MSHR must be
+        retired.  Raises :class:`~repro.common.errors.CoherenceViolation`.
+
+        Cheap enough (one pass over entries and tags) to run after every
+        correctness-sensitive run; the model checker and the golden-matrix
+        integration tests both call it unconditionally."""
+        from .check.invariants import check_invariants
+        check_invariants(self, strict=True, where="end-of-run")
+
     def check_directory_invariants(self) -> None:
         """Post-run sanity: every directory entry is internally consistent
         and agrees with the processor caches."""

@@ -95,6 +95,10 @@ class CPU:
         controller.set_cache_busy(self.note_cache_busy)
         self.transfers = getattr(controller, "transfers", None)
         self.tracer = None  # Tracer (repro.stats.trace), attached by the Machine
+        # CoherenceOracle (repro.check), attached by the model checker; when
+        # set, ``_loop_cb`` is rebound to the instrumented loop twin and the
+        # deliver/invalidate/evict hooks below feed the shadow value model.
+        self.oracle = None
         self._done = Event(env)
         # Execution state machine: one logical thread, so everything the old
         # generator kept in frame locals lives in instance fields between
@@ -147,6 +151,8 @@ class CPU:
     def external_invalidate(self, line_addr: int) -> str:
         """Protocol invalidation of a line in this processor's cache."""
         prior = self.cache.invalidate(line_addr)
+        if self.oracle is not None:
+            self.oracle.on_invalidate(self.node_id, line_addr, prior)
         if prior == CacheState.INVALID:
             entry = self.mshrs.lookup(line_addr)
             if entry is not None and not entry.is_write:
@@ -174,6 +180,9 @@ class CPU:
             # The data is still consumed by the waiting reference(s); the
             # line just does not stay resident.
             self.cache.invalidate(line)
+        if self.oracle is not None:
+            self.oracle.on_fill(self.node_id, message, entry,
+                                state == CacheState.SHARED)
         if victim is not None:
             self._post_eviction(victim)
         for waiter in entry.waiters:
@@ -329,6 +338,146 @@ class CPU:
         self._batched = batched
         flush_then(self._finish_cb)
 
+    def _loop_checked(self) -> None:
+        # Oracle-instrumented twin of :meth:`_loop` — the identical state
+        # machine and time accounting, plus a shadow-model observation per
+        # retiring reference (reads that hit observe here; reads that miss
+        # or merge observe at their wake-up sites; writes queue or perform
+        # here).  The oracle only observes, so dispatch order and simulated
+        # results match the uninstrumented loop exactly; the golden matrix
+        # never runs with an oracle attached, so the two copies only need
+        # to stay semantically in sync.
+        oracle = self.oracle
+        node_id = self.node_id
+        cache = self.cache
+        sets = cache._sets
+        line_shift = cache.line_shift
+        tag_shift = cache.tag_shift
+        set_mask = cache.set_mask
+        stats = cache.stats
+        mshr_get = self.mshrs.entries.get
+        quantum = self.quantum
+        cpr = CYCLES_PER_REFERENCE
+        SHARED = CacheState.SHARED
+        flush_then = self._flush_then
+        batched = self._batched
+        for op in self._ops:
+            kind = op[0]
+            if kind == "r":
+                k = op[2] if len(op) > 2 else 1
+                self.total_reads += k
+                batched += cpr * k
+                line = op[1] & _LINE_MASK
+                entry = mshr_get(line)
+                if entry is not None:
+                    self.read_merges += 1
+                    if k > 1:
+                        stats.read_hits += k - 1
+                    self._batched = batched
+                    self._pending_entry = entry
+                    self._miss_line = line
+                    flush_then(self._rmerge_after_flush_cb)
+                    return
+                cache_set = sets[(line >> line_shift) & set_mask]
+                tag = line >> tag_shift
+                state = cache_set.pop(tag, None)
+                if state is None:
+                    stats.read_misses += 1
+                    if k > 1:
+                        stats.read_hits += k - 1
+                    self._batched = batched
+                    self._miss_line = line
+                    flush_then(self._read_miss_begin_cb)
+                    return
+                cache_set[tag] = state  # MRU
+                stats.read_hits += k
+                oracle.on_read(node_id, line)
+                if batched >= quantum:
+                    self._batched = batched
+                    flush_then(self._loop_cb)
+                    return
+            elif kind == "w":
+                k = op[2] if len(op) > 2 else 1
+                self.total_writes += k
+                batched += cpr * k
+                line = op[1] & _LINE_MASK
+                entry = mshr_get(line)
+                if entry is not None:
+                    self.mshrs.merge_write(line)
+                    if k > 1:
+                        stats.write_hits += k - 1
+                    if not entry.is_write:
+                        entry.needs_upgrade = True
+                    oracle.on_write_queued(node_id, line)
+                    continue
+                cache_set = sets[(line >> line_shift) & set_mask]
+                tag = line >> tag_shift
+                state = cache_set.pop(tag, None)
+                if state is None:
+                    stats.write_misses += 1
+                    if k > 1:
+                        stats.write_hits += k - 1
+                    self._batched = batched
+                    self._miss_line = line
+                    self._miss_state = CacheState.INVALID
+                    oracle.on_write_queued(node_id, line)
+                    flush_then(self._write_miss_begin_cb)
+                    return
+                elif state == SHARED:
+                    cache_set[tag] = state  # MRU; upgrade required
+                    stats.write_misses += 1
+                    if k > 1:
+                        stats.write_hits += k - 1
+                    self._batched = batched
+                    self._miss_line = line
+                    self._miss_state = SHARED
+                    oracle.on_write_queued(node_id, line)
+                    flush_then(self._write_miss_begin_cb)
+                    return
+                else:
+                    cache_set[tag] = state  # MRU
+                    stats.write_hits += k
+                    oracle.on_write_hit(node_id, line)
+                    if batched >= quantum:
+                        self._batched = batched
+                        flush_then(self._loop_cb)
+                        return
+            elif kind == "c":
+                batched += op[1]
+                if batched >= quantum:
+                    self._batched = batched
+                    flush_then(self._loop_cb)
+                    return
+            elif kind == "b":
+                self._batched = batched
+                self._op_arg = op[1]
+                flush_then(self._barrier_fence_cb)
+                return
+            elif kind == "l":
+                self._batched = batched
+                self._op_arg = op[1]
+                flush_then(self._lock_begin_cb)
+                return
+            elif kind == "u":
+                self._batched = batched
+                self._op_arg = op[1]
+                flush_then(self._unlock_fence_cb)
+                return
+            elif kind == "s":
+                self._batched = batched
+                self._op = op
+                flush_then(self._send_begin_cb)
+                return
+            elif kind == "v":
+                self._batched = batched
+                self._op_arg = op[1]
+                flush_then(self._recv_begin_cb)
+                return
+            else:
+                raise WorkloadError(f"unknown operation {op!r}")
+        self._batched = batched
+        flush_then(self._finish_cb)
+
     def _finish(self) -> None:
         self.times.finish_time = self.env.now
         self._done.succeed()
@@ -408,11 +557,15 @@ class CPU:
             entry.waiters.append(waiter)
             waiter.callbacks.append(self._rmerge_done_cb)
             return
-        self._loop()
+        if self.oracle is not None:
+            self.oracle.on_read(self.node_id, self._miss_line)
+        self._loop_cb()
 
     def _rmerge_done(self, _event) -> None:
         self.times.read_stall += self.env._now - self._stall_start
-        self._loop()
+        if self.oracle is not None:
+            self.oracle.on_read(self.node_id, self._miss_line)
+        self._loop_cb()
 
     # -- miss handling ------------------------------------------------------------------
 
@@ -455,7 +608,9 @@ class CPU:
 
     def _rm_done(self, _event) -> None:
         self.times.read_stall += self.env._now - self._stall_start
-        self._loop()
+        if self.oracle is not None:
+            self.oracle.on_read(self.node_id, self._miss_line)
+        self._loop_cb()
 
     def _write_miss_begin(self) -> None:
         line = self._miss_line
@@ -506,7 +661,7 @@ class CPU:
         # Non-blocking write: the processor continues; only the time spent
         # waiting for MSHR space / conflicts / queue space is write stall.
         self.times.write_stall += self.env._now - self._stall_start
-        self._loop()
+        self._loop_cb()
 
     # -- synchronization / transfers ----------------------------------------------------
 
@@ -525,7 +680,7 @@ class CPU:
 
     def _sync_done(self, _event=None) -> None:
         self.times.sync += self.env._now - self._stall_start
-        self._loop()
+        self._loop_cb()
 
     def _unlock_fence(self) -> None:
         self._stall_start = self.env._now
@@ -534,7 +689,7 @@ class CPU:
     def _unlock_release(self) -> None:
         self.times.sync += self.env._now - self._stall_start
         self.sync.release(self._op_arg)
-        self._loop()
+        self._loop_cb()
 
     def _send_begin(self) -> None:
         _k, dst, addr, nbytes = self._op
@@ -548,7 +703,7 @@ class CPU:
 
     def _send_done(self) -> None:
         self.times.write_stall += self.env._now - self._stall_start
-        self._loop()
+        self._loop_cb()
 
     def _recv_begin(self) -> None:
         self._stall_start = self.env._now
@@ -602,6 +757,8 @@ class CPU:
         mtype, line = pair
         message = _acquire(mtype, line, self.node_id, self.node_id,
                           self.node_id)
+        if self.oracle is not None:
+            self.oracle.on_evict(self.node_id, line, mtype, message)
         self.controller.pi_submit_drop(message)
 
 

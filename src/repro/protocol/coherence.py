@@ -96,6 +96,13 @@ class Action:
     #: Extra cycles the timing layer waits before emitting ``sends`` — only
     #: ever nonzero for fault-injected retry backoff (repro.faults).
     send_delay: float = 0.0
+    #: The coherence checker already stamped this action.  Replay cascades
+    #: must hand each handler's actions to the checker *before* the next
+    #: deferred handler for the same line runs (its value propagation may
+    #: read state the earlier handler moved), so inner call sites notify
+    #: eagerly and the outer ``process``/``replay_stable`` hooks skip
+    #: anything flagged here.
+    checked: bool = False
 
 
 @dataclass(slots=True)
@@ -143,6 +150,13 @@ class NodeProtocolEngine:
         # the class of every classified read miss so the latency
         # decomposition can bucket transactions like Table 4.1 does.
         self.tracer = None
+        # Optional coherence oracle (repro.check), attached by the model
+        # checker; shown every handler's returned actions so the shadow
+        # value model can track where data moved.
+        self.checker = None
+        # Test-only protocol mutation (repro.check self-test): a named,
+        # deliberately-injected bug — None in every real run.
+        self.mutation = None
         # Counters.
         self.miss_classes: Dict[str, int] = {cls: 0 for cls in MissClass.ALL}
         self.messages_processed = 0
@@ -205,7 +219,10 @@ class NodeProtocolEngine:
             fn = self._dispatch[msg.mtype]
         except KeyError:
             raise ProtocolError(f"node {self.node_id}: unknown message {msg}")
-        return fn(msg)
+        actions = fn(msg)
+        if self.checker is not None:
+            self.checker.on_actions(self, actions)
+        return actions
 
     # -- processor-side requests ---------------------------------------------------
 
@@ -274,7 +291,12 @@ class NodeProtocolEngine:
             self.tracer.classify(msg.requester, line, cls)
         if not entry.dirty:
             # Clean (or uncached): data comes from local memory.
-            added, addrs = self.directory.add_sharer(line, msg.requester)
+            if self.mutation == "drop_sharer" and msg.requester != self.node_id:
+                # Seeded bug (repro.check self-test): grant the copy without
+                # recording the sharer, so a later write never invalidates it.
+                addrs = [self.directory.header_addr(line)]
+            else:
+                added, addrs = self.directory.add_sharer(line, msg.requester)
             reply = msg.reply(MT.PUT)
             action = Action(
                 Handler.GET_HOME_CLEAN, msg, dir_addrs=addrs,
@@ -304,6 +326,17 @@ class NodeProtocolEngine:
                 action.sends = [reply]
             return action
         # Dirty in a remote cache: forward and go pending.
+        if self.mutation == "stale_reply":
+            # Seeded bug (repro.check self-test): reply straight from memory
+            # as if the line were clean, ignoring the dirty remote owner.
+            reply = msg.reply(MT.PUT)
+            action = Action(Handler.GET_HOME_CLEAN, msg,
+                            needs_memory_data=True, miss_class=cls)
+            if local:
+                action.cpu_deliver = reply
+            else:
+                action.sends = [reply]
+            return action
         entry.pending = True
         forward = _acquire(MT.FORWARD_GET, line, self.node_id, entry.owner,
                           msg.requester, is_write=False)
@@ -353,7 +386,15 @@ class NodeProtocolEngine:
         sends: List[Message] = []
         cache_touched = False
         n_invals = 0
+        skipped_inval = False
         for node in to_invalidate:
+            if (self.mutation == "skip_inval" and not skipped_inval
+                    and node != self.node_id):
+                # Seeded bug (repro.check self-test): silently drop one
+                # invalidation — and don't count it, so the requester's ack
+                # collection still completes and the stale copy survives.
+                skipped_inval = True
+                continue
             n_invals += 1
             if node == self.node_id:
                 # The home's own processor holds a copy: invalidate in place
@@ -409,7 +450,7 @@ class NodeProtocolEngine:
         # pending; the NAK from the owner will replay the stalled request.
         if entry.pending:
             return [action]
-        return [action] + self._replay(line)
+        return self._checked([action]) + self._replay(line)
 
     def _home_hint(self, msg: Message) -> List[Action]:
         line = msg.line_addr
@@ -469,7 +510,7 @@ class NodeProtocolEngine:
         entry.pending = False
         action = Action(Handler.SHARING_WB, msg, dir_addrs=addrs,
                         writes_memory=True)
-        return [action] + self._replay(line)
+        return self._checked([action]) + self._replay(line)
 
     def _ownership_transfer(self, msg: Message) -> List[Action]:
         line = msg.line_addr
@@ -480,7 +521,7 @@ class NodeProtocolEngine:
         addrs += self.directory.set_dirty(line, msg.requester)
         entry.pending = False
         action = Action(Handler.OWNERSHIP_XFER, msg, dir_addrs=addrs)
-        return [action] + self._replay(line)
+        return self._checked([action]) + self._replay(line)
 
     def _nak(self, msg: Message) -> List[Action]:
         line = msg.line_addr
@@ -496,7 +537,9 @@ class NodeProtocolEngine:
             retry_type = MT.GETX if msg.is_write else MT.GET
         retry = _acquire(retry_type, line, msg.requester, self.node_id,
                         msg.requester, is_write=msg.is_write)
-        return [action] + self._home_request(retry) + self._replay(line)
+        head = self._checked([action])
+        retried = self._checked(self._home_request(retry))
+        return head + retried + self._replay(line)
 
     def _bounce_retry(self, msg: Message) -> List[Action]:
         """A fault-injected drop (repro.faults) bounced one of our requests
@@ -530,6 +573,11 @@ class NodeProtocolEngine:
 
     def _inval(self, msg: Message) -> List[Action]:
         self._cache_invalidate(msg.line_addr)
+        if self.mutation == "no_ack":
+            # Seeded bug (repro.check self-test): invalidate but never ack,
+            # wedging the writer's ack collection — a deadlock the watchdog
+            # / drained-schedule check must convert into a typed failure.
+            return [Action(Handler.INVAL_RECEIVE, msg, cache_touched=True)]
         ack = _acquire(MT.INVAL_ACK, msg.line_addr, self.node_id, msg.requester,
                       msg.requester, is_write=True)
         return [Action(Handler.INVAL_RECEIVE, msg, cache_touched=True,
@@ -574,7 +622,18 @@ class NodeProtocolEngine:
         entry = self.directory.entry(line_addr)
         if entry.pending:
             return []
-        return self._replay(line_addr)
+        actions = self._replay(line_addr)
+        if self.checker is not None and actions:
+            self.checker.on_actions(self, actions)
+        return actions
+
+    def _checked(self, actions: List[Action]) -> List[Action]:
+        """Hand actions to the coherence checker *now*, before any further
+        handler runs for the same line.  Used by the replay cascades; the
+        ``checked`` flag keeps the outer batch hooks from re-stamping."""
+        if self.checker is not None and actions:
+            self.checker.on_actions(self, actions)
+        return actions
 
     def _replay(self, line_addr: int) -> List[Action]:
         """Replay deferred messages for a line until it goes pending again (or
@@ -587,6 +646,7 @@ class NodeProtocolEngine:
                 result = self._home_hint(msg)
             else:
                 result = self._home_request(msg)
+            self._checked(result)
             actions.extend(result)
             if result and result[0].deferred:
                 break  # the popped message re-deferred itself: stop for now

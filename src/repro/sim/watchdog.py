@@ -36,7 +36,8 @@ from typing import Any, Callable, Dict, List, Optional
 from .engine import Environment, Event, Process, SimulationError
 from .queues import BoundedQueue, CountingResource
 
-__all__ = ["Watchdog", "SimStalledError", "StallDiagnosis", "diagnose"]
+__all__ = ["Watchdog", "SimStalledError", "StallDiagnosis", "diagnose",
+           "trace_tail"]
 
 #: Default no-progress event budget.  Full app runs dispatch tens of events
 #: per memory reference, so two million events without a single reference
@@ -177,6 +178,27 @@ def _queue_message(item: Any):
     bare messages or ``(message, ...)`` bundles)."""
     candidate = item[0] if isinstance(item, tuple) and item else item
     return candidate if hasattr(candidate, "uid") else None
+
+
+def trace_tail(env: Environment, line_addr: Optional[int] = None,
+               limit: int = 4) -> List[Dict[str, Any]]:
+    """Recent span tails of the oldest in-flight transactions — the same
+    view a traced stall attaches to :class:`StallDiagnosis`, reusable by
+    any diagnostic (the coherence checker attaches it to
+    :class:`~repro.common.errors.CoherenceViolation`).  ``line_addr``
+    filters to one line's transactions (falling back to the unfiltered
+    tail when none match, so a violation never loses its context); an
+    untraced run returns ``[]``."""
+    tracer = getattr(env, "_tracer", None)
+    if tracer is None:
+        return []
+    tail = tracer.in_flight_tail(limit=limit)
+    if line_addr is not None:
+        needle = f"{line_addr:#x}"
+        matching = [txn for txn in tail if txn.get("line") == needle]
+        if matching:
+            return matching
+    return tail
 
 
 def diagnose(env: Environment, reason: str, events_dispatched: int = 0,

@@ -21,6 +21,9 @@ def build(kind="flash", n_procs=4, cache=64 * KB):
 def run(machine, streams):
     result = machine.run([iter(s) for s in streams])
     machine.check_directory_invariants()
+    # End-of-run leak detection: directory vs cache tags vs MSHRs vs the
+    # link store must reconcile exactly once the schedule drains.
+    machine.assert_quiesced()
     return result
 
 
