@@ -48,6 +48,10 @@ METRICS: Dict[str, str] = {
     # Model-checker throughput (oracle-checked references/second on the
     # fixed perf_smoke randmem run): gates SWMR/SC oracle overhead.
     "check_ops_per_sec": "higher",
+    # Observability-layer throughput (completed open-loop requests/second
+    # on the fixed monitored+traced perf_smoke openloop run): gates the
+    # latency monitor's and request markers' observation overhead.
+    "loadlat_reqs_per_sec": "higher",
 }
 
 DEFAULT_THRESHOLD = 0.10

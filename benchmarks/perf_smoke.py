@@ -215,6 +215,29 @@ def check_ops_per_sec() -> float:
     return report.checked_ops / elapsed
 
 
+def loadlat_reqs_per_sec() -> float:
+    """Observability-layer throughput: completed open-loop requests per
+    wall-clock second on a fixed monitored+traced ``openloop`` run (seed 0,
+    128 requests/node, 8 nodes).  This path carries every observer at once —
+    the 'q'/'e' request markers, the latency monitor's sketch feeds, and the
+    tracer's per-transaction component forwarding — so a hook that gets
+    expensive shows up here before it hurts real loadlat sweeps."""
+    from repro.harness import experiments
+
+    spec = experiments.normalize_spec(
+        "openloop", kind="flash", regime="large", n_procs=8,
+        workload_overrides={"requests": 128, "lines": 32, "mean_gap": 150.0},
+        loadlat=True, trace=True,
+    )
+    start = time.perf_counter()
+    result = experiments._execute(spec)
+    elapsed = time.perf_counter() - start
+    completed = result.load_latency["requests"]["completed"]
+    assert completed == 128 * 8, f"openloop bench left requests open: " \
+                                 f"{result.load_latency['requests']}"
+    return completed / elapsed
+
+
 def append_history(path: str, record: dict) -> int:
     history = []
     if os.path.exists(path):
@@ -275,6 +298,7 @@ def main() -> int:
     }
     record["e2e_fft1k_seconds"] = round(end_to_end_seconds(), 3)
     record["check_ops_per_sec"] = round(check_ops_per_sec())
+    record["loadlat_reqs_per_sec"] = round(loadlat_reqs_per_sec())
     count = append_history(BENCH_FILE, record)
     print(json.dumps(record, indent=2))
     print(f"appended to {BENCH_FILE} ({count} record(s))")

@@ -11,6 +11,7 @@ from .fft import FFTWorkload
 from .lu import LUWorkload
 from .mp3d import MP3DWorkload
 from .ocean import OceanWorkload
+from .openloop import OpenLoopWorkload
 from .osload import OSWorkload
 from .placement import AddressSpace, Region
 from .radix import RadixWorkload
@@ -40,6 +41,7 @@ __all__ = [
     "MP3DWorkload",
     "OceanWorkload",
     "OSWorkload",
+    "OpenLoopWorkload",
     "RadixWorkload",
     "RandMemWorkload",
     "PAPER_APPS",

@@ -1,0 +1,208 @@
+"""Open-loop request traffic for load-vs-tail-latency measurement.
+
+The paper's applications are *closed* systems: each processor issues its
+next reference only after the previous one retires, so occupancy-induced
+queueing shows up as longer execution time, never as a latency tail.  The
+flexibility cost the paper measures (MAGIC occupancy) is precisely what
+bends tails in an *open* system, where requests arrive on their own
+schedule whether or not the server has caught up.  ``openloop`` is that
+front end: each node is driven by a pre-generated arrival schedule
+(Poisson or bursty), every request touches Zipf-popular lines out of a
+shared contended region, and the request mix is bimodal — cheap point
+requests and expensive multi-line scans.
+
+Each request is bracketed by the ``('q', cls, t)`` / ``('e',)`` markers the
+CPU understands: ``'q'`` paces the stream to the request's *intended*
+arrival time (pre-generated, so measured latency includes any client-side
+queueing when the node falls behind — the coordinated-omission correction),
+and ``'e'`` fences outstanding misses so the latency clock covers the
+request's non-blocking writes.  The :class:`~repro.stats.latency.LatencyMonitor`
+observes these markers when attached; without one the stream still paces
+identically, so a spec's simulated timing is independent of observation.
+
+Determinism: everything derives from ``rng_stream`` xorshift streams seeded
+by (seed, cpu), exactly like ``randmem`` — the same spec replays the same
+arrivals, addresses, and mixes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterator, List, Tuple
+
+from ..common.params import MachineConfig
+from ..common.units import CACHE_LINE_BYTES, PAGE_BYTES, WORDS_PER_LINE
+from .base import Workload, rng_stream
+
+__all__ = ["OpenLoopWorkload", "PROFILES"]
+
+#: byte stride between consecutive hot lines (page + line: spreads homes
+#: round-robin across nodes while still colliding in the small L2 — the
+#: randmem layout, for the same reasons).
+_LINE_STRIDE = PAGE_BYTES + CACHE_LINE_BYTES
+
+#: per-cpu seed spacing (golden-ratio increment keeps streams uncorrelated)
+_CPU_SALT = 0x9E3779B9
+
+#: Traffic-shape presets.  ``fft`` is the read-heavy scan shape (long
+#: unit-stride bursts, few writes — FFT-class traffic); ``mp3d`` is the
+#: write-heavy contended shape (hot Zipf head, many upgrades — MP3D-class);
+#: ``uniform`` sits between.  Explicit constructor kwargs override these.
+PROFILES: Dict[str, Dict[str, float]] = {
+    "uniform": dict(write_frac=0.30, large_frac=0.10, zipf_theta=0.8),
+    "fft": dict(write_frac=0.05, large_frac=0.25, zipf_theta=0.6),
+    "mp3d": dict(write_frac=0.60, large_frac=0.05, zipf_theta=1.1),
+}
+
+
+class OpenLoopWorkload(Workload):
+    """Open-loop arrivals, Zipf popularity, bimodal request mix."""
+
+    name = "openloop"
+    paper_problem = "n/a (open-system front end, not a paper application)"
+
+    def __init__(self, seed: int = 0, requests: int = 64,
+                 mean_gap: float = 400.0, arrival: str = "poisson",
+                 burst_len: int = 8, burst_factor: float = 8.0,
+                 profile: str = "uniform", lines: int = 64,
+                 zipf_theta: float = None, write_frac: float = None,
+                 large_frac: float = None, large_lines: int = 8,
+                 think: int = 4):
+        if requests < 1:
+            raise ValueError("openloop needs at least one request per cpu")
+        if mean_gap <= 0:
+            raise ValueError("mean_gap must be positive")
+        if arrival not in ("poisson", "bursty"):
+            raise ValueError(f"unknown arrival process {arrival!r}")
+        if profile not in PROFILES:
+            raise ValueError(
+                f"unknown profile {profile!r} (have {sorted(PROFILES)})")
+        preset = PROFILES[profile]
+        self.seed = seed
+        self.requests = requests
+        self.mean_gap = float(mean_gap)
+        self.arrival = arrival
+        self.burst_len = max(2, burst_len)
+        self.burst_factor = max(1.0, burst_factor)
+        self.profile = profile
+        self.lines = max(1, lines)
+        self.zipf_theta = preset["zipf_theta"] if zipf_theta is None \
+            else zipf_theta
+        self.write_frac = preset["write_frac"] if write_frac is None \
+            else write_frac
+        self.large_frac = preset["large_frac"] if large_frac is None \
+            else large_frac
+        self.large_lines = max(2, large_lines)
+        self.think = max(0, think)
+
+    # -- shared-state construction ---------------------------------------------
+
+    def _line_addrs(self, space) -> List[int]:
+        nbytes = self.lines * _LINE_STRIDE + CACHE_LINE_BYTES
+        region = space.alloc(nbytes, policy="round_robin", name="openloop.hot")
+        return [region.addr(i * _LINE_STRIDE) for i in range(self.lines)]
+
+    def _zipf_cdf(self, rng) -> Tuple[List[int], List[int]]:
+        """Integer CDF (scaled to 2**32) over a shuffled line order, so
+        popularity rank decorrelates from home-node placement."""
+        order = list(range(self.lines))
+        for i in range(self.lines - 1, 0, -1):
+            j = rng() % (i + 1)
+            order[i], order[j] = order[j], order[i]
+        weights = [(i + 1) ** -self.zipf_theta for i in range(self.lines)]
+        total = sum(weights)
+        cdf: List[int] = []
+        acc = 0.0
+        for w in weights:
+            acc += w
+            cdf.append(min(0xFFFFFFFF, int(acc / total * 4294967296.0)))
+        cdf[-1] = 0xFFFFFFFF
+        return order, cdf
+
+    # -- arrival schedule --------------------------------------------------------
+
+    def _arrivals(self, rng) -> List[float]:
+        """Absolute intended arrival times for one node's requests.
+
+        Pre-generated so the schedule is independent of service times: when
+        the node falls behind, later requests are already "in the air" and
+        their waiting counts against measured latency.
+        """
+        times: List[float] = []
+        t = 0.0
+        if self.arrival == "poisson":
+            for _ in range(self.requests):
+                u = (rng() + 1) / 4294967296.0   # (0, 1]
+                t += -self.mean_gap * math.log(u)
+                times.append(t)
+            return times
+        # Bursty: runs of burst_len closely spaced arrivals (gap mean
+        # mean_gap/burst_factor) separated by one compensating long gap, so
+        # the long-run offered load is exactly 1/mean_gap either way.
+        short_mean = self.mean_gap / self.burst_factor
+        long_mean = (self.burst_len * self.mean_gap
+                     - (self.burst_len - 1) * short_mean)
+        position = 0
+        for _ in range(self.requests):
+            mean = long_mean if position == 0 else short_mean
+            u = (rng() + 1) / 4294967296.0
+            t += -mean * math.log(u)
+            times.append(t)
+            position = (position + 1) % self.burst_len
+        return times
+
+    def build(self, config: MachineConfig) -> List[Iterator[Tuple]]:
+        from .placement import AddressSpace
+
+        space = AddressSpace(config)
+        line_addrs = self._line_addrs(space)
+        order, cdf = self._zipf_cdf(rng_stream(self.seed))
+        return [
+            self._stream(cpu, line_addrs, order, cdf)
+            for cpu in range(config.n_procs)
+        ]
+
+    def streams(self, config, space, cpu):  # pragma: no cover - via build()
+        raise NotImplementedError("openloop builds all streams at once")
+
+    # -- per-cpu stream ----------------------------------------------------------
+
+    def _stream(self, cpu: int, line_addrs: List[int], order: List[int],
+                cdf: List[int]) -> Iterator[Tuple]:
+        rng = rng_stream(self.seed ^ ((cpu + 1) * _CPU_SALT))
+        arrivals = self._arrivals(rng)
+        write_cut = int(self.write_frac * 4294967296.0)
+        large_cut = int(self.large_frac * 4294967296.0)
+
+        def pick_line() -> int:
+            u = rng()
+            for rank, cut in enumerate(cdf):
+                if u <= cut:
+                    return order[rank]
+            return order[-1]
+
+        for t_arrival in arrivals:
+            if rng() <= large_cut:
+                # Large request: a unit-stride scan over large_lines
+                # consecutive hot lines starting at a Zipf-picked index —
+                # every word of every line (the k-reference form).
+                start = pick_line()
+                yield ("q", "large", t_arrival)
+                for i in range(self.large_lines):
+                    addr = line_addrs[(start + i) % self.lines]
+                    yield ("r", addr, WORDS_PER_LINE)
+                if self.think:
+                    yield ("c", self.think)
+                yield ("e",)
+            else:
+                # Small request: one point read, maybe a read-modify-write.
+                addr = (line_addrs[pick_line()]
+                        + (rng() % WORDS_PER_LINE) * 8)
+                yield ("q", "small", t_arrival)
+                yield ("r", addr)
+                if rng() <= write_cut:
+                    yield ("w", addr)
+                if self.think:
+                    yield ("c", self.think)
+                yield ("e",)
+        yield ("b", ("openloop", "end"))

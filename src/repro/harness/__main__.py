@@ -15,6 +15,8 @@ Usage::
     python -m repro.harness faults fft           # slowdown vs injected-fault rate
     python -m repro.harness check --seed 0 --ops 2000   # coherence model checker
     python -m repro.harness check --replay .repro_check/check-repro-....json
+    python -m repro.harness loadlat fft --fast   # load vs tail-latency curve
+    python -m repro.harness loadlat mp3d --points 8 --json --out curve.json
     python -m repro.harness summary fft --json   # RunResult.summary() scalars
     python -m repro.harness compare fft --vs ideal --fast   # metric delta table
     python -m repro.harness diff fft/flash fft/ideal --fast # same, explicit sides
@@ -33,9 +35,10 @@ from __future__ import annotations
 import argparse
 import sys
 
+from ..apps.openloop import PROFILES as LOADLAT_PROFILES
 from ..common.params import flash_config, ideal_config
 from ..faults import FaultPlan
-from . import diskcache, envopts, runfarm
+from . import diskcache, envopts, loadlat, runfarm
 from .experiments import (
     APP_ORDER, REGIMES, run_app, run_flash_ideal, slowdown,
 )
@@ -404,6 +407,48 @@ def cmd_check(args) -> int:
     return 1 if failed else 0
 
 
+def cmd_loadlat(args) -> int:
+    """Open-loop load-vs-tail-latency sweep with saturation-knee detection.
+
+    Steps offered load across a gap ladder for FLASH and the ideal machine
+    (farmed, disk-cached), prints per-kind p50/p90/p99/p99.9 curve tables
+    with the detected knee and its growing component, and optionally emits
+    the whole sweep as JSON (``--json`` / ``--out FILE``)."""
+    import json
+
+    if args.gaps:
+        gaps = [float(g) for g in args.gaps.split(",") if g.strip()]
+    else:
+        gaps = loadlat.gap_ladder(args.min_gap, args.max_gap, args.points)
+    kinds = [k.strip() for k in args.kinds.split(",") if k.strip()]
+    requests = args.requests if args.requests is not None \
+        else (64 if args.fast else 256)
+
+    def live(kind, point):
+        print(f"  {kind} gap={point['mean_gap']:.0f}:"
+              f" p99={point['p99']:.0f}"
+              f" ({point['completed']}/{point['generated']} done)",
+              file=sys.stderr)
+
+    sweep = loadlat.sweep_curves(
+        args.shape, kinds, gaps, requests=requests, regime=args.regime,
+        n_procs=args.procs, seed=args.seed, arrival=args.arrival,
+        trace=not args.no_trace, factor=args.factor, jobs=args.jobs,
+        policy=_farm_policy(args), log=live)
+    payload = json.dumps(sweep, sort_keys=True, indent=2)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(payload + "\n")
+        print(f"wrote curve JSON to {args.out}", file=sys.stderr)
+    if args.json:
+        print(payload)
+    else:
+        print(loadlat.render_curves(sweep))
+    complete = all(len(curve["points"]) == len(gaps)
+                   for curve in sweep["curves"].values())
+    return 0 if complete else 1
+
+
 def cmd_summary(args) -> int:
     """One-screen (or JSON) ``RunResult.summary()`` for a single run."""
     import json
@@ -438,14 +483,16 @@ def _load_result(token: str, args):
         return RunResult.from_dict(payload)
     name, _, regime = token.partition("@")
     app, _, kind = name.partition("/")
-    if app not in APP_ORDER:
+    if app not in APP_ORDER and app != "openloop":
         raise SystemExit(
             f"diff: {token!r} is neither an existing file nor"
-            f" <app>[/kind][@regime] (apps: {', '.join(APP_ORDER)})")
+            f" <app>[/kind][@regime] (apps:"
+            f" {', '.join(APP_ORDER + ['openloop'])})")
     return run_app(app, kind=kind or "flash", regime=regime or args.regime,
                    n_procs=args.procs,
                    workload_overrides=envopts.smoke_overrides(app, args.fast),
-                   metrics=True)
+                   metrics=True,
+                   loadlat=True if app == "openloop" else None)
 
 
 def _render_run_diff(result_a, result_b, a_name: str, b_name: str,
@@ -490,12 +537,13 @@ def cmd_diff(args) -> int:
 def cmd_compare(args) -> int:
     """FLASH-vs-ideal (or vs a second FLASH config) metric diff for one app."""
     overrides = envopts.smoke_overrides(args.app, args.fast)
+    monitor = True if args.app == "openloop" else None
     flash = run_app(args.app, kind="flash", regime=args.regime,
                     n_procs=args.procs, workload_overrides=overrides,
-                    metrics=True)
+                    metrics=True, loadlat=monitor)
     other = run_app(args.app, kind=args.vs, regime=args.regime,
                     n_procs=args.procs, workload_overrides=overrides,
-                    metrics=True)
+                    metrics=True, loadlat=monitor)
     return _render_run_diff(flash, other, f"{args.app}/flash",
                             f"{args.app}/{args.vs}", args)
 
@@ -633,6 +681,53 @@ def main(argv=None) -> int:
     check.add_argument("--json", action="store_true",
                        help="machine-readable report on stdout")
     check.set_defaults(fn=cmd_check)
+    ll = sub.add_parser(
+        "loadlat", help="open-loop load vs tail-latency sweep (FLASH vs"
+                        " ideal) with saturation-knee detection")
+    ll.add_argument("shape", choices=sorted(LOADLAT_PROFILES),
+                    help="traffic shape: an openloop profile (fft ="
+                         " read-heavy scans, mp3d = write-heavy contended,"
+                         " uniform = between)")
+    ll.add_argument("--kinds", default="flash,ideal", metavar="K,K",
+                    help="machine kinds to sweep (default: flash,ideal)")
+    ll.add_argument("--points", type=int, default=loadlat.DEFAULT_POINTS,
+                    help=f"sweep points on the geometric gap ladder"
+                         f" (default: {loadlat.DEFAULT_POINTS})")
+    ll.add_argument("--min-gap", type=float, dest="min_gap",
+                    default=loadlat.DEFAULT_MIN_GAP, metavar="CYCLES",
+                    help="heaviest-load mean inter-arrival gap"
+                         f" (default: {loadlat.DEFAULT_MIN_GAP:g})")
+    ll.add_argument("--max-gap", type=float, dest="max_gap",
+                    default=loadlat.DEFAULT_MAX_GAP, metavar="CYCLES",
+                    help="lightest-load mean inter-arrival gap — the"
+                         " latency baseline"
+                         f" (default: {loadlat.DEFAULT_MAX_GAP:g})")
+    ll.add_argument("--gaps", metavar="G,G,...", default=None,
+                    help="explicit gap list (overrides the ladder)")
+    ll.add_argument("--requests", type=int, default=None,
+                    help="requests per node per run (default: 256;"
+                         " 64 with --fast)")
+    ll.add_argument("--regime", default="large",
+                    choices=["large", "medium", "small"])
+    ll.add_argument("--procs", type=int, default=None)
+    ll.add_argument("--seed", type=int, default=0)
+    ll.add_argument("--arrival", default="poisson",
+                    choices=["poisson", "bursty"])
+    ll.add_argument("--factor", type=float,
+                    default=loadlat.DEFAULT_KNEE_FACTOR, metavar="F",
+                    help="p99 multiple of the light-load baseline that"
+                         " defines the saturation knee"
+                         f" (default: {loadlat.DEFAULT_KNEE_FACTOR:g})")
+    ll.add_argument("--fast", action="store_true",
+                    help="seconds-scale sweep (fewer requests per node)")
+    ll.add_argument("--no-trace", action="store_true", dest="no_trace",
+                    help="skip the tracer (no tail-exemplar decomposition"
+                         " or knee attribution)")
+    ll.add_argument("--json", action="store_true",
+                    help="machine-readable sweep on stdout")
+    ll.add_argument("--out", metavar="FILE", default=None,
+                    help="also write the sweep JSON to FILE")
+    ll.set_defaults(fn=cmd_loadlat)
     summary = sub.add_parser(
         "summary", help="RunResult.summary() scalars for one run")
     summary.add_argument("app", choices=APP_ORDER)
@@ -673,7 +768,7 @@ def main(argv=None) -> int:
     compare = sub.add_parser(
         "compare", help="FLASH-vs-ideal metric diff for one app"
                         " (the Table 4.2 view)")
-    compare.add_argument("app", choices=APP_ORDER)
+    compare.add_argument("app", choices=APP_ORDER + ["openloop"])
     compare.add_argument("--vs", default="ideal", choices=["ideal", "flash"],
                          help="machine kind on the B side (default: ideal)")
     _diff_common(compare)

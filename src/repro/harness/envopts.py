@@ -9,6 +9,8 @@ the single source of truth:
 ``REPRO_WATCHDOG``  stall detection (off / on / ``events=N,time=T,interval=I``)
 ``REPRO_TRACE``     transaction tracing (off / on / ``buf=N,nodes=...,sample=T``)
 ``REPRO_METRICS``   metrics registry (off / on)
+``REPRO_LOADLAT``   open-loop latency monitor (off / on /
+                    ``window=N,exemplars=K``)
 ``REPRO_CACHE``     persistent result cache (on by default; off-values below)
 ``REPRO_JOBS``      default run-farm worker count
 ``REPRO_FUSION``    macro-op fusion in the node controllers (on by default;
@@ -32,7 +34,8 @@ from typing import Dict, List, Optional
 
 __all__ = [
     "OFF_VALUES", "ON_VALUES", "watchdog_from_env", "trace_from_env",
-    "metrics_from_env", "cache_enabled", "jobs_from_env", "smoke_overrides",
+    "metrics_from_env", "loadlat_from_env", "cache_enabled",
+    "jobs_from_env", "smoke_overrides",
     "backend_from_env", "verify_backend", "COMPILED_MODULES", "check_dir",
 ]
 
@@ -86,6 +89,15 @@ def metrics_from_env() -> Optional[bool]:
     raise ValueError(
         f"REPRO_METRICS: expected one of {ON_VALUES + OFF_VALUES}, "
         f"got {raw!r}")
+
+
+def loadlat_from_env():
+    """Open-loop latency monitoring for harness runs, from ``REPRO_LOADLAT``:
+    unset/off disables, ``on`` uses defaults, or ``window=N,exemplars=K``
+    tunes the percentile-timeline window width (cycles) and per-window tail
+    exemplar count (see :mod:`repro.stats.latency`)."""
+    from ..stats.latency import parse_loadlat_spec
+    return parse_loadlat_spec(os.environ.get("REPRO_LOADLAT"))
 
 
 def cache_enabled() -> bool:

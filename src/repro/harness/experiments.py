@@ -17,7 +17,7 @@ from typing import Dict, Optional, Tuple
 
 from ..apps import (
     BarnesWorkload, FFTWorkload, LUWorkload, MP3DWorkload, OceanWorkload,
-    OSWorkload, RadixWorkload,
+    OpenLoopWorkload, OSWorkload, RadixWorkload,
 )
 from ..common.params import MachineConfig, flash_config, ideal_config
 from ..common.units import KB, MB
@@ -56,6 +56,13 @@ REGIMES: Dict[str, Dict[str, Optional[int]]] = {
 #: regime label -> the paper's cache size, for table headers.
 PAPER_REGIME_LABEL = {"large": "1 MB", "medium": "64 KB", "small": "4 KB"}
 
+# The open-loop front end (repro.apps.openloop) is not a paper application:
+# it stays out of APP_ORDER and the figure sweeps, but runs at every regime
+# so the loadlat CLI can sweep offered load against any cache pressure.
+REGIMES["large"]["openloop"] = 1 * MB
+REGIMES["medium"]["openloop"] = 8 * KB
+REGIMES["small"]["openloop"] = 2 * KB
+
 #: Per-app workload overrides for seconds-scale smoke runs (CI trace smoke,
 #: ``harness trace --fast``); same shapes the integration tests use.
 SMOKE_SIZES: Dict[str, Dict[str, int]] = {
@@ -66,6 +73,7 @@ SMOKE_SIZES: Dict[str, Dict[str, int]] = {
     "ocean": dict(grid=18, n_grids=3, sweeps=1),
     "os": dict(tasks_per_proc=1, syscalls_per_task=20),
     "radix": dict(keys=4096, radix=64, key_bits=12),
+    "openloop": dict(requests=48, lines=16),
 }
 
 _PAPER_SCALE = os.environ.get("REPRO_SCALE", "quick") == "paper"
@@ -78,7 +86,7 @@ def default_procs(app: str) -> int:
 def app_workload(app: str, paper_scale: Optional[bool] = None, **overrides):
     """Construct a workload with default (or paper-literal) problem size."""
     use_paper = _PAPER_SCALE if paper_scale is None else paper_scale
-    if use_paper:
+    if use_paper and app != "openloop":  # no paper-literal size exists
         paper_sizes = {
             "barnes": dict(bodies=8192, iterations=2),
             "fft": dict(points=65536),
@@ -94,7 +102,7 @@ def app_workload(app: str, paper_scale: Optional[bool] = None, **overrides):
     factories = {
         "barnes": BarnesWorkload, "fft": FFTWorkload, "lu": LUWorkload,
         "mp3d": MP3DWorkload, "ocean": OceanWorkload, "os": OSWorkload,
-        "radix": RadixWorkload,
+        "radix": RadixWorkload, "openloop": OpenLoopWorkload,
     }
     return factories[app](**overrides)
 
@@ -131,6 +139,7 @@ def normalize_spec(
     faults=None,
     trace=None,
     metrics=None,
+    loadlat=None,
 ) -> Dict:
     """The fully-defaulted description of one run — the unit of caching and
     of run-farm dispatch.  Includes everything that can change the result.
@@ -144,7 +153,11 @@ def normalize_spec(
     additionally carries the latency decomposition.  ``metrics`` (True, or
     None to defer to ``REPRO_METRICS``) attaches the metrics registry;
     metrics-on runs likewise cache under a distinct key because their
-    serialized result carries the registry snapshot."""
+    serialized result carries the registry snapshot.  ``loadlat`` (True, a
+    ``parse_loadlat_spec`` dict, or None to defer to ``REPRO_LOADLAT``)
+    attaches the open-loop latency monitor; monitor-on runs cache under a
+    distinct key because their serialized result carries the latency
+    snapshot (the simulated timing itself is unaffected)."""
     cache_bytes = regime_cache_bytes(app, regime)
     if cache_bytes is None:
         raise ValueError(f"{app} is not run at the {regime} regime (paper N/A)")
@@ -158,6 +171,11 @@ def normalize_spec(
         metrics = envopts.metrics_from_env()
     else:
         metrics = True if metrics else None
+    if loadlat is None:
+        loadlat = envopts.loadlat_from_env()
+    elif loadlat is True:
+        from ..stats.latency import parse_loadlat_spec
+        loadlat = parse_loadlat_spec("on")
     return {
         "app": app,
         "kind": kind,
@@ -171,6 +189,7 @@ def normalize_spec(
         "faults": faults,
         "trace": trace,
         "metrics": metrics,
+        "loadlat": loadlat,
     }
 
 
@@ -199,7 +218,8 @@ def build_machine(spec: Dict):
                       faults=spec.get("faults"),
                       watchdog=envopts.watchdog_from_env(),
                       trace=spec.get("trace"),
-                      metrics=spec.get("metrics"))
+                      metrics=spec.get("metrics"),
+                      loadlat=spec.get("loadlat"))
     return machine, workload.build(config), cost_model
 
 
@@ -250,6 +270,7 @@ def run_app(
     faults=None,
     trace=None,
     metrics=None,
+    loadlat=None,
 ) -> RunResult:
     """Run one application on one machine; memoized in-process and cached
     on disk (see ``harness/diskcache.py``; ``REPRO_CACHE=off`` disables)."""
@@ -257,7 +278,7 @@ def run_app(
         app, kind=kind, regime=regime, n_procs=n_procs,
         workload_overrides=workload_overrides,
         config_overrides=config_overrides, pp_backend=pp_backend,
-        faults=faults, trace=trace, metrics=metrics,
+        faults=faults, trace=trace, metrics=metrics, loadlat=loadlat,
     )
     key = diskcache.canonical_key(spec)
     if key in _cache:
@@ -280,6 +301,7 @@ def run_spec(spec: Dict) -> RunResult:
         config_overrides=spec["config_overrides"],
         pp_backend=spec["pp_backend"], faults=spec.get("faults"),
         trace=spec.get("trace"), metrics=spec.get("metrics"),
+        loadlat=spec.get("loadlat"),
     )
 
 

@@ -1,0 +1,254 @@
+"""Load-vs-tail-latency sweeps and saturation-knee detection.
+
+The ``python -m repro.harness loadlat <shape>`` verb steps offered load
+(the open-loop mean inter-arrival gap) across a ladder of ``openloop``
+runs for FLASH and the ideal machine, collects each run's
+:class:`~repro.stats.latency.LatencyMonitor` snapshot, and reports the
+load-vs-p99 curve plus the **saturation knee** — the lowest offered load
+at which p99 latency reaches ``factor``× its light-load baseline
+(linearly interpolated between the bracketing sweep points).  Because the
+per-point runs are ordinary normalized specs they fan out across the run
+farm and reuse the disk cache like any other sweep.
+
+Knee *attribution* uses the monitor's per-class component totals (fed by
+the tracer): the component — PP-queue wait, protocol-processor handler,
+memory, or network — whose share of attributed cycles grew the most
+between the baseline point and the knee is reported as the saturating
+resource.  The paper's thesis predicts ``pp`` (occupancy) for FLASH and
+``memory``/``network`` for the ideal machine.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..stats.trace import COMPONENTS
+from . import envopts, runfarm
+from .experiments import normalize_spec, run_spec
+
+__all__ = ["gap_ladder", "sweep_curves", "detect_knee", "attribute_knee",
+           "render_curves", "DEFAULT_POINTS", "DEFAULT_MIN_GAP",
+           "DEFAULT_MAX_GAP", "DEFAULT_KNEE_FACTOR"]
+
+DEFAULT_POINTS = 6
+#: Heaviest swept load: one intended request per node per 60 cycles.
+DEFAULT_MIN_GAP = 60.0
+#: Lightest swept load (the latency baseline): one per 960 cycles.
+DEFAULT_MAX_GAP = 960.0
+#: p99 multiple of the light-load baseline that defines saturation.
+DEFAULT_KNEE_FACTOR = 2.0
+
+
+def gap_ladder(min_gap: float = DEFAULT_MIN_GAP,
+               max_gap: float = DEFAULT_MAX_GAP,
+               points: int = DEFAULT_POINTS) -> List[float]:
+    """Geometric ladder of mean inter-arrival gaps, lightest load first
+    (descending gap), so curve rows read low-to-high offered load."""
+    if points < 2:
+        return [float(max_gap)]
+    ratio = (min_gap / max_gap) ** (1.0 / (points - 1))
+    return [max_gap * ratio ** i for i in range(points)]
+
+
+def _component_shares(snapshot: Dict[str, Any]) -> Dict[str, float]:
+    """Fraction of attributed component cycles per component, over the
+    requests' own transactions plus the unattributed remainder."""
+    totals = {c: 0.0 for c in COMPONENTS}
+    for entry in snapshot.get("classes", {}).values():
+        for c, v in entry.get("components", {}).items():
+            totals[c] += v
+    for c, v in snapshot.get("unattributed", {}).items():
+        totals[c] += v
+    grand = sum(totals.values())
+    if grand <= 0.0:
+        return {c: 0.0 for c in COMPONENTS}
+    return {c: v / grand for c, v in totals.items()}
+
+
+def detect_knee(loads: Sequence[float], p99s: Sequence[float],
+                factor: float = DEFAULT_KNEE_FACTOR) -> Optional[Dict[str, Any]]:
+    """Find the saturation knee of a load-vs-p99 curve.
+
+    ``loads`` must be ascending offered load with ``p99s`` aligned.  The
+    knee is the lowest load at which p99 reaches ``factor`` times the
+    curve's lightest-load baseline, linearly interpolated between the two
+    bracketing points.  Returns None when the curve never gets there
+    (the swept ladder stayed under saturation).
+    """
+    if len(loads) < 2 or len(loads) != len(p99s):
+        return None
+    baseline = p99s[0]
+    if baseline <= 0.0:
+        return None
+    threshold = factor * baseline
+    for i, p99 in enumerate(p99s):
+        if p99 < threshold:
+            continue
+        if i == 0:
+            knee_load = loads[0]
+        else:
+            lo_l, hi_l = loads[i - 1], loads[i]
+            lo_p, hi_p = p99s[i - 1], p99s[i]
+            frac = ((threshold - lo_p) / (hi_p - lo_p)
+                    if hi_p > lo_p else 1.0)
+            knee_load = lo_l + frac * (hi_l - lo_l)
+        return {
+            "load": knee_load,
+            "index": i,
+            "baseline_p99": baseline,
+            "threshold_p99": threshold,
+            "factor": factor,
+        }
+    return None
+
+
+def attribute_knee(points: List[Dict[str, Any]],
+                   knee: Optional[Dict[str, Any]]) -> Optional[str]:
+    """The component whose share of attributed cycles grew the most from
+    the light-load baseline to the first at-or-past-knee sweep point."""
+    if knee is None or not points:
+        return None
+    base = points[0].get("component_shares") or {}
+    at_knee = points[knee["index"]].get("component_shares") or {}
+    if not base or not at_knee:
+        return None
+    growth = {c: at_knee.get(c, 0.0) - base.get(c, 0.0) for c in COMPONENTS}
+    best = max(sorted(growth), key=lambda c: growth[c])
+    return best if growth[best] > 0.0 else None
+
+
+def sweep_curves(profile: str, kinds: Sequence[str], gaps: Sequence[float],
+                 requests: int = 256, regime: str = "large",
+                 n_procs: Optional[int] = None, seed: int = 0,
+                 arrival: str = "poisson", lines: Optional[int] = None,
+                 trace: bool = True, factor: float = DEFAULT_KNEE_FACTOR,
+                 jobs: int = 1,
+                 policy: Optional[runfarm.FarmPolicy] = None,
+                 log=None) -> Dict[str, Any]:
+    """Run the sweep and assemble per-kind curves with detected knees.
+
+    One normalized ``openloop`` spec per (kind, gap); specs farm across
+    ``jobs`` workers and reuse the disk cache.  ``trace`` attaches the
+    tracer so tail exemplars carry component decompositions (and knee
+    attribution works); the sweep still runs without it, minus both.
+    """
+    overrides_base: Dict[str, Any] = dict(
+        profile=profile, requests=requests, seed=seed, arrival=arrival)
+    if lines is not None:
+        overrides_base["lines"] = lines
+    specs = []
+    for kind in kinds:
+        for gap in gaps:
+            specs.append(normalize_spec(
+                "openloop", kind=kind, regime=regime, n_procs=n_procs,
+                workload_overrides=dict(overrides_base, mean_gap=gap),
+                loadlat=True, trace=True if trace else None))
+    results: List[Optional[Any]] = []
+    if jobs > 1:
+        report = runfarm.run_specs_resilient(
+            specs, jobs=jobs, policy=policy or runfarm.FarmPolicy())
+        for failure in report.failures:
+            print(f"  FAILED {failure.describe()}", file=sys.stderr)
+        results = list(report.results)
+    else:
+        for spec in specs:
+            try:
+                results.append(run_spec(spec))
+            except Exception as exc:  # noqa: BLE001 — a None point, not a crash
+                print(f"  FAILED {spec['kind']} gap="
+                      f"{spec['workload_overrides']['mean_gap']:g}: {exc}",
+                      file=sys.stderr)
+                results.append(None)
+    curves: Dict[str, Any] = {}
+    index = 0
+    for kind in kinds:
+        points: List[Dict[str, Any]] = []
+        for gap in gaps:
+            result = results[index]
+            index += 1
+            if result is None:
+                continue
+            snapshot = getattr(result, "load_latency", None) or {}
+            overall = snapshot.get("overall", {})
+            procs = result.n_procs
+            point = {
+                "mean_gap": gap,
+                # Offered load per node, in requests per kilocycle — the
+                # curve's x axis (ascending as the gap ladder descends).
+                "offered_per_node": 1000.0 / gap,
+                "offered_total": procs * 1000.0 / gap,
+                "achieved_total": snapshot.get("throughput", 0.0) * 1000.0,
+                "generated": snapshot.get("requests", {}).get("generated", 0),
+                "completed": snapshot.get("requests", {}).get("completed", 0),
+                "execution_time": result.execution_time,
+                "mean": overall.get("mean", 0.0),
+                "p50": overall.get("p50", 0.0),
+                "p90": overall.get("p90", 0.0),
+                "p99": overall.get("p99", 0.0),
+                "p999": overall.get("p999", 0.0),
+                "max": overall.get("max", 0.0),
+                "component_shares": _component_shares(snapshot),
+            }
+            points.append(point)
+            if log is not None:
+                log(kind, point)
+        knee = detect_knee([p["offered_per_node"] for p in points],
+                           [p["p99"] for p in points], factor=factor)
+        curves[kind] = {
+            "points": points,
+            "knee": knee,
+            "knee_component": attribute_knee(points, knee),
+        }
+    return {
+        "app": "openloop",
+        "profile": profile,
+        "arrival": arrival,
+        "regime": regime,
+        "requests": requests,
+        "seed": seed,
+        "factor": factor,
+        "gaps": list(gaps),
+        "curves": curves,
+    }
+
+
+def render_curves(sweep: Dict[str, Any]) -> str:
+    """Human-readable curve tables, one per machine kind."""
+    from .tables import render_table
+
+    blocks: List[str] = []
+    for kind, curve in sweep["curves"].items():
+        rows = []
+        knee = curve["knee"]
+        for i, p in enumerate(curve["points"]):
+            marker = ""
+            if knee is not None and i == knee["index"]:
+                marker = " <- knee"
+            rows.append((
+                f"{p['offered_per_node']:.2f}",
+                f"{p['achieved_total']:.2f}",
+                f"{p['completed']}/{p['generated']}",
+                f"{p['p50']:.0f}", f"{p['p90']:.0f}",
+                f"{p['p99']:.0f}{marker}", f"{p['p999']:.0f}",
+            ))
+        title = (f"openloop/{sweep['profile']} {kind} @ {sweep['regime']}"
+                 f" ({sweep['arrival']} arrivals,"
+                 f" {sweep['requests']} reqs/node)")
+        blocks.append(render_table(
+            title,
+            ["offered/node/kcyc", "achieved/kcyc", "done", "p50", "p90",
+             "p99", "p99.9"],
+            rows,
+        ))
+        if knee is not None:
+            component = curve["knee_component"] or "n/a"
+            blocks.append(
+                f"{kind}: saturation knee at {knee['load']:.2f}"
+                f" reqs/node/kcycle (p99 >= {knee['factor']:g}x baseline"
+                f" {knee['baseline_p99']:.0f} cycles); growing component:"
+                f" {component}")
+        else:
+            blocks.append(f"{kind}: no saturation knee within the swept"
+                          f" load range")
+    return "\n\n".join(blocks)

@@ -36,12 +36,15 @@ class Machine:
     detection; ``trace`` (True, a ``parse_trace_spec`` dict, or a
     :class:`~repro.stats.trace.Tracer`) attaches transaction tracing;
     ``metrics`` (True or a :class:`~repro.stats.metrics.MetricsRegistry`)
-    attaches the machine-wide metrics registry.  All default to off, in
-    which case behaviour is bit-identical to a machine built without them.
+    attaches the machine-wide metrics registry; ``loadlat`` (True, a
+    ``parse_loadlat_spec`` dict, or a
+    :class:`~repro.stats.latency.LatencyMonitor`) attaches the open-loop
+    per-request latency monitor.  All default to off, in which case
+    behaviour is bit-identical to a machine built without them.
     """
 
     def __init__(self, config: MachineConfig, cost_model=None, faults=None,
-                 watchdog=None, trace=None, metrics=None):
+                 watchdog=None, trace=None, metrics=None, loadlat=None):
         self.config = config
         self.env = Environment()
         self.network = Network(self.env, config)
@@ -77,6 +80,12 @@ class Machine:
             registry = metrics if isinstance(metrics, MetricsRegistry) \
                 else MetricsRegistry()
             self._attach_metrics(registry)
+        self.loadlat = None
+        if loadlat:
+            from .stats.latency import LatencyMonitor
+            monitor = loadlat if isinstance(loadlat, LatencyMonitor) \
+                else LatencyMonitor.from_spec(loadlat)
+            self._attach_loadlat(monitor)
 
     def _attach_tracer(self, tracer: Tracer) -> None:
         tracer.env = self.env
@@ -88,6 +97,16 @@ class Machine:
             node.controller.tracer = tracer
             node.engine.tracer = tracer
             node.memory.tracer = tracer
+
+    def _attach_loadlat(self, monitor) -> None:
+        """Hand the latency monitor to every CPU (the 'q'/'e' markers) and,
+        when tracing is also on, to the tracer (per-transaction component
+        attribution for tail exemplars)."""
+        self.loadlat = monitor
+        for node in self.nodes:
+            node.cpu.loadlat = monitor
+        if self.tracer is not None:
+            self.tracer.loadlat = monitor
 
     def _attach_metrics(self, registry: MetricsRegistry) -> None:
         """Hand the registry to every subsystem with a live hook; the rest

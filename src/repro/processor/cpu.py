@@ -18,6 +18,11 @@ The processor consumes an *operation stream* from a workload generator:
     ('u', lock_id)     release lock
     ('s', dst, addr, nbytes)  post a block-transfer send (non-blocking)
     ('v', src)         wait for a block transfer from node src to arrive
+    ('q', cls, t)      open-loop request begin: wait until intended arrival
+                       time t (no-op if already past), then mark a request
+                       of class cls open on this node
+    ('e',)             open-loop request end: drain outstanding misses
+                       (release fence), then mark the open request complete
 
 The k-reference forms model code that walks every word of a line (16 8-byte
 words per 128-byte line): one cache access decides hit/miss, the remaining
@@ -95,6 +100,9 @@ class CPU:
         controller.set_cache_busy(self.note_cache_busy)
         self.transfers = getattr(controller, "transfers", None)
         self.tracer = None  # Tracer (repro.stats.trace), attached by the Machine
+        # LatencyMonitor (repro.stats.latency), attached by the Machine for
+        # open-loop runs; every hook below is gated on ``is not None``.
+        self.loadlat = None
         # CoherenceOracle (repro.check), attached by the model checker; when
         # set, ``_loop_cb`` is rebound to the instrumented loop twin and the
         # deliver/invalidate/evict hooks below feed the shadow value model.
@@ -139,6 +147,10 @@ class CPU:
         self._send_begin_cb = self._send_begin
         self._send_done_cb = self._send_done
         self._recv_begin_cb = self._recv_begin
+        self._req_begin_cb = self._req_begin
+        self._req_start_cb = self._req_start
+        self._req_end_fence_cb = self._req_end_fence
+        self._req_end_cb = self._req_end
         self._finish_cb = self._finish
         self._evict_post_cb = self._evict_post
 
@@ -333,6 +345,15 @@ class CPU:
                 self._op_arg = op[1]
                 flush_then(self._recv_begin_cb)
                 return
+            elif kind == "q":
+                self._batched = batched
+                self._op = op
+                flush_then(self._req_begin_cb)
+                return
+            elif kind == "e":
+                self._batched = batched
+                flush_then(self._req_end_fence_cb)
+                return
             else:
                 raise WorkloadError(f"unknown operation {op!r}")
         self._batched = batched
@@ -472,6 +493,15 @@ class CPU:
                 self._batched = batched
                 self._op_arg = op[1]
                 flush_then(self._recv_begin_cb)
+                return
+            elif kind == "q":
+                self._batched = batched
+                self._op = op
+                flush_then(self._req_begin_cb)
+                return
+            elif kind == "e":
+                self._batched = batched
+                flush_then(self._req_end_fence_cb)
                 return
             else:
                 raise WorkloadError(f"unknown operation {op!r}")
@@ -709,6 +739,43 @@ class CPU:
         self._stall_start = self.env._now
         self._wait_event(self.transfers.receive(self.node_id, self._op_arg),
                          self._sync_done_cb)
+
+    # -- open-loop request markers ------------------------------------------------------
+
+    def _req_begin(self) -> None:
+        # ('q', cls, t): pace to the pre-generated intended arrival time.
+        # The wait is client idle time — the processor has no work — so it
+        # is deliberately uncharged (no Figure 4.1 category grows).  Pacing
+        # happens whether or not a monitor is attached: the op stream alone
+        # determines timing, the monitor only observes.
+        _k, cls, t_arrival = self._op
+        self._op = None
+        self._op_arg = (cls, t_arrival)
+        now = self.env._now
+        if now < t_arrival:
+            self.env.call_later(t_arrival - now, self._req_start_cb)
+            return
+        self._req_start()
+
+    def _req_start(self) -> None:
+        cls, t_arrival = self._op_arg
+        self._op_arg = 0
+        if self.loadlat is not None:
+            self.loadlat.request_begin(self.node_id, cls, t_arrival,
+                                       self.env._now)
+        self._loop_cb()
+
+    def _req_end_fence(self) -> None:
+        # ('e',): the request's non-blocking writes must land before the
+        # latency clock stops (release semantics, like the barrier fence).
+        self._stall_start = self.env._now
+        self._fence_then(self._req_end_cb)
+
+    def _req_end(self) -> None:
+        self.times.write_stall += self.env._now - self._stall_start
+        if self.loadlat is not None:
+            self.loadlat.request_end(self.node_id, self.env._now)
+        self._loop_cb()
 
     # -- deferred issue (cold paths) ----------------------------------------------------
 

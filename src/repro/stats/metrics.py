@@ -367,6 +367,19 @@ def flatten_result(result, per_node: bool = False) -> Dict[str, float]:
         for name, family in metrics.get("families", {}).items():
             for key, value in _family_rows(name, family, per_node):
                 flat[key] = flat.get(key, 0) + value
+    # Open-loop latency percentiles (monitor-on runs; repro.stats.latency),
+    # so ``compare openloop --vs ideal`` shows the tail delta directly.
+    load_latency = getattr(result, "load_latency", None)
+    if load_latency:
+        overall = load_latency.get("overall", {})
+        for stat in ("mean", "p50", "p90", "p99", "p999"):
+            flat[f"latency/overall/{stat}"] = overall.get(stat, 0.0)
+        flat["latency/throughput"] = load_latency.get("throughput", 0.0)
+        flat["latency/completed"] = (
+            load_latency.get("requests", {}).get("completed", 0))
+        for cls, entry in load_latency.get("classes", {}).items():
+            for stat in ("p50", "p99", "p999"):
+                flat[f"latency/{cls}/{stat}"] = entry.get(stat, 0.0)
     return flat
 
 

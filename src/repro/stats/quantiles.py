@@ -1,0 +1,256 @@
+"""Streaming quantile sketch for per-request latency tails.
+
+The open-loop observatory (``repro.stats.latency``) needs p50/p99/p99.9 of
+millions of per-request latencies without keeping them all, and the run farm
+needs to *merge* per-shard summaries into one machine-wide answer.  Exact
+streaming quantiles are impossible in bounded memory, so :class:`QuantileSketch`
+uses the standard HDR-histogram compromise:
+
+* **Exact small-n path** — up to ``exact_limit`` raw values are kept verbatim
+  and quantiles are exact (most per-window sketches never leave this path).
+* **Log2 bucket path** — past the limit, values collapse into logarithmic
+  buckets subdivided by the top ``log2(subbuckets)`` mantissa bits.  Every
+  bucket spans a ``1/subbuckets`` relative slice of its octave, so a reported
+  quantile is within :attr:`relative_error` ``= 1/subbuckets`` of the exact
+  answer (the midpoint representative is within half a bucket width).
+
+Merging is exact-count addition: bucket indices are a pure function of the
+value, and the exact->bucket spill is value-wise, so ``merge`` is associative
+and commutative — farm shards can combine in any order and reach the
+identical bucket state, count, and extremes (asserted by
+``tests/test_quantiles.py``; the ``total`` mean-accumulator is float
+summation and therefore agrees across orders only to float tolerance).
+
+Everything is deterministic and JSON-able (:meth:`to_dict` /
+:meth:`from_dict`); no wall clock, no process-global state.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = ["QuantileSketch", "exact_quantile", "DEFAULT_SUBBUCKETS",
+           "DEFAULT_EXACT_LIMIT"]
+
+#: Sub-buckets per octave (power of two).  Relative error of a bucketed
+#: quantile is bounded by ``1/subbuckets`` (documented contract, tested).
+DEFAULT_SUBBUCKETS = 32
+
+#: Raw values kept before spilling to buckets.
+DEFAULT_EXACT_LIMIT = 512
+
+
+def exact_quantile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank quantile of an unsorted sequence (exact; small n only).
+
+    ``q`` in [0, 1]; rank ``max(1, ceil(q * n))`` of the sorted values — the
+    same convention the sketch approximates, so test comparisons are
+    apples-to-apples.
+    """
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+class QuantileSketch:
+    """Mergeable streaming quantile summary (exact small-n, then log2/HDR)."""
+
+    __slots__ = ("subbuckets", "exact_limit", "count", "total",
+                 "min", "max", "_exact", "_buckets")
+
+    def __init__(self, subbuckets: int = DEFAULT_SUBBUCKETS,
+                 exact_limit: int = DEFAULT_EXACT_LIMIT):
+        if subbuckets < 1 or subbuckets & (subbuckets - 1):
+            raise ValueError("subbuckets must be a power of two >= 1")
+        self.subbuckets = subbuckets
+        self.exact_limit = exact_limit
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._exact: Optional[List[float]] = []
+        self._buckets: Dict[int, int] = {}
+
+    # -- documented accuracy contract ------------------------------------------
+
+    @property
+    def relative_error(self) -> float:
+        """Worst-case relative error of :meth:`quantile` once bucketed."""
+        return 1.0 / self.subbuckets
+
+    @property
+    def is_exact(self) -> bool:
+        return self._exact is not None
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    # -- recording --------------------------------------------------------------
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        exact = self._exact
+        if exact is not None:
+            exact.append(value)
+            if len(exact) > self.exact_limit:
+                self._spill()
+            return
+        bucket = self._bucket_of(value)
+        self._buckets[bucket] = self._buckets.get(bucket, 0) + 1
+
+    def _spill(self) -> None:
+        """Convert the exact store to buckets (value-wise, so the result is
+        independent of how values were grouped before the spill — the merge
+        associativity hinge)."""
+        buckets = self._buckets
+        for value in self._exact:  # type: ignore[union-attr]
+            bucket = self._bucket_of(value)
+            buckets[bucket] = buckets.get(bucket, 0) + 1
+        self._exact = None
+
+    def _bucket_of(self, value: float) -> int:
+        """Integer bucket index: octave (binary exponent) times subbuckets,
+        plus the top mantissa bits.  Pure function of the value; handles any
+        positive float (sub-1.0 latencies land in negative octaves).
+        Non-positive values share bucket index with the smallest magnitude
+        handled (they only arise from degenerate inputs)."""
+        if value <= 0.0:
+            return -(1 << 30)
+        mantissa, exponent = math.frexp(value)   # value = mantissa * 2**exp
+        # mantissa in [0.5, 1): map to [0, subbuckets)
+        sub = int((mantissa - 0.5) * 2.0 * self.subbuckets)
+        if sub >= self.subbuckets:   # mantissa == 1.0 - epsilon rounding
+            sub = self.subbuckets - 1
+        return exponent * self.subbuckets + sub
+
+    def _bucket_mid(self, bucket: int) -> float:
+        """Midpoint representative of a bucket's value range."""
+        if bucket == -(1 << 30):
+            return 0.0
+        exponent, sub = divmod(bucket, self.subbuckets)
+        lo = math.ldexp(0.5 + sub / (2.0 * self.subbuckets), exponent)
+        hi = math.ldexp(0.5 + (sub + 1) / (2.0 * self.subbuckets), exponent)
+        return (lo + hi) / 2.0
+
+    # -- queries ----------------------------------------------------------------
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile estimate; exact on the small-n path, within
+        :attr:`relative_error` of exact once bucketed.  ``q`` in [0, 1]."""
+        if self.count == 0:
+            return 0.0
+        rank = max(1, math.ceil(q * self.count))
+        if self._exact is not None:
+            ordered = sorted(self._exact)
+            return ordered[min(rank, len(ordered)) - 1]
+        seen = 0
+        for bucket in sorted(self._buckets):
+            seen += self._buckets[bucket]
+            if seen >= rank:
+                # Clamp to the observed extremes: the end buckets are wider
+                # than the data they hold.
+                return min(max(self._bucket_mid(bucket), self.min), self.max)
+        return self.max
+
+    def quantiles(self, qs: Sequence[float]) -> List[float]:
+        return [self.quantile(q) for q in qs]
+
+    # -- merging ----------------------------------------------------------------
+
+    def merge(self, other: "QuantileSketch") -> "QuantileSketch":
+        """Fold ``other`` into this sketch (in place; returns self).
+
+        Associative and commutative: counts add, and any exact store that no
+        longer fits spills value-wise, so the final bucket counts do not
+        depend on merge order.
+        """
+        if other.subbuckets != self.subbuckets:
+            raise ValueError(
+                f"cannot merge sketches with different subbuckets "
+                f"({self.subbuckets} vs {other.subbuckets})")
+        self.count += other.count
+        self.total += other.total
+        if other.count:
+            if other.min < self.min:
+                self.min = other.min
+            if other.max > self.max:
+                self.max = other.max
+        if self._exact is not None and other._exact is not None \
+                and len(self._exact) + len(other._exact) <= self.exact_limit:
+            self._exact.extend(other._exact)
+            return self
+        if self._exact is not None:
+            self._spill()
+        buckets = self._buckets
+        if other._exact is not None:
+            for value in other._exact:
+                bucket = self._bucket_of(value)
+                buckets[bucket] = buckets.get(bucket, 0) + 1
+        else:
+            for bucket, n in other._buckets.items():
+                buckets[bucket] = buckets.get(bucket, 0) + n
+        return self
+
+    # -- serialization ----------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical JSON-able form.  The exact store is sorted so two
+        sketches holding the same multiset serialize identically regardless
+        of arrival order."""
+        state: Dict[str, Any] = {
+            "subbuckets": self.subbuckets,
+            "exact_limit": self.exact_limit,
+            "count": self.count,
+            "total": self.total,
+        }
+        if self.count:
+            state["min"] = self.min
+            state["max"] = self.max
+        if self._exact is not None:
+            state["exact"] = sorted(self._exact)
+        else:
+            state["buckets"] = {str(b): n
+                                for b, n in sorted(self._buckets.items())}
+        return state
+
+    @classmethod
+    def from_dict(cls, state: Dict[str, Any]) -> "QuantileSketch":
+        sketch = cls(subbuckets=state["subbuckets"],
+                     exact_limit=state["exact_limit"])
+        sketch.count = state["count"]
+        sketch.total = state["total"]
+        if sketch.count:
+            sketch.min = state["min"]
+            sketch.max = state["max"]
+        if "exact" in state:
+            sketch._exact = list(state["exact"])
+        else:
+            sketch._exact = None
+            sketch._buckets = {int(b): n
+                               for b, n in state.get("buckets", {}).items()}
+        return sketch
+
+    def summary(self) -> Dict[str, float]:
+        """The standard percentile row the observability surfaces report."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+            "p999": self.quantile(0.999),
+            "max": self.max if self.count else 0.0,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mode = "exact" if self.is_exact else f"{len(self._buckets)} buckets"
+        return f"<QuantileSketch n={self.count} {mode}>"

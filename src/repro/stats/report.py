@@ -68,6 +68,9 @@ class RunResult:
     #: ``harvest_machine``); present — and serialized — only for metrics-on
     #: runs, so metrics-off canonical JSON is byte-identical to the seed.
     metrics: Optional[Dict[str, Any]] = None
+    #: Open-loop latency snapshot (``LatencyMonitor.to_dict()``); present —
+    #: and serialized — only when a monitor was attached, same contract.
+    load_latency: Optional[Dict[str, Any]] = None
 
     def __init__(self, machine, execution_time: float):
         config = machine.config
@@ -128,6 +131,10 @@ class RunResult:
         if registry is not None:
             harvest_machine(registry, machine)
             self.metrics = registry.to_dict()
+        # Open-loop latency (monitor-attached runs only; repro.stats.latency).
+        monitor = getattr(machine, "loadlat", None)
+        if monitor is not None:
+            self.load_latency = monitor.to_dict(execution_time)
 
     # -- serialization ------------------------------------------------------------
 
@@ -143,6 +150,9 @@ class RunResult:
         if self.metrics is not None:
             # Same contract for the metrics registry snapshot.
             state["metrics"] = self.metrics
+        if self.load_latency is not None:
+            # Same contract for the open-loop latency snapshot.
+            state["load_latency"] = self.load_latency
         return state
 
     @classmethod
@@ -162,6 +172,9 @@ class RunResult:
         metrics = state.get("metrics")
         if metrics is not None:
             result.metrics = metrics
+        load_latency = state.get("load_latency")
+        if load_latency is not None:
+            result.load_latency = load_latency
         return result
 
     def to_json(self) -> str:

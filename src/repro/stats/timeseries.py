@@ -21,7 +21,8 @@ from typing import Any, Dict, List
 
 from ..sim.queues import BoundedQueue, node_of_queue
 
-__all__ = ["TimeseriesSampler", "DEFAULT_SAMPLE_INTERVAL", "hot_windows"]
+__all__ = ["TimeseriesSampler", "DEFAULT_SAMPLE_INTERVAL", "hot_windows",
+           "SERIES_COLUMNS"]
 
 #: Default sampling interval in cycles (~1000 windows on a typical app run).
 DEFAULT_SAMPLE_INTERVAL = 2048.0
@@ -72,19 +73,52 @@ class TimeseriesSampler:
             self.tracer.sample(now, pp_occ, mem_occ, depths)
 
 
-def hot_windows(tracer, top: int = 3) -> Dict[str, List[Dict[str, Any]]]:
+#: Sampled series name -> column index in a ``tracer.timeseries`` row.
+SERIES_COLUMNS = {"pp_occupancy": 1, "memory_occupancy": 2, "queue_depth": 3}
+
+
+def hot_windows(tracer, top: int = 3, series=None,
+                percentiles=()) -> Dict[str, List[Dict[str, Any]]]:
     """The hottest sampled windows per metric — the Section 4.3 question
     ("which home saturated, and when?") as data.  Returns up to ``top``
-    ``{"t", "node", "value"}`` rows per metric, hottest first."""
+    ``{"t", "node", "value"}`` rows per metric, hottest first.
+
+    ``series`` restricts the ranking to the named sampled series (any
+    subset of :data:`SERIES_COLUMNS`; default: all of them).
+    ``percentiles`` (e.g. ``(0.5, 0.99)``) adds per-window ``pXX`` columns
+    to each row: the exact quantile of that series *across nodes* within
+    the row's sampling window, so a hot node reads against its
+    contemporaries (node 5 at 0.9 occupancy means more when the p50 that
+    window was 0.1 than when it was 0.8).
+    """
+    from .quantiles import exact_quantile
+
+    if series is None:
+        chosen = list(SERIES_COLUMNS.items())
+    else:
+        names = [series] if isinstance(series, str) else list(series)
+        unknown = [name for name in names if name not in SERIES_COLUMNS]
+        if unknown:
+            raise ValueError(
+                f"unknown series {unknown!r}"
+                f" (have {sorted(SERIES_COLUMNS)})")
+        chosen = [(name, SERIES_COLUMNS[name]) for name in names]
+    labels = [f"p{q * 100:g}".replace(".", "_") for q in percentiles]
     ranked: Dict[str, List[Dict[str, Any]]] = {}
-    for key, column in (("pp_occupancy", 1), ("memory_occupancy", 2),
-                        ("queue_depth", 3)):
+    for key, column in chosen:
         rows = []
         for sample in tracer.timeseries:
             ts = sample[0]
-            for node, value in enumerate(sample[column]):
+            values = sample[column]
+            window_stats = {
+                label: exact_quantile(values, q)
+                for label, q in zip(labels, percentiles)
+            }
+            for node, value in enumerate(values):
                 if value > 0:
-                    rows.append({"t": ts, "node": node, "value": value})
+                    row = {"t": ts, "node": node, "value": value}
+                    row.update(window_stats)
+                    rows.append(row)
         rows.sort(key=lambda r: (-r["value"], r["t"], r["node"]))
         ranked[key] = rows[:top]
     return ranked

@@ -178,6 +178,10 @@ class Tracer:
         self._pp_enqueue: Dict[int, float] = {}   # message uid -> enqueue ts
         #: (t, [pp_occ per node], [mem_occ per node], [queue depth per node])
         self.timeseries: List[Tuple] = []
+        #: LatencyMonitor (repro.stats.latency), attached by the Machine for
+        #: open-loop runs: retiring transactions hand their component
+        #: decompositions over so tail exemplars decompose per request.
+        self.loadlat = None
 
     @classmethod
     def from_spec(cls, spec) -> "Tracer":
@@ -248,6 +252,8 @@ class Tracer:
         comp = agg.comp
         for key, value in txn.comp.items():
             comp[key] += value
+        if self.loadlat is not None:
+            self.loadlat.txn_components(node, txn.comp)
         if self.node_filter is None or node in self.node_filter:
             spans = self.spans
             if spans.maxlen is not None and len(spans) == spans.maxlen:

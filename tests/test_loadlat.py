@@ -1,0 +1,437 @@
+"""The open-loop observability layer end to end.
+
+Four contracts:
+
+* **Zero observable overhead.** An openloop run with the latency monitor
+  attached is byte-identical (minus the ``load_latency`` block it alone
+  serializes) to the same spec without it — the 'q'/'e' markers pace the
+  stream either way, the monitor only observes.
+* **Exact reconciliation.** The per-request component attributions plus
+  the unattributed/open remainders equal the tracer's aggregate per-class
+  decomposition, component by component.
+* **Curves and knees.** A swept load ladder produces a monotone-in-load
+  p99 curve with a detected saturation knee for FLASH and ideal.
+* **Surfaces.** flatten_result latency rows, hot_windows series filters
+  and percentile columns, the loadlat CLI verb, REPRO_LOADLAT parsing.
+"""
+
+import json
+
+import pytest
+
+from repro.harness import experiments as exp
+from repro.harness import loadlat as ll
+from repro.harness.__main__ import main as harness_main
+from repro.harness.envopts import loadlat_from_env
+from repro.stats import timeseries
+from repro.stats.latency import (
+    DEFAULT_EXEMPLARS, DEFAULT_WINDOW_CYCLES, LatencyMonitor,
+    parse_loadlat_spec,
+)
+from repro.stats.metrics import flatten_result
+from repro.stats.trace import COMPONENTS
+from repro.apps.openloop import OpenLoopWorkload, PROFILES
+
+TINY = dict(requests=32, lines=16, mean_gap=300.0, seed=1)
+
+
+@pytest.fixture(autouse=True)
+def isolated(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.delenv("REPRO_CACHE", raising=False)
+    monkeypatch.delenv("REPRO_TRACE", raising=False)
+    monkeypatch.delenv("REPRO_LOADLAT", raising=False)
+    monkeypatch.delenv("REPRO_WATCHDOG", raising=False)
+    exp.clear_cache()
+    yield
+    exp.clear_cache()
+
+
+def openloop_spec(kind="flash", loadlat=None, trace=None, n_procs=8,
+                  **workload):
+    overrides = dict(TINY)
+    overrides.update(workload)
+    return exp.normalize_spec("openloop", kind=kind, n_procs=n_procs,
+                              workload_overrides=overrides,
+                              loadlat=loadlat, trace=trace)
+
+
+# ---------------------------------------------------------------------------
+# The workload itself
+# ---------------------------------------------------------------------------
+
+
+class TestOpenLoopWorkload:
+    def test_streams_are_deterministic(self):
+        from repro.common.params import flash_config
+
+        config = flash_config(4, cache_size=1 << 20)
+        a = [list(s) for s in OpenLoopWorkload(**TINY).build(config)]
+        b = [list(s) for s in OpenLoopWorkload(**TINY).build(config)]
+        assert a == b
+        assert len(a) == 4
+
+    def test_requests_are_bracketed(self):
+        from repro.common.params import flash_config
+
+        config = flash_config(2, cache_size=1 << 20)
+        for stream in OpenLoopWorkload(**TINY).build(config):
+            ops = list(stream)
+            opens = [op for op in ops if op[0] == "q"]
+            closes = [op for op in ops if op[0] == "e"]
+            assert len(opens) == TINY["requests"]
+            assert len(closes) == TINY["requests"]
+            depth = 0
+            for op in ops:
+                if op[0] == "q":
+                    depth += 1
+                    assert op[1] in ("small", "large")
+                    assert depth == 1          # no nesting
+                elif op[0] == "e":
+                    depth -= 1
+            assert depth == 0
+            assert ops[-1] == ("b", ("openloop", "end"))
+
+    def test_poisson_arrivals_hit_the_offered_load(self):
+        wl = OpenLoopWorkload(requests=4000, mean_gap=250.0, seed=3)
+        from repro.apps.base import rng_stream
+        times = wl._arrivals(rng_stream(99))
+        gaps = [t1 - t0 for t0, t1 in zip([0.0] + times[:-1], times)]
+        assert min(gaps) > 0
+        mean = sum(gaps) / len(gaps)
+        assert mean == pytest.approx(250.0, rel=0.1)
+
+    def test_bursty_arrivals_keep_the_same_mean(self):
+        wl = OpenLoopWorkload(requests=6000, mean_gap=250.0,
+                              arrival="bursty", burst_len=8, burst_factor=8.0,
+                              seed=3)
+        from repro.apps.base import rng_stream
+        times = wl._arrivals(rng_stream(99))
+        mean = times[-1] / len(times)
+        assert mean == pytest.approx(250.0, rel=0.1)
+        # And the within-burst gaps really are much shorter than the mean.
+        gaps = sorted(t1 - t0 for t0, t1 in zip(times[:-1], times[1:]))
+        assert gaps[len(gaps) // 2] < 100.0
+
+    def test_profiles_and_validation(self):
+        assert set(PROFILES) == {"uniform", "fft", "mp3d"}
+        assert OpenLoopWorkload(profile="mp3d").write_frac \
+            > OpenLoopWorkload(profile="fft").write_frac
+        # Explicit kwargs override the preset.
+        assert OpenLoopWorkload(profile="mp3d", write_frac=0.0).write_frac == 0.0
+        with pytest.raises(ValueError):
+            OpenLoopWorkload(profile="nope")
+        with pytest.raises(ValueError):
+            OpenLoopWorkload(arrival="uniformly")
+        with pytest.raises(ValueError):
+            OpenLoopWorkload(mean_gap=0.0)
+
+
+# ---------------------------------------------------------------------------
+# Zero overhead + serialization
+# ---------------------------------------------------------------------------
+
+
+class TestZeroOverhead:
+    def test_monitor_on_off_identical_modulo_block(self):
+        on = exp._execute(openloop_spec(loadlat=True))
+        off = exp._execute(openloop_spec())
+        d_on, d_off = on.to_dict(), off.to_dict()
+        block = d_on.pop("load_latency")
+        assert "load_latency" not in d_off
+        assert json.dumps(d_on, sort_keys=True) \
+            == json.dumps(d_off, sort_keys=True)
+        assert block["requests"]["completed"] > 0
+
+    def test_roundtrip_carries_the_block(self):
+        from repro.stats.report import RunResult
+
+        result = exp._execute(openloop_spec(loadlat=True))
+        clone = RunResult.from_json(result.to_json())
+        assert clone.to_json() == result.to_json()
+        assert clone.load_latency["overall"]["count"] \
+            == result.load_latency["overall"]["count"]
+
+    def test_deterministic_across_runs(self):
+        a = exp._execute(openloop_spec(loadlat=True, trace=True))
+        b = exp._execute(openloop_spec(loadlat=True, trace=True))
+        assert a.to_json() == b.to_json()
+
+
+# ---------------------------------------------------------------------------
+# Reconciliation: exemplars vs the aggregate decomposition
+# ---------------------------------------------------------------------------
+
+
+class TestReconciliation:
+    @pytest.fixture(scope="class")
+    def traced(self):
+        return exp._execute(openloop_spec(loadlat=True, trace=True))
+
+    def test_request_components_reconcile_with_tracer(self, traced):
+        snapshot = traced.load_latency
+        agg = traced.latency_decomposition
+        tracked = {c: 0.0 for c in COMPONENTS}
+        for entry in agg["classes"].values():
+            for c, v in entry["components"].items():
+                tracked[c] += v
+        attributed = {c: 0.0 for c in COMPONENTS}
+        for entry in snapshot["classes"].values():
+            for c, v in entry["components"].items():
+                attributed[c] += v
+        for c in COMPONENTS:
+            attributed[c] += snapshot["unattributed"][c]
+            attributed[c] += snapshot["open_components"][c]
+        for c in COMPONENTS:
+            assert attributed[c] == pytest.approx(tracked[c], rel=1e-9), c
+        assert sum(tracked.values()) > 0
+
+    def test_exemplars_decompose_the_tail(self, traced):
+        snapshot = traced.load_latency
+        assert snapshot["timeline"], "no percentile-timeline windows"
+        for window in snapshot["timeline"]:
+            exemplars = window["exemplars"]
+            assert 1 <= len(exemplars) <= DEFAULT_EXEMPLARS
+            # Slowest-first, and every exemplar carries a full component
+            # decomposition keyed by the tracer's component set.
+            latencies = [e["latency"] for e in exemplars]
+            assert latencies == sorted(latencies, reverse=True)
+            assert latencies[0] == pytest.approx(window["max"])
+            for e in exemplars:
+                assert set(e["components"]) == set(COMPONENTS)
+                assert e["class"] in snapshot["classes"]
+
+    def test_classes_partition_the_requests(self, traced):
+        snapshot = traced.load_latency
+        total = sum(entry["count"]
+                    for entry in snapshot["classes"].values())
+        assert total == snapshot["requests"]["completed"]
+        assert snapshot["requests"]["completed"] \
+            == snapshot["requests"]["generated"]
+        assert snapshot["overall"]["count"] == total
+
+
+# ---------------------------------------------------------------------------
+# The latency monitor in isolation
+# ---------------------------------------------------------------------------
+
+
+class TestLatencyMonitor:
+    def test_coordinated_omission_correction(self):
+        # Latency counts from the *intended* arrival, not the actual issue.
+        monitor = LatencyMonitor()
+        monitor.request_begin(0, "small", intended=100.0, actual=150.0)
+        monitor.request_end(0, 250.0)
+        assert monitor.overall.quantile(0.5) == 150.0   # 250 - 100
+        snapshot = monitor.to_dict(1000.0)
+        assert snapshot["classes"]["small"]["client_delay"] == 50.0
+
+    def test_unmatched_end_ignored(self):
+        monitor = LatencyMonitor()
+        monitor.request_end(3, 50.0)
+        assert monitor.completed == 0
+
+    def test_component_attribution_windows(self):
+        monitor = LatencyMonitor(window=100.0, exemplars=2)
+        monitor.txn_components(0, {"pp": 5.0})      # no open request
+        assert monitor.unattributed["pp"] == 5.0
+        monitor.request_begin(0, "small", 0.0, 0.0)
+        monitor.txn_components(0, {"pp": 7.0, "memory": 2.0})
+        monitor.request_end(0, 42.0)
+        monitor.request_begin(1, "small", 10.0, 10.0)
+        monitor.request_end(1, 250.0)
+        snapshot = monitor.to_dict(300.0)
+        assert snapshot["classes"]["small"]["components"]["pp"] == 7.0
+        assert len(snapshot["timeline"]) == 2
+        assert snapshot["timeline"][0]["t0"] == 0.0
+        assert snapshot["timeline"][1]["t0"] == 200.0
+        assert snapshot["throughput"] == pytest.approx(2 / 300.0)
+
+    def test_from_spec(self):
+        assert LatencyMonitor.from_spec(True).window == DEFAULT_WINDOW_CYCLES
+        custom = LatencyMonitor.from_spec({"window": 5.0, "exemplars": 9})
+        assert custom.window == 5.0
+        assert custom.exemplars_per_window == 9
+
+
+# ---------------------------------------------------------------------------
+# Knee detection + the sweep
+# ---------------------------------------------------------------------------
+
+
+class TestKnee:
+    def test_detect_knee_interpolates(self):
+        loads = [1.0, 2.0, 4.0, 8.0]
+        p99s = [100.0, 110.0, 300.0, 900.0]
+        knee = ll.detect_knee(loads, p99s, factor=2.0)
+        assert knee is not None
+        assert knee["index"] == 2
+        assert knee["threshold_p99"] == 200.0
+        # Linear interpolation between (2.0, 110) and (4.0, 300).
+        expect = 2.0 + (200.0 - 110.0) / (300.0 - 110.0) * 2.0
+        assert knee["load"] == pytest.approx(expect)
+
+    def test_detect_knee_none_under_saturation(self):
+        assert ll.detect_knee([1.0, 2.0, 4.0], [100.0, 120.0, 150.0]) is None
+        assert ll.detect_knee([1.0], [100.0]) is None
+        assert ll.detect_knee([1.0, 2.0], [0.0, 50.0]) is None
+
+    def test_gap_ladder_descends_geometrically(self):
+        gaps = ll.gap_ladder(60.0, 960.0, 5)
+        assert gaps[0] == 960.0
+        assert gaps[-1] == pytest.approx(60.0)
+        ratios = [g1 / g0 for g0, g1 in zip(gaps, gaps[1:])]
+        for r in ratios[1:]:
+            assert r == pytest.approx(ratios[0])
+
+    def test_attribute_knee(self):
+        points = [
+            {"component_shares": {"queue": 0.1, "pp": 0.4,
+                                  "memory": 0.3, "network": 0.2}},
+            {"component_shares": {"queue": 0.4, "pp": 0.3,
+                                  "memory": 0.2, "network": 0.1}},
+        ]
+        knee = {"index": 1}
+        assert ll.attribute_knee(points, knee) == "queue"
+        assert ll.attribute_knee(points, None) is None
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return ll.sweep_curves(
+            "fft", ["flash", "ideal"], gaps=[800.0, 150.0, 45.0],
+            requests=32, n_procs=8, seed=1, factor=2.0)
+
+    def test_monotone_p99_with_knee_both_kinds(self, sweep):
+        for kind in ("flash", "ideal"):
+            curve = sweep["curves"][kind]
+            points = curve["points"]
+            assert len(points) == 3
+            loads = [p["offered_per_node"] for p in points]
+            p99s = [p["p99"] for p in points]
+            assert loads == sorted(loads)
+            assert p99s == sorted(p99s), f"{kind} p99 not monotone: {p99s}"
+            assert curve["knee"] is not None, f"no {kind} knee"
+            assert curve["knee"]["load"] <= loads[-1]
+            assert curve["knee_component"] in COMPONENTS
+
+    def test_flash_tail_is_heavier(self, sweep):
+        # The flexibility cost: under heavy open load FLASH's occupancy
+        # bends the tail harder than the ideal machine's.
+        flash = sweep["curves"]["flash"]["points"][-1]["p99"]
+        ideal = sweep["curves"]["ideal"]["points"][-1]["p99"]
+        assert flash > ideal
+
+    def test_render_curves(self, sweep):
+        text = ll.render_curves(sweep)
+        assert "saturation knee" in text
+        assert "p99" in text
+        assert "flash" in text and "ideal" in text
+
+    def test_sweep_json_serializable(self, sweep):
+        json.dumps(sweep)
+
+
+# ---------------------------------------------------------------------------
+# Surfaces: flatten_result, hot_windows, CLI, env knob
+# ---------------------------------------------------------------------------
+
+
+class TestSurfaces:
+    def test_flatten_result_latency_rows(self):
+        result = exp._execute(openloop_spec(loadlat=True))
+        flat = flatten_result(result)
+        assert flat["latency/overall/p99"] > flat["latency/overall/p50"] > 0
+        assert flat["latency/completed"] == 256   # 32 reqs x 8 nodes
+        assert flat["latency/throughput"] > 0
+        assert any(key.startswith("latency/small/") for key in flat)
+
+    def test_hot_windows_series_and_percentiles(self):
+        class FakeTracer:
+            timeseries = [
+                (100.0, [0.1, 0.9, 0.5, 0.3], [0.2, 0.0, 0.1, 0.4], [1, 0, 2, 5]),
+                (200.0, [0.0, 0.2, 0.8, 0.1], [0.6, 0.3, 0.0, 0.0], [0, 7, 1, 0]),
+            ]
+
+        tracer = FakeTracer()
+        # Default call: unchanged shape (the test_trace contract).
+        hot = timeseries.hot_windows(tracer)
+        assert set(hot) == {"pp_occupancy", "memory_occupancy", "queue_depth"}
+        # Series filter.
+        only = timeseries.hot_windows(tracer, top=2, series="queue_depth")
+        assert set(only) == {"queue_depth"}
+        assert [r["value"] for r in only["queue_depth"]] == [7, 5]
+        with pytest.raises(ValueError):
+            timeseries.hot_windows(tracer, series="no_such_series")
+        # Percentile columns: across-node quantiles within the row's window.
+        ranked = timeseries.hot_windows(tracer, top=1,
+                                        series=["pp_occupancy"],
+                                        percentiles=(0.5, 0.99))
+        row = ranked["pp_occupancy"][0]
+        assert row["value"] == 0.9 and row["t"] == 100.0
+        assert row["p50"] == 0.3          # nearest-rank of [0.1,0.9,0.5,0.3]
+        assert row["p99"] == 0.9
+
+    def test_cli_loadlat_json(self, capsys):
+        rc = harness_main([
+            "-j", "1", "loadlat", "fft", "--fast", "--points", "2",
+            "--max-gap", "600", "--min-gap", "80",
+            "--requests", "24", "--procs", "8", "--json"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out)
+        assert payload["profile"] == "fft"
+        assert set(payload["curves"]) == {"flash", "ideal"}
+        for curve in payload["curves"].values():
+            assert len(curve["points"]) == 2
+
+    def test_cli_loadlat_out_file(self, tmp_path, capsys):
+        out_file = tmp_path / "curve.json"
+        rc = harness_main([
+            "-j", "1", "loadlat", "fft", "--fast", "--points", "2",
+            "--max-gap", "600", "--min-gap", "80",
+            "--requests", "24", "--procs", "8",
+            "--no-trace", "--out", str(out_file)])
+        assert rc == 0
+        payload = json.loads(out_file.read_text())
+        assert payload["curves"]["flash"]["points"]
+        text = capsys.readouterr().out
+        assert "p99" in text     # the table still prints
+
+    def test_compare_openloop_shows_latency_rows(self, capsys):
+        rc = harness_main(["-j", "1", "compare", "openloop",
+                           "--vs", "ideal", "--fast", "--procs", "8"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "latency/overall/p99" in out
+
+    def test_parse_loadlat_spec(self):
+        assert parse_loadlat_spec(None) is None
+        assert parse_loadlat_spec("off") is None
+        assert parse_loadlat_spec("on") \
+            == {"window": DEFAULT_WINDOW_CYCLES,
+                "exemplars": DEFAULT_EXEMPLARS}
+        assert parse_loadlat_spec("window=1000,exemplars=5") \
+            == {"window": 1000.0, "exemplars": 5}
+        with pytest.raises(ValueError):
+            parse_loadlat_spec("windows=1000")
+
+    def test_loadlat_from_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LOADLAT", raising=False)
+        assert loadlat_from_env() is None
+        monkeypatch.setenv("REPRO_LOADLAT", "on")
+        assert loadlat_from_env() == {"window": DEFAULT_WINDOW_CYCLES,
+                                      "exemplars": DEFAULT_EXEMPLARS}
+        monkeypatch.setenv("REPRO_LOADLAT", "window=2e4")
+        assert loadlat_from_env()["window"] == 2e4
+
+    def test_normalize_spec_carries_loadlat(self):
+        spec = openloop_spec(loadlat=True)
+        assert spec["loadlat"] == {"window": DEFAULT_WINDOW_CYCLES,
+                                   "exemplars": DEFAULT_EXEMPLARS}
+        assert openloop_spec()["loadlat"] is None
+        custom = exp.normalize_spec(
+            "openloop", n_procs=4, workload_overrides=dict(TINY),
+            loadlat={"window": 7.0, "exemplars": 1})
+        assert custom["loadlat"]["window"] == 7.0

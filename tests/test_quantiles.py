@@ -1,0 +1,258 @@
+"""The streaming quantile sketch's documented contracts.
+
+Three legs, each asserted here:
+
+* **Exact small-n path.** Under ``exact_limit`` values, every quantile is
+  the exact nearest-rank answer.
+* **Bounded error once bucketed.** On adversarial distributions (heavy
+  tails spanning many octaves, bimodal with a huge mode gap, constant),
+  every reported quantile is within the documented ``relative_error``
+  (= 1/subbuckets) of the exact percentile.
+* **Merge associativity.** Farm shards combined in any order — including
+  orders that cross the exact->bucket spill at different times — produce
+  the identical bucket state, count, and extremes (and therefore identical
+  quantile answers).  The ``total`` accumulator is the one order-sensitive
+  field (float addition is not associative); it agrees to float tolerance.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.stats.quantiles import (
+    DEFAULT_EXACT_LIMIT, DEFAULT_SUBBUCKETS, QuantileSketch, exact_quantile,
+)
+
+
+def xorshift(seed):
+    """Tiny deterministic uint32 stream (no random module in tests that
+    assert byte-identity)."""
+    state = (seed or 1) & 0xFFFFFFFF
+
+    def next_u32():
+        nonlocal state
+        state ^= (state << 13) & 0xFFFFFFFF
+        state ^= state >> 17
+        state ^= (state << 5) & 0xFFFFFFFF
+        return state
+
+    return next_u32
+
+
+def uniform01(rng):
+    return (rng() + 1) / 4294967296.0
+
+
+QS = (0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 1.0)
+
+
+def heavy_tailed(n, seed=7):
+    """Pareto-ish: latencies spanning ~6 orders of magnitude."""
+    rng = xorshift(seed)
+    return [1.0 / (uniform01(rng) ** 2.5) for _ in range(n)]
+
+
+def bimodal(n, seed=11):
+    """A tight fast mode and a 1000x slower mode (cache hit vs saturation)."""
+    rng = xorshift(seed)
+    values = []
+    for _ in range(n):
+        if rng() % 10 < 8:
+            values.append(50.0 + (rng() % 1000) / 100.0)
+        else:
+            values.append(50_000.0 + (rng() % 100000) / 10.0)
+    return values
+
+
+def constant(n, value=137.5):
+    return [value] * n
+
+
+class TestExactPath:
+    def test_small_n_is_exact(self):
+        sketch = QuantileSketch()
+        values = heavy_tailed(DEFAULT_EXACT_LIMIT)
+        for v in values:
+            sketch.add(v)
+        assert sketch.is_exact
+        for q in QS:
+            assert sketch.quantile(q) == exact_quantile(values, q)
+        assert sketch.count == len(values)
+        assert sketch.min == min(values)
+        assert sketch.max == max(values)
+        assert sketch.mean == pytest.approx(sum(values) / len(values))
+
+    def test_exact_quantile_nearest_rank(self):
+        values = [10.0, 20.0, 30.0, 40.0]
+        assert exact_quantile(values, 0.0) == 10.0
+        assert exact_quantile(values, 0.25) == 10.0
+        assert exact_quantile(values, 0.5) == 20.0
+        assert exact_quantile(values, 0.51) == 30.0
+        assert exact_quantile(values, 1.0) == 40.0
+        assert exact_quantile([], 0.5) == 0.0
+
+    def test_empty_sketch(self):
+        sketch = QuantileSketch()
+        assert sketch.quantile(0.99) == 0.0
+        assert sketch.mean == 0.0
+        summary = sketch.summary()
+        assert summary["count"] == 0 and summary["max"] == 0.0
+
+
+class TestBucketedAccuracy:
+    @pytest.mark.parametrize("dataset", [
+        heavy_tailed(5000),
+        bimodal(5000),
+        constant(5000),
+    ], ids=["heavy_tailed", "bimodal", "constant"])
+    def test_within_documented_relative_error(self, dataset):
+        sketch = QuantileSketch()
+        for v in dataset:
+            sketch.add(v)
+        assert not sketch.is_exact
+        bound = sketch.relative_error
+        assert bound == 1.0 / DEFAULT_SUBBUCKETS
+        for q in QS:
+            exact = exact_quantile(dataset, q)
+            estimate = sketch.quantile(q)
+            assert abs(estimate - exact) <= bound * exact, (
+                f"q={q}: estimate {estimate} vs exact {exact} "
+                f"(rel {abs(estimate - exact) / exact:.4f} > {bound})")
+
+    def test_estimates_clamped_to_observed_range(self):
+        sketch = QuantileSketch()
+        for v in heavy_tailed(4000):
+            sketch.add(v)
+        for q in QS:
+            assert sketch.min <= sketch.quantile(q) <= sketch.max
+
+    def test_subbuckets_tighten_the_bound(self):
+        data = heavy_tailed(4000, seed=23)
+        coarse = QuantileSketch(subbuckets=8)
+        fine = QuantileSketch(subbuckets=128)
+        for v in data:
+            coarse.add(v)
+            fine.add(v)
+        assert fine.relative_error < coarse.relative_error
+        for q in (0.5, 0.9, 0.99):
+            exact = exact_quantile(data, q)
+            assert abs(fine.quantile(q) - exact) <= fine.relative_error * exact
+            assert abs(coarse.quantile(q) - exact) \
+                <= coarse.relative_error * exact
+
+    def test_sub_unit_values_bucket_correctly(self):
+        # Negative binary exponents: sub-cycle latencies still honor the
+        # bound (frexp octaves go negative).
+        rng = xorshift(3)
+        data = [uniform01(rng) ** 3 for _ in range(3000)]
+        sketch = QuantileSketch()
+        for v in data:
+            sketch.add(v)
+        for q in (0.5, 0.99):
+            exact = exact_quantile(data, q)
+            assert abs(sketch.quantile(q) - exact) \
+                <= sketch.relative_error * exact
+
+
+class TestMerge:
+    def shards(self, sizes, seed=31):
+        rng = xorshift(seed)
+        shards = []
+        for size in sizes:
+            sketch = QuantileSketch()
+            for _ in range(size):
+                sketch.add(1.0 / (uniform01(rng) ** 2))
+            shards.append(sketch)
+        return shards
+
+    def merged(self, shards, order):
+        acc = QuantileSketch()
+        for i in order:
+            acc.merge(QuantileSketch.from_dict(shards[i].to_dict()))
+        return acc
+
+    def test_associative_across_spill_orders(self):
+        # Shard sizes chosen so some merge orders spill early and others
+        # late; the final bucket state must not care.  ``total`` is float
+        # summation (order-sensitive), so it is compared to tolerance and
+        # the rest byte-exactly.
+        shards = self.shards([300, 300, 200, 600, 50])
+        orders = [(0, 1, 2, 3, 4), (4, 3, 2, 1, 0), (3, 0, 4, 1, 2)]
+        states = [self.merged(shards, order).to_dict() for order in orders]
+        totals = [state.pop("total") for state in states]
+        serialized = {json.dumps(s, sort_keys=True) for s in states}
+        assert len(serialized) == 1
+        for total in totals[1:]:
+            assert total == pytest.approx(totals[0], rel=1e-12)
+
+    def test_merge_matches_single_stream(self):
+        rng = xorshift(41)
+        values = [1.0 / (uniform01(rng) ** 2) for _ in range(2000)]
+        single = QuantileSketch()
+        for v in values:
+            single.add(v)
+        left, right = QuantileSketch(), QuantileSketch()
+        for v in values[:700]:
+            left.add(v)
+        for v in values[700:]:
+            right.add(v)
+        left.merge(right)
+        assert left.count == single.count
+        assert left.total == pytest.approx(single.total)
+        assert left.min == single.min and left.max == single.max
+        for q in QS:
+            exact = exact_quantile(values, q)
+            assert abs(left.quantile(q) - exact) \
+                <= left.relative_error * exact
+
+    def test_exact_merge_stays_exact_when_it_fits(self):
+        a, b = QuantileSketch(), QuantileSketch()
+        for i in range(100):
+            a.add(float(i + 1))
+            b.add(float(1000 + i))
+        a.merge(b)
+        assert a.is_exact and a.count == 200
+        assert a.quantile(0.5) == 100.0
+
+    def test_mismatched_subbuckets_rejected(self):
+        with pytest.raises(ValueError):
+            QuantileSketch(subbuckets=32).merge(QuantileSketch(subbuckets=64))
+
+    def test_roundtrip_exact_and_bucketed(self):
+        for n in (10, 3000):
+            sketch = QuantileSketch()
+            for v in heavy_tailed(n, seed=n):
+                sketch.add(v)
+            clone = QuantileSketch.from_dict(
+                json.loads(json.dumps(sketch.to_dict())))
+            assert clone.to_dict() == sketch.to_dict()
+            for q in QS:
+                assert clone.quantile(q) == sketch.quantile(q)
+
+    def test_canonical_serialization_ignores_arrival_order(self):
+        values = heavy_tailed(50)
+        a, b = QuantileSketch(), QuantileSketch()
+        for v in values:
+            a.add(v)
+        for v in reversed(values):
+            b.add(v)
+        state_a, state_b = a.to_dict(), b.to_dict()
+        assert state_a.pop("total") == pytest.approx(state_b.pop("total"),
+                                                     rel=1e-12)
+        assert state_a == state_b
+
+
+class TestValidation:
+    def test_subbuckets_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            QuantileSketch(subbuckets=24)
+        with pytest.raises(ValueError):
+            QuantileSketch(subbuckets=0)
+
+    def test_summary_keys(self):
+        sketch = QuantileSketch()
+        for v in (1.0, 2.0, 3.0):
+            sketch.add(v)
+        assert set(sketch.summary()) == {
+            "count", "mean", "p50", "p90", "p99", "p999", "max"}
