@@ -52,6 +52,11 @@ METRICS: Dict[str, str] = {
     # on the fixed monitored+traced perf_smoke openloop run): gates the
     # latency monitor's and request markers' observation overhead.
     "loadlat_reqs_per_sec": "higher",
+    # Critical-path extraction throughput (wait segments + retired
+    # transactions processed per second of extraction on the fixed traced
+    # perf_smoke fft run): gates the backward-walk cost every traced run
+    # and every whatif baseline pays at end of run.
+    "critpath_spans_per_sec": "higher",
 }
 
 DEFAULT_THRESHOLD = 0.10

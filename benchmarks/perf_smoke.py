@@ -238,6 +238,36 @@ def loadlat_reqs_per_sec() -> float:
     return completed / elapsed
 
 
+def critpath_spans_per_sec() -> float:
+    """Critical-path extraction throughput: recorded wait segments plus
+    retired transactions processed per second of extraction wall clock, on
+    a fixed traced fft run.  Extraction runs once per traced run at end of
+    run, so a hook or walk that gets expensive shows up here before it
+    slows every ``trace``/``whatif`` invocation."""
+    from repro.harness import experiments
+    from repro.stats.critpath import extract_critical_path
+
+    spec = experiments.normalize_spec(
+        "fft", kind="flash", regime="large",
+        workload_overrides={"points": 1024}, trace=True,
+    )
+    machine, ops, _ = experiments.build_machine(spec)
+    result = machine.run(ops)
+    tracer = machine.tracer
+    work = (sum(len(segs) for segs in tracer.cpu_segments.values())
+            + sum(len(recs) for recs in tracer.retired.values()))
+    finish = [node.cpu.times.finish_time for node in machine.nodes]
+    start = time.perf_counter()
+    repeats = 5
+    for _ in range(repeats):
+        critpath = extract_critical_path(tracer, result.execution_time,
+                                         finish)
+    elapsed = (time.perf_counter() - start) / repeats
+    assert critpath["length"] == result.execution_time, \
+        "critical path failed to reconcile during benchmarking"
+    return work / elapsed
+
+
 def append_history(path: str, record: dict) -> int:
     history = []
     if os.path.exists(path):
@@ -299,6 +329,7 @@ def main() -> int:
     record["e2e_fft1k_seconds"] = round(end_to_end_seconds(), 3)
     record["check_ops_per_sec"] = round(check_ops_per_sec())
     record["loadlat_reqs_per_sec"] = round(loadlat_reqs_per_sec())
+    record["critpath_spans_per_sec"] = round(critpath_spans_per_sec())
     count = append_history(BENCH_FILE, record)
     print(json.dumps(record, indent=2))
     print(f"appended to {BENCH_FILE} ({count} record(s))")

@@ -207,6 +207,10 @@ class MachineConfig:
     cpu_hit_quantum: int = 64           # max cycles of batched hits between yields
     # Directory.
     directory_links_per_node: int = 65536
+    # Causal-profiling hook (``harness whatif``): per-handler multiplicative
+    # cost factors applied by the table cost model, e.g. {"get_home_clean":
+    # 2.0}.  None/empty leaves every Table 3.4 cost byte-identical.
+    handler_scale: Optional[dict] = None
 
     def __post_init__(self) -> None:
         if self.kind not in ("flash", "ideal"):
@@ -217,6 +221,18 @@ class MachineConfig:
             raise ConfigError(f"unknown protocol {self.protocol!r}")
         if self.n_procs < 1:
             raise ConfigError("need at least one processor")
+        if self.handler_scale:
+            if self.pp_backend == "emulator":
+                raise ConfigError(
+                    "handler_scale requires the table cost model; the"
+                    " emulator backend derives costs from PP assembly")
+            factors = dict(self.handler_scale)
+            for handler, factor in factors.items():
+                if not isinstance(factor, (int, float)) or factor <= 0:
+                    raise ConfigError(
+                        f"handler_scale[{handler!r}] must be a positive"
+                        f" number, got {factor!r}")
+            object.__setattr__(self, "handler_scale", factors)
 
     @property
     def is_ideal(self) -> bool:

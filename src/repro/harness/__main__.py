@@ -12,6 +12,8 @@ Usage::
     python -m repro.harness profile mp3d --json  # ... machine-readable
     python -m repro.harness trace fft --summary  # latency decomposition table
     python -m repro.harness trace fft --out fft.json   # Chrome trace_event JSON
+    python -m repro.harness whatif fft --fast    # causal profile: scale handler
+    python -m repro.harness whatif fft --handlers get_owner --scales 0.5,2  # costs
     python -m repro.harness faults fft           # slowdown vs injected-fault rate
     python -m repro.harness check --seed 0 --ops 2000   # coherence model checker
     python -m repro.harness check --replay .repro_check/check-repro-....json
@@ -171,6 +173,7 @@ def cmd_trace(args) -> int:
 
     from . import experiments
     from ..stats import timeseries
+    from ..stats.critpath import render_critpath
     from ..stats.trace import (
         parse_nodes, render_decomposition, validate_trace_events,
     )
@@ -193,6 +196,9 @@ def cmd_trace(args) -> int:
                  f"({result.references} refs, T={result.execution_time:.0f})")
         print(render_decomposition(result.latency_decomposition, result,
                                    title=title))
+        if result.critpath is not None:
+            print()
+            print(render_critpath(result.critpath))
         hot = timeseries.hot_windows(tracer)
         if any(hot.values()):
             print("\nhottest sampling windows:")
@@ -449,6 +455,40 @@ def cmd_loadlat(args) -> int:
     return 0 if complete else 1
 
 
+def cmd_whatif(args) -> int:
+    """Coz-style causal profile: scale individual handler costs across a
+    farmed ladder and compare the measured execution-time delta against the
+    critical-path prediction (see ``repro.harness.whatif``)."""
+    import json
+
+    from . import whatif
+
+    handlers = None
+    if args.handlers:
+        handlers = [h.strip() for h in args.handlers.split(",") if h.strip()]
+    scales = [float(s) for s in args.scales.split(",") if s.strip()]
+    overrides = envopts.smoke_overrides(args.app, args.fast)
+    try:
+        report = whatif.run_whatif(
+            args.app, kind=args.kind, regime=args.regime, n_procs=args.procs,
+            workload_overrides=overrides, handlers=handlers, scales=scales,
+            top=args.top, tolerance=args.tolerance, jobs=args.jobs,
+            policy=_farm_policy(args))
+    except ValueError as exc:
+        print(f"whatif: {exc}", file=sys.stderr)
+        return 2
+    payload = json.dumps(report, sort_keys=True, indent=2)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(payload + "\n")
+        print(f"wrote causal profile JSON to {args.out}", file=sys.stderr)
+    if args.json:
+        print(payload)
+    else:
+        print(whatif.render_whatif(report))
+    return 0
+
+
 def cmd_summary(args) -> int:
     """One-screen (or JSON) ``RunResult.summary()`` for a single run."""
     import json
@@ -491,7 +531,7 @@ def _load_result(token: str, args):
     return run_app(app, kind=kind or "flash", regime=regime or args.regime,
                    n_procs=args.procs,
                    workload_overrides=envopts.smoke_overrides(app, args.fast),
-                   metrics=True,
+                   metrics=True, trace=True,
                    loadlat=True if app == "openloop" else None)
 
 
@@ -540,10 +580,10 @@ def cmd_compare(args) -> int:
     monitor = True if args.app == "openloop" else None
     flash = run_app(args.app, kind="flash", regime=args.regime,
                     n_procs=args.procs, workload_overrides=overrides,
-                    metrics=True, loadlat=monitor)
+                    metrics=True, trace=True, loadlat=monitor)
     other = run_app(args.app, kind=args.vs, regime=args.regime,
                     n_procs=args.procs, workload_overrides=overrides,
-                    metrics=True, loadlat=monitor)
+                    metrics=True, trace=True, loadlat=monitor)
     return _render_run_diff(flash, other, f"{args.app}/flash",
                             f"{args.app}/{args.vs}", args)
 
@@ -728,6 +768,35 @@ def main(argv=None) -> int:
     ll.add_argument("--out", metavar="FILE", default=None,
                     help="also write the sweep JSON to FILE")
     ll.set_defaults(fn=cmd_loadlat)
+    whatif = sub.add_parser(
+        "whatif", help="Coz-style causal profile: scale handler costs on a"
+                       " farmed ladder, measured vs critical-path-predicted"
+                       " speedup")
+    whatif.add_argument("app", choices=APP_ORDER + ["openloop"])
+    whatif.add_argument("--kind", default="flash", choices=["flash"],
+                        help="machine kind (flash only: the ideal machine's"
+                             " handlers are zero-width)")
+    whatif.add_argument("--regime", default="large",
+                        choices=["large", "medium", "small"])
+    whatif.add_argument("--procs", type=int, default=None)
+    whatif.add_argument("--fast", action="store_true",
+                        help="seconds-scale smoke problem sizes")
+    whatif.add_argument("--handlers", metavar="H,H,...", default=None,
+                        help="handlers to scale (default: the top critical-"
+                             "path levers)")
+    whatif.add_argument("--scales", metavar="S,S,...", default="0.5,2.0",
+                        help="cost factors per handler (default: 0.5,2.0)")
+    whatif.add_argument("--top", type=int, default=3,
+                        help="levers profiled when --handlers is omitted"
+                             " (default: 3)")
+    whatif.add_argument("--tolerance", type=float, default=None, metavar="R",
+                        help="relative measured-vs-predicted divergence that"
+                             " flags a handler (default: 0.5)")
+    whatif.add_argument("--json", action="store_true",
+                        help="machine-readable causal profile on stdout")
+    whatif.add_argument("--out", metavar="FILE", default=None,
+                        help="also write the profile JSON to FILE")
+    whatif.set_defaults(fn=cmd_whatif)
     summary = sub.add_parser(
         "summary", help="RunResult.summary() scalars for one run")
     summary.add_argument("app", choices=APP_ORDER)

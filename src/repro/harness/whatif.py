@@ -1,0 +1,192 @@
+"""Coz-style causal "what-if" profiling for the flexibility cost.
+
+Critical-path extraction (:mod:`repro.stats.critpath`) *predicts* which
+handlers matter: scaling handler ``h`` by factor ``s`` should move execution
+time by ``(1 - s) * critical_cycles[h]`` — the handler's cycles *on the
+critical path* — not by ``(1 - s) * total_cycles[h]`` (the naive occupancy
+account, which charges slack cycles that a closed system absorbs for free).
+
+This module closes the loop the way causal profilers do: actually re-run
+the workload with individual handler costs deterministically scaled (the
+``handler_scale`` config knob consumed by
+:class:`~repro.magic.costmodel.TableCostModel`), measure the execution-time
+delta, and compare it against both predictions.  Handlers whose measured
+and predicted profiles diverge beyond tolerance are flagged — they mark
+either contention effects the slack model cannot see (queueing regrowth,
+shifted interleavings) or criticality the greedy walk misattributed.
+
+Every experiment is an ordinary normalized spec (``handler_scale`` rides in
+``config_overrides``), so the ladder fans out across the run farm and
+reuses the disk cache like any other sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from . import runfarm
+from .experiments import default_procs, normalize_spec, run_app
+
+__all__ = ["run_whatif", "render_whatif", "DEFAULT_SCALES",
+           "DEFAULT_TOLERANCE"]
+
+#: Default virtual-speedup / slowdown ladder.  2.0 doubles every (integer)
+#: handler cost exactly; 0.5 halves it up to the ``max(1, round(...))``
+#: floor, so the speedup direction is the noisier of the two.
+DEFAULT_SCALES = (0.5, 2.0)
+
+#: Relative measured-vs-predicted divergence that flags a handler.
+DEFAULT_TOLERANCE = 0.5
+
+#: Absolute divergence floor, as a fraction of baseline execution time:
+#: deltas this small are below the discreteness of integer handler costs.
+_ABS_FLOOR_FRACTION = 0.005
+
+
+def run_whatif(
+    app: str,
+    kind: str = "flash",
+    regime: str = "large",
+    n_procs: Optional[int] = None,
+    workload_overrides: Optional[dict] = None,
+    handlers: Optional[Sequence[str]] = None,
+    scales: Sequence[float] = DEFAULT_SCALES,
+    top: int = 3,
+    tolerance: Optional[float] = None,
+    jobs: Optional[int] = None,
+    policy=None,
+) -> Dict[str, Any]:
+    """Run one causal profile: a traced baseline, then a farmed
+    ``handlers x scales`` ladder of handler-cost-scaled re-runs.
+
+    Returns a JSON-able report with one experiment record per (handler,
+    scale) comparing the measured execution-time delta against the
+    critical-path prediction and the naive total-occupancy prediction.
+    """
+    if tolerance is None:
+        tolerance = DEFAULT_TOLERANCE
+    if kind == "ideal":
+        raise ValueError(
+            "whatif needs the table cost model; the ideal machine's"
+            " handlers are zero-width, so scaling them is a no-op")
+    traced = run_app(app, kind=kind, regime=regime, n_procs=n_procs,
+                     workload_overrides=workload_overrides, trace=True)
+    critpath = traced.critpath or {}
+    entries = critpath.get("handlers") or {}
+    baseline = traced.execution_time   # traced core == untraced (tested)
+
+    if handlers is None:
+        ranked = sorted(
+            (h for h, e in entries.items() if e["total_cycles"] > 0.0),
+            key=lambda h: (-entries[h]["critical_cycles"], h))
+        handlers = ranked[:top]
+    else:
+        handlers = list(handlers)
+        unknown = [h for h in handlers if h not in entries]
+        if unknown:
+            known = ", ".join(sorted(entries)) or "(none)"
+            raise ValueError(
+                f"unknown handler(s) {', '.join(unknown)}; this run"
+                f" invoked: {known}")
+    if not handlers:
+        raise ValueError(f"{app}/{kind}: no PP handler cycles to scale")
+    scales = [float(s) for s in scales]
+
+    ladder = [
+        normalize_spec(app, kind=kind, regime=regime, n_procs=n_procs,
+                       workload_overrides=workload_overrides,
+                       config_overrides={"handler_scale": {handler: scale}})
+        for handler in handlers for scale in scales
+    ]
+    if jobs is not None and jobs > 1:
+        runfarm.run_specs(ladder, jobs=jobs, policy=policy)   # seeds the memo
+
+    floor = _ABS_FLOOR_FRACTION * baseline
+    experiments: List[Dict[str, Any]] = []
+    measured_total: Dict[str, float] = {}
+    for handler in handlers:
+        entry = entries[handler]
+        for scale in scales:
+            result = run_app(
+                app, kind=kind, regime=regime, n_procs=n_procs,
+                workload_overrides=workload_overrides,
+                config_overrides={"handler_scale": {handler: scale}})
+            measured = baseline - result.execution_time
+            predicted = (1.0 - scale) * entry["critical_cycles"]
+            naive = (1.0 - scale) * entry["total_cycles"]
+            divergence = abs(measured - predicted)
+            divergent = divergence > max(tolerance * abs(predicted), floor)
+            sign_ok = (measured * predicted > 0.0
+                       or (abs(measured) <= floor and abs(predicted) <= floor))
+            experiments.append({
+                "handler": handler,
+                "scale": scale,
+                "execution_time": result.execution_time,
+                "measured_delta": measured,
+                "predicted_delta": predicted,
+                "naive_delta": naive,
+                "divergent": divergent,
+                "confirmed": sign_ok and not divergent,
+            })
+            measured_total[handler] = (
+                measured_total.get(handler, 0.0) + abs(measured))
+
+    predicted_ranking = sorted(
+        handlers, key=lambda h: (-entries[h]["critical_cycles"], h))
+    measured_ranking = sorted(
+        handlers, key=lambda h: (-measured_total.get(h, 0.0), h))
+    return {
+        "app": app,
+        "kind": kind,
+        "regime": regime,
+        "n_procs": n_procs if n_procs is not None else default_procs(app),
+        "baseline_execution_time": baseline,
+        "handlers": list(handlers),
+        "scales": scales,
+        "tolerance": tolerance,
+        "experiments": experiments,
+        "predicted_ranking": predicted_ranking,
+        "measured_ranking": measured_ranking,
+        "ranking_confirmed": bool(
+            predicted_ranking and measured_ranking
+            and predicted_ranking[0] == measured_ranking[0]),
+        "confirmed": sum(1 for e in experiments if e["confirmed"]),
+        "divergent": sum(1 for e in experiments if e["divergent"]),
+    }
+
+
+def render_whatif(report: Dict[str, Any]) -> str:
+    """Human-readable causal profile: the experiment table plus a ranking
+    verdict footer."""
+    title = (f"causal profile: {report['app']}/{report['kind']}"
+             f"@{report['regime']} (baseline"
+             f" {report['baseline_execution_time']:.0f} cycles)")
+    lines = [title, "=" * len(title)]
+    header = (f"{'handler':<22} {'scale':>5} {'measured':>10} "
+              f"{'predicted':>10} {'naive':>10} {'verdict':>10}")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for exp in report["experiments"]:
+        verdict = ("DIVERGENT" if exp["divergent"]
+                   else "confirmed" if exp["confirmed"] else "weak")
+        lines.append(
+            f"{exp['handler']:<22} {exp['scale']:>5.2f} "
+            f"{exp['measured_delta']:>+10.0f} {exp['predicted_delta']:>+10.0f} "
+            f"{exp['naive_delta']:>+10.0f} {verdict:>10}")
+    lines.append("")
+    lines.append(
+        f"{report['confirmed']}/{len(report['experiments'])} experiments"
+        f" confirm the critical-path prediction;"
+        f" {report['divergent']} divergent")
+    top_pred = report["predicted_ranking"][0] if report["predicted_ranking"] \
+        else None
+    if top_pred is not None:
+        agrees = "agrees" if report["ranking_confirmed"] else "DISAGREES"
+        lines.append(
+            f"top predicted lever {top_pred}: measured ranking {agrees}"
+            f" (measured top: {report['measured_ranking'][0]})")
+    lines.append(
+        "deltas are cycles of execution time saved (+) or lost (-) vs"
+        " baseline; predicted = (1-s) x critical cycles, naive = (1-s) x"
+        " total occupancy")
+    return "\n".join(lines)

@@ -89,6 +89,7 @@ class Machine:
 
     def _attach_tracer(self, tracer: Tracer) -> None:
         tracer.env = self.env
+        tracer.n_procs = self.config.n_procs   # barrier-release arrival count
         self.tracer = tracer
         self.env._tracer = tracer      # watchdog/stall-diagnosis pickup
         self.network.tracer = tracer

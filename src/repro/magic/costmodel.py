@@ -31,7 +31,7 @@ SPECIAL_INSTR_FACTOR = 1.35
 class TableCostModel:
     """Handler occupancy lookup for the fast simulation backend."""
 
-    __slots__ = ("costs", "scale", "_flat")
+    __slots__ = ("costs", "scale", "handler_scale", "_flat")
 
     def __init__(self, config: MachineConfig):
         self.costs = config.handler_costs
@@ -41,6 +41,10 @@ class TableCostModel:
         if not config.pp_special_instructions:
             scale *= SPECIAL_INSTR_FACTOR
         self.scale = scale
+        # Per-handler causal-profiling factors (``harness whatif``); None
+        # keeps every cost expression identical to the unscaled model.
+        factors = getattr(config, "handler_scale", None)
+        self.handler_scale = dict(factors) if factors else None
         # Most handlers have a fixed occupancy, so their scaled cost is
         # precomputed into a flat lookup; only the invalidation- and
         # list-position-dependent handlers are computed per call.
@@ -74,10 +78,18 @@ class TableCostModel:
             # work as the original requester-side forward.
             Handler.RETRY_BOUNCE: c.forward_to_home,
         }
-        self._flat = {
-            handler: max(1, int(round(base * scale)))
-            for handler, base in bases.items()
-        }
+        if self.handler_scale:
+            factors = self.handler_scale
+            self._flat = {
+                handler: max(1, int(round(
+                    base * scale * factors.get(handler, 1.0))))
+                for handler, base in bases.items()
+            }
+        else:
+            self._flat = {
+                handler: max(1, int(round(base * scale)))
+                for handler, base in bases.items()
+            }
 
     def cost(self, action: Action) -> int:
         """PP occupancy in cycles for one handler invocation, excluding MDC
@@ -97,4 +109,7 @@ class TableCostModel:
                 base = c.remote_hint_base + c.remote_hint_per_link * position
         else:
             raise KeyError(f"no cost for handler {handler!r}")
-        return max(1, int(round(base * self.scale)))
+        factor = self.scale
+        if self.handler_scale:
+            factor *= self.handler_scale.get(handler, 1.0)
+        return max(1, int(round(base * factor)))

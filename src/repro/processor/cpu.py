@@ -120,6 +120,7 @@ class CPU:
         self._miss_state = CacheState.INVALID
         self._miss_waiter: Optional[Event] = None
         self._stall_start = 0.0
+        self._sync_info: Optional[Tuple] = None   # (kind, arg) for the tracer
         self._op: Optional[Tuple] = None
         self._op_arg = 0
         # Bound once; scheduled thousands of times.
@@ -593,6 +594,9 @@ class CPU:
 
     def _rmerge_done(self, _event) -> None:
         self.times.read_stall += self.env._now - self._stall_start
+        if self.tracer is not None:
+            self.tracer.cpu_wait(self.node_id, "r", self._stall_start,
+                                 self.env._now)
         if self.oracle is not None:
             self.oracle.on_read(self.node_id, self._miss_line)
         self._loop_cb()
@@ -638,6 +642,9 @@ class CPU:
 
     def _rm_done(self, _event) -> None:
         self.times.read_stall += self.env._now - self._stall_start
+        if self.tracer is not None:
+            self.tracer.cpu_wait(self.node_id, "r", self._stall_start,
+                                 self.env._now)
         if self.oracle is not None:
             self.oracle.on_read(self.node_id, self._miss_line)
         self._loop_cb()
@@ -691,25 +698,37 @@ class CPU:
         # Non-blocking write: the processor continues; only the time spent
         # waiting for MSHR space / conflicts / queue space is write stall.
         self.times.write_stall += self.env._now - self._stall_start
+        if self.tracer is not None:
+            self.tracer.cpu_wait(self.node_id, "w", self._stall_start,
+                                 self.env._now)
         self._loop_cb()
 
     # -- synchronization / transfers ----------------------------------------------------
 
     def _barrier_fence(self) -> None:
         self._stall_start = self.env._now
+        self._sync_info = ("b", self._op_arg)
         # Release semantics: outstanding misses drain before the barrier
         # (otherwise a non-blocking write could race past it).
         self._fence_then(self._barrier_enter_cb)
 
     def _barrier_enter(self) -> None:
+        if self.tracer is not None:
+            self.tracer.barrier_arrive(self.node_id, self._op_arg,
+                                       self.env._now)
         self._wait_event(self.sync.barrier(self._op_arg), self._sync_done_cb)
 
     def _lock_begin(self) -> None:
         self._stall_start = self.env._now
+        self._sync_info = ("l", self._op_arg)
         self._wait_event(self.sync.acquire(self._op_arg), self._sync_done_cb)
 
     def _sync_done(self, _event=None) -> None:
         self.times.sync += self.env._now - self._stall_start
+        if self.tracer is not None:
+            kind, arg = self._sync_info
+            self.tracer.cpu_wait(self.node_id, kind, self._stall_start,
+                                 self.env._now, arg)
         self._loop_cb()
 
     def _unlock_fence(self) -> None:
@@ -718,7 +737,13 @@ class CPU:
 
     def _unlock_release(self) -> None:
         self.times.sync += self.env._now - self._stall_start
+        if self.tracer is not None:
+            self.tracer.cpu_wait(self.node_id, "u", self._stall_start,
+                                 self.env._now, self._op_arg)
         self.sync.release(self._op_arg)
+        if self.tracer is not None:
+            self.tracer.lock_release(self.node_id, self._op_arg,
+                                     self.env._now)
         self._loop_cb()
 
     def _send_begin(self) -> None:
@@ -733,10 +758,14 @@ class CPU:
 
     def _send_done(self) -> None:
         self.times.write_stall += self.env._now - self._stall_start
+        if self.tracer is not None:
+            self.tracer.cpu_wait(self.node_id, "w", self._stall_start,
+                                 self.env._now)
         self._loop_cb()
 
     def _recv_begin(self) -> None:
         self._stall_start = self.env._now
+        self._sync_info = ("v", self._op_arg)
         self._wait_event(self.transfers.receive(self.node_id, self._op_arg),
                          self._sync_done_cb)
 
@@ -753,6 +782,8 @@ class CPU:
         self._op_arg = (cls, t_arrival)
         now = self.env._now
         if now < t_arrival:
+            if self.tracer is not None:
+                self.tracer.cpu_wait(self.node_id, "i", now, t_arrival)
             self.env.call_later(t_arrival - now, self._req_start_cb)
             return
         self._req_start()
@@ -773,6 +804,9 @@ class CPU:
 
     def _req_end(self) -> None:
         self.times.write_stall += self.env._now - self._stall_start
+        if self.tracer is not None:
+            self.tracer.cpu_wait(self.node_id, "w", self._stall_start,
+                                 self.env._now)
         if self.loadlat is not None:
             self.loadlat.request_end(self.node_id, self.env._now)
         self._loop_cb()

@@ -380,6 +380,22 @@ def flatten_result(result, per_node: bool = False) -> Dict[str, float]:
         for cls, entry in load_latency.get("classes", {}).items():
             for stat in ("p50", "p99", "p999"):
                 flat[f"latency/{cls}/{stat}"] = entry.get(stat, 0.0)
+    # Critical-path attribution (traced runs; repro.stats.critpath), so
+    # ``compare <app> --vs ideal`` shows the criticality delta directly.
+    critpath = getattr(result, "critpath", None)
+    if critpath:
+        flat["critpath/length"] = critpath.get("length", 0.0)
+        for bucket, cycles in critpath.get("buckets", {}).items():
+            flat[f"critpath/bucket/{bucket}"] = cycles
+        for cls, cycles in critpath.get("classes", {}).items():
+            flat[f"critpath/class/{cls}"] = cycles
+        for comp, cycles in critpath.get("components", {}).items():
+            flat[f"critpath/component/{comp}"] = cycles
+        for handler, entry in critpath.get("handlers", {}).items():
+            flat[f"critpath/handler/{handler}/critical_cycles"] = (
+                entry.get("critical_cycles", 0.0))
+            flat[f"critpath/handler/{handler}/share"] = (
+                entry.get("share", 0.0))
     return flat
 
 

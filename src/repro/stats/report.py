@@ -13,6 +13,7 @@ from typing import Any, Dict, List, Optional
 
 from ..protocol.coherence import MissClass
 from .breakdown import CpuTimes, merge_cache_stats, merge_cpu_times
+from .critpath import extract_critical_path
 from .metrics import harvest_machine
 
 __all__ = ["RunResult", "crmt"]
@@ -71,6 +72,9 @@ class RunResult:
     #: Open-loop latency snapshot (``LatencyMonitor.to_dict()``); present —
     #: and serialized — only when a monitor was attached, same contract.
     load_latency: Optional[Dict[str, Any]] = None
+    #: Critical-path attribution (``repro.stats.critpath``); present — and
+    #: serialized — only for traced runs, same contract.
+    critpath: Optional[Dict[str, Any]] = None
 
     def __init__(self, machine, execution_time: float):
         config = machine.config
@@ -125,6 +129,9 @@ class RunResult:
         tracer = getattr(machine, "tracer", None)
         if tracer is not None:
             self.latency_decomposition = tracer.decomposition()
+            finish = [node.cpu.times.finish_time for node in machine.nodes]
+            self.critpath = extract_critical_path(
+                tracer, execution_time, finish)
         # Metrics registry (metrics-on runs only; see repro.stats.metrics):
         # fold the subsystems' unconditional counters in, then snapshot.
         registry = getattr(machine, "metrics", None)
@@ -153,6 +160,9 @@ class RunResult:
         if self.load_latency is not None:
             # Same contract for the open-loop latency snapshot.
             state["load_latency"] = self.load_latency
+        if self.critpath is not None:
+            # Same contract for the critical-path attribution.
+            state["critpath"] = self.critpath
         return state
 
     @classmethod
@@ -175,6 +185,9 @@ class RunResult:
         load_latency = state.get("load_latency")
         if load_latency is not None:
             result.load_latency = load_latency
+        critpath = state.get("critpath")
+        if critpath is not None:
+            result.critpath = critpath
         return result
 
     def to_json(self) -> str:

@@ -117,7 +117,8 @@ def parse_nodes(text: str) -> List[int]:
 class _Txn:
     """One in-flight miss transaction."""
 
-    __slots__ = ("node", "line", "is_write", "start", "cls", "comp", "tail")
+    __slots__ = ("node", "line", "is_write", "start", "cls", "comp", "tail",
+                 "handlers")
 
     def __init__(self, node: int, line: int, is_write: bool, start: float):
         self.node = node
@@ -127,6 +128,7 @@ class _Txn:
         self.cls: Optional[str] = None   # read-miss class, set by the home
         self.comp = {c: 0.0 for c in COMPONENTS}
         self.tail: deque = deque(maxlen=_TAIL_SPANS)
+        self.handlers: Dict[str, float] = {}   # per-handler PP cycles
 
 
 class _ClassAgg:
@@ -182,6 +184,23 @@ class Tracer:
         #: open-loop runs: retiring transactions hand their component
         #: decompositions over so tail exemplars decompose per request.
         self.loadlat = None
+        # -- critical-path raw data (repro.stats.critpath) -------------------
+        #: Set by Machine._attach_tracer; barrier release = n_procs arrivals.
+        self.n_procs = 0
+        #: node -> [(t0, t1, kind, arg)] CPU wait segments, in end-time
+        #: order.  Kinds: "r" read stall, "w" write stall / fence, ("b",)
+        #: barrier, ("l",)/("u",) lock/unlock, ("v",) recv, "i" pacing idle.
+        self.cpu_segments: Dict[int, List[Tuple]] = {}
+        #: node -> [(retire, start, line, cls, is_write, comp, handlers)]
+        #: retired-transaction records, in retire-time order.
+        self.retired: Dict[int, List[Tuple]] = {}
+        self._barrier_arrivals: Dict[Any, List[Tuple[float, int]]] = {}
+        #: [(release_t, last_arriving_node, barrier_id)] per completed episode.
+        self.barrier_episodes: List[Tuple[float, int, Any]] = []
+        #: lock_id -> [(release_t, releasing_node)] in time order.
+        self.lock_releases: Dict[Any, List[Tuple[float, int]]] = {}
+        #: handler -> machine-wide PP cycles (critical or not).
+        self.pp_handler_totals: Dict[str, float] = {}
 
     @classmethod
     def from_spec(cls, spec) -> "Tracer":
@@ -241,6 +260,8 @@ class Tracer:
         self.txns_retired += 1
         cls = txn.cls if txn.cls is not None else (
             WRITE_CLASS if txn.is_write else "read_unclassified")
+        self.retired.setdefault(node, []).append(
+            (ts, txn.start, line, cls, txn.is_write, txn.comp, txn.handlers))
         agg = self._classes.get(cls)
         if agg is None:
             agg = self._classes[cls] = _ClassAgg()
@@ -269,6 +290,30 @@ class Tracer:
         if txn is not None and not txn.is_write:
             txn.cls = cls
 
+    # -- CPU wait segments (critical-path raw data) -------------------------------
+
+    def cpu_wait(self, node: int, kind: str, t0: float, t1: float,
+                 arg=None) -> None:
+        """One CPU wait interval: the node was not executing references in
+        [t0, t1].  Recorded at the moment the wait *ends*, so per-node lists
+        stay ordered by end time (the critical-path walk bisects on them)."""
+        if t1 <= t0:
+            return
+        self.cpu_segments.setdefault(node, []).append((t0, t1, kind, arg))
+
+    def barrier_arrive(self, node: int, bid, ts: float) -> None:
+        """A node reached a barrier; the ``n_procs``-th arrival releases it
+        at the same timestamp (sense-reversal — see processor/sync.py), so
+        that arrival closes the episode."""
+        arrivals = self._barrier_arrivals.setdefault(bid, [])
+        arrivals.append((ts, node))
+        if self.n_procs and len(arrivals) >= self.n_procs:
+            self.barrier_episodes.append((ts, node, bid))
+            del self._barrier_arrivals[bid]
+
+    def lock_release(self, node: int, lock_id, ts: float) -> None:
+        self.lock_releases.setdefault(lock_id, []).append((ts, node))
+
     # -- MAGIC / ideal controller -------------------------------------------------
 
     def inbox_span(self, node: int, msg, t0: float, t1: float) -> None:
@@ -285,7 +330,14 @@ class Tracer:
 
     def pp_span(self, node: int, handler: str, msg, t0: float, t1: float) -> None:
         """Mirrors one ``stats.pp_busy +=`` site exactly."""
-        self._charge("pp", msg.requester, msg.line_addr, t1 - t0)
+        cycles = t1 - t0
+        self._charge("pp", msg.requester, msg.line_addr, cycles)
+        if cycles > 0.0:
+            self.pp_handler_totals[handler] = (
+                self.pp_handler_totals.get(handler, 0.0) + cycles)
+            txn = self._active.get((msg.requester, msg.line_addr))
+            if txn is not None:
+                txn.handlers[handler] = txn.handlers.get(handler, 0.0) + cycles
         self._span(node, "pp", handler, t0, t1, msg)
 
     def pi_out_span(self, node: int, msg, t0: float, t1: float) -> None:

@@ -8,8 +8,8 @@ covers the combinations and the profiling story:
 
 * **everything ON at once** — watchdog + tracer + metrics together must
   leave the core result byte-identical: stripped of the blocks only they
-  serialize (``latency_decomposition``, ``metrics``), the result hashes to
-  the very same golden SHA-256 as the bare run;
+  serialize (``latency_decomposition``, ``critpath``, ``metrics``), the
+  result hashes to the very same golden SHA-256 as the bare run;
 * **profile attribution** — the callback frames land in the same
   per-subsystem buckets (``cpu``, ``protocol``, ``network``, ``memory``,
   ``kernel``) the coroutine frames did, because attribution keys on file
@@ -46,9 +46,11 @@ class TestAllObservabilityOn:
         spec = _golden_spec(combo, trace=True, metrics=True)
         result = experiments._execute(spec)
         assert result.latency_decomposition is not None
+        assert result.critpath is not None
         assert result.metrics is not None
         state = result.to_dict()
         state.pop("latency_decomposition")
+        state.pop("critpath")
         state.pop("metrics")
         blob = json.dumps(state, sort_keys=True, separators=(",", ":"))
         digest = hashlib.sha256(blob.encode()).hexdigest()

@@ -99,8 +99,11 @@ class TestTraceOffInvariance:
         assert tracer is not None
         assert plain.latency_decomposition is None
         assert traced.latency_decomposition is not None
+        assert plain.critpath is None
+        assert traced.critpath is not None
         stripped = traced.to_dict()
         del stripped["latency_decomposition"]
+        del stripped["critpath"]
         assert stripped == plain.to_dict()
 
     def test_sampler_does_not_perturb_the_run(self):
